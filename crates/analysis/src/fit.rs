@@ -1,0 +1,105 @@
+//! Least-squares fitting and growth-law classification.
+//!
+//! The central question of experiment E1 is *"does the measured awake
+//! complexity grow like `log log n` (Theorem 13) or like `log n`
+//! (Luby)?"*. We answer it by fitting `y = a·f(n) + b` for both
+//! candidate transforms `f` and comparing coefficients of
+//! determination.
+
+/// A least-squares line fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Slope.
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect).
+    pub r2: f64,
+}
+
+/// Ordinary least squares for `y = a·x + b`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or all `x` are equal.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "all x values identical");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let a = sxy / sxx;
+    let b = my - a * mx;
+    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (a * x + b)).powi(2)).sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Fit { a, b, r2 }
+}
+
+/// Fits `y = c·n^e` by regressing `ln y` on `ln n` and returns the
+/// exponent `e` — useful to confirm polylogarithmic growth (`e ≈ 0`
+/// against `n`) or measure a polynomial factor.
+///
+/// # Panics
+///
+/// Panics if any sample is non-positive.
+pub fn growth_exponent(ns: &[f64], ys: &[f64]) -> f64 {
+    assert!(ns.iter().chain(ys).all(|&v| v > 0.0), "log-log fit needs positive samples");
+    let lx: Vec<f64> = ns.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|v| v.ln()).collect();
+    fit_linear(&lx, &ly).a
+}
+
+/// Which of `log₂ n` or `log₂ log₂ n` better explains the curve
+/// `(n, y)`; returns `(fit_loglog, fit_log)`.
+pub fn compare_growth_laws(ns: &[f64], ys: &[f64]) -> (Fit, Fit) {
+    let xs_ll: Vec<f64> = ns.iter().map(|&n| n.log2().log2()).collect();
+    let xs_l: Vec<f64> = ns.iter().map(|&n| n.log2()).collect();
+    (fit_linear(&xs_ll, ys), fit_linear(&xs_l, ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let f = fit_linear(&[1.0, 2.0, 3.0], &[3.0, 5.0, 7.0]);
+        assert!((f.a - 2.0).abs() < 1e-12);
+        assert!((f.b - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let f = fit_linear(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.5, 2.4, 4.2]);
+        assert!(f.r2 < 1.0 && f.r2 > 0.7);
+    }
+
+    #[test]
+    fn exponent_of_quadratic() {
+        let ns = [8.0, 16.0, 32.0, 64.0];
+        let ys: Vec<f64> = ns.iter().map(|n| 3.0 * n * n).collect();
+        assert!((growth_exponent(&ns, &ys) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_curve_classified_correctly() {
+        let ns = [64.0, 256.0, 1024.0, 4096.0, 16384.0];
+        let ys: Vec<f64> = ns.iter().map(|n: &f64| 7.0 * n.log2().log2() + 3.0).collect();
+        let (ll, l) = compare_growth_laws(&ns, &ys);
+        assert!(ll.r2 > l.r2, "log log fit must win: {} vs {}", ll.r2, l.r2);
+        assert!((ll.a - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_curve_classified_correctly() {
+        let ns = [64.0, 256.0, 1024.0, 4096.0, 16384.0];
+        let ys: Vec<f64> = ns.iter().map(|n: &f64| 2.0 * n.log2() + 1.0).collect();
+        let (ll, l) = compare_growth_laws(&ns, &ys);
+        assert!(l.r2 > ll.r2, "log fit must win: {} vs {}", l.r2, ll.r2);
+    }
+}

@@ -1,0 +1,25 @@
+//! Statistics, growth-rate fitting, table rendering, the energy model,
+//! and unified algorithm runners for the `awake-mis` experiment harness.
+//!
+//! Every experiment in `EXPERIMENTS.md` is built from these pieces: the
+//! [`runners`] module executes an algorithm on a graph and returns a
+//! normalized [`runners::AlgoResult`]; [`stats`] summarizes repeated
+//! runs; [`fit`] decides which growth law (`log n` vs `log log n`) a
+//! measured curve follows; [`table`] renders the paper-style tables; and
+//! [`energy`] converts awake/sleeping rounds into the energy figures
+//! that motivate the sleeping model (paper §1.2).
+
+pub mod energy;
+pub mod fit;
+pub mod runners;
+pub mod shattering;
+pub mod stats;
+pub mod table;
+pub mod timeline;
+
+pub use energy::EnergyModel;
+pub use fit::{fit_linear, growth_exponent, Fit};
+pub use runners::{AlgoResult, Algorithm};
+pub use stats::Summary;
+pub use table::Table;
+pub use timeline::render_timeline;

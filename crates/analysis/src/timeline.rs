@@ -1,0 +1,109 @@
+//! ASCII wake-timeline rendering: a visual of *when* nodes are awake
+//! across an execution, the sleeping model's defining picture.
+//!
+//! Requires a run with [`sleeping_congest::SimConfig::record_wake_history`]
+//! enabled. Rounds are bucketed into a fixed number of columns; a cell
+//! shows `█` if the node was awake in any round of the bucket, `·`
+//! otherwise, and a space after the node terminated.
+
+use sleeping_congest::Metrics;
+
+/// Renders the wake history of `nodes` (a selection of node ids) over
+/// `cols` time buckets.
+///
+/// # Panics
+///
+/// Panics if the metrics were collected without
+/// `record_wake_history`, or if `cols == 0`.
+pub fn render_timeline(metrics: &Metrics, nodes: &[u32], cols: usize) -> String {
+    assert!(cols > 0, "need at least one column");
+    let hist = metrics
+        .wake_history
+        .as_ref()
+        .expect("run with SimConfig::record_wake_history = true");
+    let horizon = metrics.round_complexity().max(1);
+    let bucket = horizon.div_ceil(cols as u64);
+    let mut out = String::new();
+    let label_w = nodes.iter().map(|v| v.to_string().len()).max().unwrap_or(1);
+    for &v in nodes {
+        let wakes = &hist[v as usize];
+        let end = metrics.terminated_at[v as usize];
+        let mut row = String::with_capacity(cols);
+        for c in 0..cols as u64 {
+            let lo = c * bucket;
+            let hi = lo + bucket;
+            if lo > end {
+                row.push(' ');
+            } else if wakes.iter().any(|&r| r >= lo && r < hi) {
+                row.push('█');
+            } else {
+                row.push('·');
+            }
+        }
+        out.push_str(&format!(
+            "{:>w$} |{}| awake {}\n",
+            v,
+            row,
+            metrics.awake_rounds[v as usize],
+            w = label_w
+        ));
+    }
+    out.push_str(&format!(
+        "{:>w$}  {} rounds total, each column ≈ {} rounds\n",
+        "",
+        horizon,
+        bucket,
+        w = label_w
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::generators;
+    use sleeping_congest::{Action, NodeCtx, Outbox, Protocol, SimConfig, Simulator};
+
+    /// Node v wakes at rounds 0 and 10·(v+1), then terminates.
+    struct TwoWakes;
+    impl Protocol for TwoWakes {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &mut NodeCtx) -> Outbox<()> {
+            Outbox::Silent
+        }
+        fn receive(&mut self, ctx: &mut NodeCtx, _: &[(graphgen::Port, ())]) -> Action {
+            if ctx.round == 0 {
+                Action::SleepUntil(10 * (ctx.node as u64 + 1))
+            } else {
+                Action::Terminate
+            }
+        }
+        fn output(&self) {}
+    }
+
+    #[test]
+    fn renders_expected_pattern() {
+        let g = generators::path(3);
+        let cfg = SimConfig { record_wake_history: true, ..SimConfig::seeded(1) };
+        let rep = Simulator::new(g, vec![TwoWakes, TwoWakes, TwoWakes], cfg).run().unwrap();
+        let s = render_timeline(&rep.metrics, &[0, 1, 2], 31);
+        // Node 0: awake at rounds 0 and 10 (columns 0 and 10), then gone.
+        let row0 = s.lines().next().unwrap();
+        assert!(row0.starts_with("0 |█"), "got: {row0}");
+        assert_eq!(row0.matches('█').count(), 2);
+        assert!(row0.ends_with("awake 2"));
+        // All three nodes rendered plus the footer.
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("31 rounds total"));
+    }
+
+    #[test]
+    #[should_panic(expected = "record_wake_history")]
+    fn requires_history() {
+        let g = generators::path(2);
+        let rep =
+            Simulator::new(g, vec![TwoWakes, TwoWakes], SimConfig::seeded(1)).run().unwrap();
+        render_timeline(&rep.metrics, &[0], 10);
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion wall-clock benchmarks of the MIS algorithms (one group per
+//! headline experiment; the *measured model quantities* — awake rounds,
+//! round complexity — come from the `experiments` binary, while these
+//! benches track the simulator's own performance).
+
+use analysis::runners::{run_algorithm, Algorithm};
+use bench::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// E1/E10 timing: full Awake-MIS runs across sizes.
+fn bench_awake_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("awake_mis");
+    group.sample_size(10);
+    for n in [512usize, 2048, 8192] {
+        let g = Family::Er.generate(n, 1);
+        group.bench_with_input(BenchmarkId::new("theorem13", n), &g, |b, g| {
+            b.iter(|| run_algorithm(Algorithm::AwakeMis, g, 1).unwrap())
+        });
+    }
+    for n in [512usize, 2048] {
+        let g = Family::Er.generate(n, 1);
+        group.bench_with_input(BenchmarkId::new("corollary14", n), &g, |b, g| {
+            b.iter(|| run_algorithm(Algorithm::AwakeMisRound, g, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Baseline timings for the comparison table.
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for n in [512usize, 2048, 8192] {
+        let g = Family::Er.generate(n, 1);
+        group.bench_with_input(BenchmarkId::new("luby", n), &g, |b, g| {
+            b.iter(|| run_algorithm(Algorithm::Luby, g, 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("vt_mis", n), &g, |b, g| {
+            b.iter(|| run_algorithm(Algorithm::VtMis, g, 1).unwrap())
+        });
+    }
+    for n in [512usize, 2048] {
+        let g = Family::Er.generate(n, 1);
+        group.bench_with_input(BenchmarkId::new("naive_greedy", n), &g, |b, g| {
+            b.iter(|| run_algorithm(Algorithm::NaiveGreedy, g, 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ldt_mis", n), &g, |b, g| {
+            b.iter(|| run_algorithm(Algorithm::LdtMis, g, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_awake_mis, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benchmarks of the substrates: graph generation, the virtual
+//! binary tree, LDT construction, and the sequential greedy reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::generators;
+use ldt::construct::{ConstructAwake, ConstructParams};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sleeping_congest::{SimConfig, Simulator, Standalone};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for n in [1024usize, 8192] {
+        group.bench_with_input(BenchmarkId::new("gnp_d8", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| generators::gnp_avg_degree(n, 8.0, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("rgg", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let r = (10.0 / (std::f64::consts::PI * n as f64)).sqrt();
+            b.iter(|| generators::random_geometric(n, r, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| generators::barabasi_albert(n, 3, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vtree");
+    for i in [1_000u64, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("communication_set", i), &i, |b, &i| {
+            let mut k = 1;
+            b.iter(|| {
+                k = k % i + 1;
+                vtree::communication_set(k, i)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ldt_construct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ldt_construct");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let g = generators::cycle(n);
+        let id_upper = (n as u64).pow(3);
+        let ids: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let mut seen = std::collections::HashSet::new();
+            let mut ids = Vec::new();
+            while ids.len() < n {
+                let id = rng.gen_range(1..=id_upper);
+                if seen.insert(id) {
+                    ids.push(id);
+                }
+            }
+            ids
+        };
+        group.bench_with_input(BenchmarkId::new("awake_strategy", n), &g, |b, g| {
+            b.iter(|| {
+                let nodes = (0..n)
+                    .map(|v| {
+                        Standalone::new(ConstructAwake::new(ConstructParams {
+                            my_id: ids[v],
+                            id_upper,
+                            k: n as u32,
+                        }))
+                    })
+                    .collect();
+                Simulator::new(g.clone(), nodes, SimConfig::seeded(3)).run().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_greedy");
+    for n in [4096usize, 65536] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::gnp_avg_degree(n, 8.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("random_greedy", n), &g, |b, g| {
+            let mut rng = SmallRng::seed_from_u64(4);
+            b.iter(|| awake_mis_core::greedy::random_greedy(g, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_vtree,
+    bench_ldt_construct,
+    bench_sequential_greedy
+);
+criterion_main!(benches);

@@ -1,0 +1,837 @@
+//! Regenerates every quantitative claim of
+//! *"Distributed MIS in O(log log n) Awake Complexity"* (PODC 2023) as a
+//! table or series. See `DESIGN.md` §4 for the claim → experiment index
+//! and `EXPERIMENTS.md` for recorded results.
+//!
+//! Usage: `cargo run -p bench --release --bin experiments [-- e1 e4 …]`
+//! (no arguments = run everything).
+
+use analysis::fit::{compare_growth_laws, growth_exponent};
+use analysis::runners::{run_algorithm, Algorithm};
+use analysis::shattering::{residual_profile, shatter_once};
+use analysis::{EnergyModel, Summary, Table};
+use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams};
+use awake_mis_core::{AwakeMis, AwakeMisConfig, LdtStrategy, MisState};
+use bench::Family;
+use graphgen::{generators, Graph, NodeId};
+use ldt::construct::{ConstructAwake, ConstructParams};
+use ldt::construct_round::ConstructRound;
+use ldt::ops::{LdtBroadcast, LdtRanking};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sleeping_congest::{SimConfig, Simulator, Standalone};
+
+const SEEDS: [u64; 3] = [11, 22, 33];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |id: &str| all || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+
+    println!("awake-mis experiment harness — reproduction of PODC 2023 \"Distributed MIS in O(log log n) Awake Complexity\"");
+    println!("(absolute numbers are simulator-specific; the *shapes* — growth laws, orderings, crossovers — are the claims)\n");
+
+    // E1/E2 share their sweep; run together when either is requested.
+    let mut sweep: Vec<SweepPoint> = Vec::new();
+    if want("e1") || want("e2") {
+        sweep = run_sweep();
+    }
+    if want("e1") {
+        e1(&sweep);
+    }
+    if want("e2") {
+        e2(&sweep);
+    }
+    if want("e3") {
+        e3();
+    }
+    if want("e4") {
+        e4();
+    }
+    if want("e5") {
+        e5();
+    }
+    if want("e6") {
+        e6();
+    }
+    if want("e7") {
+        e7();
+    }
+    if want("e8") {
+        e8();
+    }
+    if want("e9") {
+        e9();
+    }
+    if want("e10") {
+        e10();
+    }
+    if want("e11") {
+        e11();
+    }
+    if want("e12") {
+        e12();
+    }
+    if want("e13") {
+        e13();
+    }
+    if want("e14") {
+        e14();
+    }
+    if want("e15") {
+        e15();
+    }
+    if want("e16") {
+        e16();
+    }
+    if want("e17") {
+        e17();
+    }
+}
+
+fn header(id: &str, claim: &str) {
+    println!("==================================================================");
+    println!("{id} — {claim}");
+    println!("==================================================================");
+}
+
+struct SweepPoint {
+    family: Family,
+    n: usize,
+    alg: Algorithm,
+    awake_max: Summary,
+    awake_avg: Summary,
+    rounds: Summary,
+    correct: bool,
+}
+
+fn run_sweep() -> Vec<SweepPoint> {
+    const SWEEP_SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+    let families = [Family::Er, Family::Rgg, Family::Ba];
+    let ns = [256usize, 1024, 4096, 16384, 65536];
+    let algs = [Algorithm::AwakeMis, Algorithm::Luby];
+    let mut out = Vec::new();
+    for &family in &families {
+        for &n in &ns {
+            for &alg in &algs {
+                let mut mx = Vec::new();
+                let mut avg = Vec::new();
+                let mut rounds = Vec::new();
+                let mut correct = true;
+                for &seed in &SWEEP_SEEDS {
+                    let g = family.generate(n, seed);
+                    let r = run_algorithm(alg, &g, seed).expect("run");
+                    correct &= r.correct;
+                    mx.push(r.awake_max);
+                    avg.push(r.awake_avg);
+                    rounds.push(r.rounds);
+                }
+                out.push(SweepPoint {
+                    family,
+                    n,
+                    alg,
+                    awake_max: Summary::of_u64(&mx),
+                    awake_avg: Summary::of(&avg),
+                    rounds: Summary::of_u64(&rounds),
+                    correct,
+                });
+            }
+        }
+    }
+    // The dense family where Luby's Θ(log n) bites at laptop scale.
+    for &n in &[1024usize, 4096, 16384] {
+        for &alg in &algs {
+            let mut mx = Vec::new();
+            let mut avg = Vec::new();
+            let mut rounds = Vec::new();
+            let mut correct = true;
+            for &seed in &SEEDS {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let g = generators::gnp_avg_degree(n, (n as f64).sqrt(), &mut rng);
+                let r = run_algorithm(alg, &g, seed).expect("run");
+                correct &= r.correct;
+                mx.push(r.awake_max);
+                avg.push(r.awake_avg);
+                rounds.push(r.rounds);
+            }
+            out.push(SweepPoint {
+                family: Family::Grid, // placeholder tag; rendered as Dense below
+                n,
+                alg,
+                awake_max: Summary::of_u64(&mx),
+                awake_avg: Summary::of(&avg),
+                rounds: Summary::of_u64(&rounds),
+                correct,
+            });
+        }
+    }
+    out
+}
+
+fn family_label(p: &SweepPoint) -> &'static str {
+    if p.family == Family::Grid {
+        "Dense(√n)"
+    } else {
+        p.family.name()
+    }
+}
+
+/// E1 — Theorem 13: awake complexity is O(log log n).
+fn e1(sweep: &[SweepPoint]) {
+    header(
+        "E1 (Theorem 13)",
+        "Awake-MIS has O(log log n) awake complexity; Luby-style baselines grow with log n",
+    );
+    let mut t = Table::new(vec![
+        "family", "n", "algorithm", "awake max (mean±std)", "awake avg", "log2 log2 n", "ok",
+    ]);
+    for p in sweep {
+        t.row(vec![
+            family_label(p).to_string(),
+            p.n.to_string(),
+            p.alg.name().to_string(),
+            format!("{:.1} ± {:.1}", p.awake_max.mean, p.awake_max.std),
+            format!("{:.1}", p.awake_avg.mean),
+            format!("{:.2}", (p.n as f64).log2().log2()),
+            if p.correct { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    print!("{}", t.render());
+
+    // Growth-law classification on the ER family, on both the paper's
+    // worst-case measure and the node average.
+    for (metric, get) in [
+        // The worst-case awake is dominated by the luckiest/unluckiest
+        // shattered component: use the median over seeds for the fit.
+        ("max(med)", Box::new(|p: &SweepPoint| p.awake_max.median) as Box<dyn Fn(&SweepPoint) -> f64>),
+        ("avg", Box::new(|p: &SweepPoint| p.awake_avg.mean)),
+    ] {
+        for alg in [Algorithm::AwakeMis, Algorithm::Luby] {
+            let pts: Vec<(f64, f64)> = sweep
+                .iter()
+                .filter(|p| p.family == Family::Er && p.alg == alg)
+                .map(|p| (p.n as f64, get(p)))
+                .collect();
+            let ns: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+            let (ll, l) = compare_growth_laws(&ns, &ys);
+            let verdict = if ll.a.abs() < 0.5 && l.a.abs() < 0.5 {
+                "≈ flat at this scale"
+            } else if ll.r2 >= l.r2 {
+                "better explained by log log n"
+            } else {
+                "better explained by log n"
+            };
+            println!(
+                "ER awake-{metric} growth, {:<16}: a·loglog₂n+b → a={:+.2} R²={:.3} | a·log₂n+b → a={:+.2} R²={:.3} → {verdict}",
+                alg.name(),
+                ll.a,
+                ll.r2,
+                l.a,
+                l.r2,
+            );
+        }
+    }
+    println!();
+}
+
+/// E2 — Theorem 13: round complexity is polylogarithmic.
+fn e2(sweep: &[SweepPoint]) {
+    header(
+        "E2 (Theorem 13)",
+        "Awake-MIS round complexity is polylog(n) — enormous vs awake, but n^o(1)",
+    );
+    let mut t = Table::new(vec!["family", "n", "rounds (mean)", "rounds/log2(n)^4", "awake max"]);
+    for p in sweep.iter().filter(|p| p.alg == Algorithm::AwakeMis) {
+        let l = (p.n as f64).log2();
+        t.row(vec![
+            family_label(p).to_string(),
+            p.n.to_string(),
+            format!("{:.3e}", p.rounds.mean),
+            format!("{:.0}", p.rounds.mean / l.powi(4)),
+            format!("{:.0}", p.awake_max.mean),
+        ]);
+    }
+    print!("{}", t.render());
+    let pts: Vec<(f64, f64)> = sweep
+        .iter()
+        .filter(|p| p.family == Family::Er && p.alg == Algorithm::AwakeMis)
+        .map(|p| ((p.n as f64).log2(), p.rounds.mean))
+        .collect();
+    let e = growth_exponent(
+        &pts.iter().map(|p| p.0).collect::<Vec<_>>(),
+        &pts.iter().map(|p| p.1).collect::<Vec<_>>(),
+    );
+    println!("ER rounds ≈ c·(log₂ n)^e with e = {e:.2} (paper bound: e ≤ 7 — measured well inside)");
+    let ns: Vec<f64> = pts.iter().map(|p| 2f64.powf(p.0)).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+    println!("rounds vs n exponent: {:.3} (≈ 0 ⇒ n^o(1), i.e. polylog)", growth_exponent(&ns, &ys));
+    println!();
+}
+
+/// E3 — Corollary 14 variant.
+fn e3() {
+    header(
+        "E3 (Corollary 14)",
+        "Round-efficient variant: awake complexity gains a log* factor (higher than Theorem 13's)",
+    );
+    let mut t = Table::new(vec![
+        "n",
+        "T13 awake",
+        "C14 awake",
+        "T13 rounds",
+        "C14 rounds",
+        "ok",
+    ]);
+    for &n in &[1024usize, 4096, 16384] {
+        let mut a13 = Vec::new();
+        let mut a14 = Vec::new();
+        let mut r13 = Vec::new();
+        let mut r14 = Vec::new();
+        let mut correct = true;
+        for &seed in &SEEDS {
+            let g = Family::Er.generate(n, seed);
+            let x = run_algorithm(Algorithm::AwakeMis, &g, seed).unwrap();
+            let y = run_algorithm(Algorithm::AwakeMisRound, &g, seed).unwrap();
+            correct &= x.correct && y.correct;
+            a13.push(x.awake_max);
+            a14.push(y.awake_max);
+            r13.push(x.rounds);
+            r14.push(y.rounds);
+        }
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0}", Summary::of_u64(&a13).mean),
+            format!("{:.0}", Summary::of_u64(&a14).mean),
+            format!("{:.2e}", Summary::of_u64(&r13).mean),
+            format!("{:.2e}", Summary::of_u64(&r14).mean),
+            if correct { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    print!("{}", t.render());
+    println!("note: with our randomized LDT-Construct-Awake substitute (DESIGN.md §3.5), the Theorem 13");
+    println!("pipeline is already round-cheap, so Corollary 14's round advantage does not materialize here;");
+    println!("its awake cost is correctly higher (the deterministic construction pays the log* factor).\n");
+}
+
+/// E4 — Lemma 2: residual sparsity of randomized greedy.
+fn e4() {
+    header(
+        "E4 (Lemma 2)",
+        "After t of t'=2t nodes, residual max degree ≤ (t'/t)·ln(n/ε) — measured vs bound",
+    );
+    let n = 4096;
+    let mut t = Table::new(vec!["graph", "t", "t'", "residual max deg", "Lemma 2 bound"]);
+    for (name, g) in [
+        ("ER(n=4096, d=64)", {
+            let mut rng = SmallRng::seed_from_u64(1);
+            generators::gnp_avg_degree(n, 64.0, &mut rng)
+        }),
+        ("regular(n=4096, d=32)", {
+            let mut rng = SmallRng::seed_from_u64(2);
+            generators::random_regular(n, 32, &mut rng)
+        }),
+    ] {
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.shuffle(&mut SmallRng::seed_from_u64(3));
+        let ts: Vec<usize> = (5..=11).map(|e| 1 << e).collect();
+        for p in residual_profile(&g, &order, &ts, 2.0) {
+            t.row(vec![
+                name.to_string(),
+                p.t.to_string(),
+                p.t_prime.to_string(),
+                p.max_degree.to_string(),
+                format!("{:.1}", p.bound),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("(fixed ratio t'/t = 2: both measured degree and bound stay flat, measured ≪ bound)\n");
+
+    // Fixed horizon t' = n: the 1/t decay becomes visible.
+    let mut t2 = Table::new(vec!["graph", "t (prefix)", "t' = n", "residual max deg", "Lemma 2 bound"]);
+    let mut rng = SmallRng::seed_from_u64(21);
+    let g = generators::gnp_avg_degree(n, 64.0, &mut rng);
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(&mut SmallRng::seed_from_u64(23));
+    for e in 5..=11 {
+        let tt = 1usize << e;
+        let (_, d) = awake_mis_core::greedy::residual_degree(&g, &order, tt, n);
+        t2.row(vec![
+            "ER(n=4096, d=64)".to_string(),
+            tt.to_string(),
+            n.to_string(),
+            d.to_string(),
+            format!("{:.1}", (n as f64 / tt as f64) * ((n * n) as f64).ln()),
+        ]);
+    }
+    print!("{}", t2.render());
+    println!("(fixed horizon t' = n: measured degree decays ~1/t, tracking the bound's shape)\n");
+}
+
+/// E5 — Lemma 3: shattering under random 1/(2Δ) partition.
+fn e5() {
+    header(
+        "E5 (Lemma 3)",
+        "Random partition into 2Δ classes shatters bounded-degree graphs into ≤ 6·ln(n/ε) components",
+    );
+    let n = 4096;
+    let mut rng = SmallRng::seed_from_u64(4);
+    let g = generators::gnp_avg_degree(n, 16.0, &mut rng);
+    let delta = g.max_degree();
+    let mut t = Table::new(vec!["parts", "parts/Δ", "max component (5 samples)", "Lemma 3 bound"]);
+    for factor in [0.5f64, 1.0, 2.0, 4.0] {
+        let parts = ((delta as f64 * factor) as usize).max(1);
+        let mut worst = 0usize;
+        let mut bound = 0.0;
+        for _ in 0..5 {
+            let p = shatter_once(&g, parts, &mut rng);
+            worst = worst.max(p.max_component);
+            bound = p.bound;
+        }
+        t.row(vec![
+            parts.to_string(),
+            format!("{factor:.1}"),
+            worst.to_string(),
+            format!("{bound:.0}"),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(Δ = {delta}; at 2Δ parts components are tiny; below Δ the components blow up — the 2Δ threshold matters)\n");
+}
+
+/// E6 — Lemma 10: VT-MIS awake O(log I) vs naive Θ(I).
+fn e6() {
+    header(
+        "E6 (Lemma 10)",
+        "VT-MIS: O(log I) awake / Θ(I) rounds — exponentially less awake than the naive greedy",
+    );
+    let mut t = Table::new(vec![
+        "n = I",
+        "VT-MIS awake",
+        "⌈log2 I⌉+1",
+        "naive awake",
+        "VT-MIS rounds",
+        "lfmis?",
+    ]);
+    for &n in &[64usize, 256, 1024, 4096] {
+        let g = generators::cycle(n);
+        let vt = run_algorithm(Algorithm::VtMis, &g, 7).unwrap();
+        let nv = run_algorithm(Algorithm::NaiveGreedy, &g, 7).unwrap();
+        t.row(vec![
+            n.to_string(),
+            vt.awake_max.to_string(),
+            (vtree::depth(n as u64) + 1).to_string(),
+            nv.awake_max.to_string(),
+            vt.rounds.to_string(),
+            (vt.correct && nv.correct).to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+/// E7 — Lemma 11: LDT-MIS awake complexity decomposition.
+fn e7() {
+    header(
+        "E7 (Lemma 11)",
+        "LDT-MIS awake = O(log n' + n'·log n'/log I): the broadcast term dominates on big components",
+    );
+    let mut t = Table::new(vec![
+        "n' (one component)",
+        "awake max",
+        "c1·log n' term",
+        "c2·n'·log n'/log I term",
+        "ok",
+    ]);
+    for &n in &[16usize, 64, 256, 1024] {
+        let g = generators::cycle(n);
+        let r = run_algorithm(Algorithm::LdtMis, &g, 9).unwrap();
+        let log2n = (n as f64).log2();
+        let log2i = 3.0 * (n as f64).log2();
+        t.row(vec![
+            n.to_string(),
+            r.awake_max.to_string(),
+            format!("{:.0}", 11.0 * log2n),
+            format!("{:.0}", 2.0 * (n as f64) * log2n / log2i),
+            r.correct.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(inside Awake-MIS components have n' = O(log n), so both terms are O(log log n))\n");
+}
+
+/// E8 — Lemmas 6/7/15: LDT construction complexities.
+fn e8() {
+    header(
+        "E8 (Lemmas 6/7/15)",
+        "LDT construction: awake strategy O(log n') awake; round strategy O(log n'·log* I) awake, deterministic",
+    );
+    let mut t = Table::new(vec![
+        "graph", "n", "strategy", "awake max", "phases used", "rounds",
+    ]);
+    let id_upper = |n: usize| ((n.max(4) as u64).pow(3)).max(1 << 24);
+    for &n in &[64usize, 256, 1024] {
+        for (gname, g) in [("path", generators::path(n)), ("cycle", generators::cycle(n))] {
+            for strat in ["awake", "round"] {
+                let ids = {
+                    let mut rng = SmallRng::seed_from_u64(5);
+                    let mut seen = std::collections::HashSet::new();
+                    let mut ids = Vec::new();
+                    while ids.len() < n {
+                        let id = rng.gen_range(1..=id_upper(n));
+                        if seen.insert(id) {
+                            ids.push(id);
+                        }
+                    }
+                    ids
+                };
+                let params = |v: usize| ConstructParams {
+                    my_id: ids[v],
+                    id_upper: id_upper(n),
+                    k: n as u32,
+                };
+                let (awake, phases, rounds) = if strat == "awake" {
+                    let nodes =
+                        (0..n).map(|v| Standalone::new(ConstructAwake::new(params(v)))).collect();
+                    let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(6)).run().unwrap();
+                    let ph = rep.outputs.iter().map(|o| o.phases_used).max().unwrap();
+                    (rep.metrics.awake_complexity(), ph, rep.metrics.round_complexity())
+                } else {
+                    let nodes =
+                        (0..n).map(|v| Standalone::new(ConstructRound::new(params(v)))).collect();
+                    let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(6)).run().unwrap();
+                    let ph = rep.outputs.iter().map(|o| o.phases_used).max().unwrap();
+                    (rep.metrics.awake_complexity(), ph, rep.metrics.round_complexity())
+                };
+                t.row(vec![
+                    gname.to_string(),
+                    n.to_string(),
+                    strat.to_string(),
+                    awake.to_string(),
+                    phases.to_string(),
+                    rounds.to_string(),
+                ]);
+            }
+        }
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+/// E9 — Observations 4/5: communication-set sizes.
+fn e9() {
+    header(
+        "E9 (Observations 4/5)",
+        "Communication sets: |S_k([1,i])| ≤ ⌈log2 i⌉+1; common-round property (property-tested exhaustively)",
+    );
+    let mut t = Table::new(vec!["i", "max_k |S_k ∩ [1,i]|", "⌈log2 i⌉+1", "avg |S_k|"]);
+    for &i in &[10u64, 100, 1000, 10_000, 100_000, 1_000_000] {
+        let ks: Vec<u64> = if i <= 10_000 {
+            (1..=i).collect()
+        } else {
+            let mut rng = SmallRng::seed_from_u64(8);
+            (0..10_000).map(|_| rng.gen_range(1..=i)).collect()
+        };
+        let sizes: Vec<usize> = ks.iter().map(|&k| vtree::wake_rounds(k, i).len()).collect();
+        let max = sizes.iter().max().unwrap();
+        let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        t.row(vec![
+            i.to_string(),
+            max.to_string(),
+            (vtree::depth(i) + 1).to_string(),
+            format!("{avg:.2}"),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+/// E10 — the headline comparison table.
+fn e10() {
+    header(
+        "E10 (headline, §1.4)",
+        "All algorithms on a fixed suite (n = 2048): Awake-MIS wins awake complexity; always-awake algorithms win rounds",
+    );
+    let n = 2048;
+    let mut t = Table::new(vec![
+        "family", "algorithm", "awake max", "awake avg", "rounds", "messages", "MIS size", "ok",
+    ]);
+    for family in [Family::Er, Family::Rgg, Family::Ba, Family::Grid, Family::Tree] {
+        let g = family.generate(n, 42);
+        for alg in Algorithm::all() {
+            let r = run_algorithm(alg, &g, 42).unwrap();
+            t.row(vec![
+                family.name().to_string(),
+                alg.name().to_string(),
+                r.awake_max.to_string(),
+                format!("{:.1}", r.awake_avg),
+                r.rounds.to_string(),
+                r.messages.to_string(),
+                r.mis_size.to_string(),
+                r.correct.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+/// E11 — ablation: virtual-tree comm schedule vs always-awake comm.
+fn e11() {
+    header(
+        "E11 (ablation)",
+        "Without the virtual-tree schedule, nodes attend all P = O(log² n) communication rounds",
+    );
+    let mut t = Table::new(vec![
+        "n", "awake (vtree)", "awake (always)", "factor", "P (phases)",
+    ]);
+    for &n in &[1024usize, 4096, 16384] {
+        let g = Family::Er.generate(n, 3);
+        let base = {
+            let nodes = (0..n).map(|_| AwakeMis::new(AwakeMisConfig::default())).collect();
+            Simulator::new(g.clone(), nodes, SimConfig::seeded(3)).run().unwrap()
+        };
+        let abl = {
+            let cfg = AwakeMisConfig { always_awake_comm: true, ..Default::default() };
+            let nodes = (0..n).map(|_| AwakeMis::new(cfg)).collect();
+            Simulator::new(g.clone(), nodes, SimConfig::seeded(3)).run().unwrap()
+        };
+        let params = awake_mis_core::derive_params(n, &AwakeMisConfig::default());
+        t.row(vec![
+            n.to_string(),
+            base.metrics.awake_complexity().to_string(),
+            abl.metrics.awake_complexity().to_string(),
+            format!(
+                "{:.1}x",
+                abl.metrics.awake_complexity() as f64 / base.metrics.awake_complexity() as f64
+            ),
+            params.phases.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+/// E12 — ablation: geometric vs uniform batch distribution.
+fn e12() {
+    header(
+        "E12 (ablation, DESIGN.md §3.4)",
+        "Geometric collections keep shattered components small; uniform collections inflate early components",
+    );
+    let mut t = Table::new(vec![
+        "n", "batching", "max component", "mean component", "failures", "awake max",
+    ]);
+    for &n in &[4096usize, 16384] {
+        for uniform in [false, true] {
+            let mut worst = 0u64;
+            let mut sum = 0f64;
+            let mut cnt = 0usize;
+            let mut fails = 0usize;
+            let mut awake = 0u64;
+            for &seed in &SEEDS {
+                let g = Family::Er.generate(n, seed);
+                let cfg = AwakeMisConfig { uniform_batches: uniform, ..Default::default() };
+                let nodes = (0..n).map(|_| AwakeMis::new(cfg)).collect();
+                let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+                for o in &rep.outputs {
+                    if o.comp_size > 0 {
+                        worst = worst.max(o.comp_size);
+                        sum += o.comp_size as f64;
+                        cnt += 1;
+                    }
+                    fails += o.failed as usize;
+                }
+                awake = awake.max(rep.metrics.awake_complexity());
+            }
+            t.row(vec![
+                n.to_string(),
+                if uniform { "uniform".into() } else { "geometric".to_string() },
+                worst.to_string(),
+                format!("{:.2}", sum / cnt.max(1) as f64),
+                fails.to_string(),
+                awake.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+/// E13 — CONGEST compliance: message sizes.
+fn e13() {
+    header(
+        "E13 (CONGEST, §1.3)",
+        "Every message fits in O(log n) bits (IDs live in [1, N³])",
+    );
+    let n = 4096;
+    let g = Family::Er.generate(n, 5);
+    let mut t = Table::new(vec!["algorithm", "max message bits", "2-id budget"]);
+    // Messages carry at most two IDs from [1, max(N^3, 2^24)] plus tags.
+    let id_bits = (3 * ((n as f64).log2().ceil() as usize)).max(24);
+    let budget = 2 * id_bits + 16;
+    for alg in Algorithm::all() {
+        let r = run_algorithm(alg, &g, 5).unwrap();
+        t.row(vec![
+            alg.name().to_string(),
+            r.max_message_bits.to_string(),
+            budget.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+/// E14 — energy motivation (§1.2).
+fn e14() {
+    header(
+        "E14 (motivation, §1.2)",
+        "Sensor-network energy: awake rounds cost 60 mW, deep sleep 5 µW — awake complexity is the energy bill",
+    );
+    let n = 4096;
+    let mut rng = SmallRng::seed_from_u64(6);
+    let r_geo = (10.0 / (std::f64::consts::PI * n as f64)).sqrt();
+    let g = generators::random_geometric(n, r_geo, &mut rng);
+    let model = EnergyModel::default();
+    let mut t = Table::new(vec![
+        "algorithm",
+        "awake max",
+        "radio-on energy, worst node (mJ)",
+        "incl. 5 µW sleep draw (mJ)",
+        "latency (rounds)",
+    ]);
+    for alg in [Algorithm::AwakeMis, Algorithm::Luby] {
+        let r = run_algorithm(alg, &g, 6).unwrap();
+        let awake_only = model.awake_energy_mj(r.awake_max);
+        let with_sleep =
+            model.max_node_energy_mj(&r.metrics.awake_rounds, &r.metrics.terminated_at);
+        t.row(vec![
+            alg.name().to_string(),
+            r.awake_max.to_string(),
+            format!("{awake_only:.3}"),
+            format!("{with_sleep:.3}"),
+            r.rounds.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(the paper's metric is the radio-on column — awake rounds ≈ energy; the sleep-draw");
+    println!("column shows why round complexity still matters when deep sleep isn't free)\n");
+}
+
+/// E15 — Lemma 9/16: LDT broadcast & ranking in O(1) awake.
+fn e15() {
+    header(
+        "E15 (Lemma 9/16)",
+        "Over a built LDT, broadcast and ranking cost O(1) awake rounds and O(n') rounds",
+    );
+    let mut t = Table::new(vec!["n'", "op", "awake max", "rounds"]);
+    for &n in &[64usize, 512, 4096] {
+        let g = generators::cycle(n);
+        let id_upper = ((n as u64).pow(3)).max(1 << 24);
+        let ids: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut seen = std::collections::HashSet::new();
+            let mut ids = Vec::new();
+            while ids.len() < n {
+                let id = rng.gen_range(1..=id_upper);
+                if seen.insert(id) {
+                    ids.push(id);
+                }
+            }
+            ids
+        };
+        let nodes = (0..n)
+            .map(|v| {
+                Standalone::new(ConstructAwake::new(ConstructParams {
+                    my_id: ids[v],
+                    id_upper,
+                    k: n as u32,
+                }))
+            })
+            .collect();
+        let built = Simulator::new(g.clone(), nodes, SimConfig::seeded(9)).run().unwrap();
+        for op in ["broadcast", "ranking"] {
+            let (awake, rounds) = if op == "broadcast" {
+                let nodes = (0..n)
+                    .map(|v| {
+                        let tr = built.outputs[v].tree.clone();
+                        let payload = tr.is_root().then_some(7u64);
+                        Standalone::new(LdtBroadcast::new(tr, payload))
+                    })
+                    .collect();
+                let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(1)).run().unwrap();
+                (rep.metrics.awake_complexity(), rep.metrics.round_complexity())
+            } else {
+                let nodes = (0..n)
+                    .map(|v| {
+                        Standalone::new(LdtRanking::new(n as u32, built.outputs[v].tree.clone()))
+                    })
+                    .collect();
+                let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(1)).run().unwrap();
+                (rep.metrics.awake_complexity(), rep.metrics.round_complexity())
+            };
+            t.row(vec![n.to_string(), op.to_string(), awake.to_string(), rounds.to_string()]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+/// E16 — extension (paper conclusion): maximal matching in the sleeping
+/// model via Awake-MIS on the line graph.
+fn e16() {
+    header(
+        "E16 (extension, §7)",
+        "Maximal matching = MIS(L(G)): O(log log m) awake per edge process",
+    );
+    let mut t = Table::new(vec![
+        "n", "m = |L(G)| processes", "awake max", "awake avg", "matched edges", "maximal?",
+    ]);
+    for &n in &[256usize, 1024, 4096] {
+        let g = Family::Er.generate(n, 13);
+        let r = awake_mis_core::maximal_matching(&g, AwakeMisConfig::default(), 13).unwrap();
+        t.row(vec![
+            n.to_string(),
+            g.m().to_string(),
+            r.metrics.awake_complexity().to_string(),
+            format!("{:.1}", r.metrics.awake_average()),
+            r.matching.len().to_string(),
+            (r.failures == 0 && awake_mis_core::is_maximal_matching(&g, &r.matching)).to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+/// E17 — extension (paper conclusion): (Δ+1)-coloring via Linial's
+/// product.
+fn e17() {
+    header(
+        "E17 (extension, §7)",
+        "(Δ+1)-coloring = MIS(G □ K_{Δ+1}): O(log log nΔ) awake per palette process",
+    );
+    let mut t = Table::new(vec![
+        "n", "Δ+1", "product size", "awake max", "colors used", "proper?",
+    ]);
+    for &n in &[128usize, 512, 2048] {
+        let g = Family::Er.generate(n, 14);
+        let palette = g.max_degree() + 1;
+        let r = awake_mis_core::coloring(&g, palette, AwakeMisConfig::default(), 14).unwrap();
+        t.row(vec![
+            n.to_string(),
+            palette.to_string(),
+            (n * palette).to_string(),
+            r.metrics.awake_complexity().to_string(),
+            awake_mis_core::colors_used(&r.colors).to_string(),
+            (r.failures == 0 && awake_mis_core::is_proper_coloring(&g, &r.colors, palette))
+                .to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+// Silence unused warnings for items only used in some experiment subsets.
+#[allow(dead_code)]
+fn _unused(_: &Graph, _: &LdtMis, _: LdtMisParams, _: LdtStrategy, _: MisState) {}

@@ -1,0 +1,16 @@
+//! Monte Carlo failure-rate estimation on an adversarial instance
+//! (both endpoints of the only edge must land in the same batch for the
+//! failure machinery to even be exercised).
+use awake_mis_core::{AwakeMis, AwakeMisConfig};
+use sleeping_congest::{SimConfig, Simulator};
+fn main() {
+    let g = graphgen::Graph::from_edges(5, &[(0, 1)]).unwrap();
+    let mut fails = 0u64;
+    const RUNS: u64 = 50_000;
+    for seed in 0..RUNS {
+        let nodes = (0..5).map(|_| AwakeMis::new(AwakeMisConfig::default())).collect();
+        let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+        fails += rep.outputs.iter().filter(|o| o.failed).count().min(1) as u64;
+    }
+    println!("failure rate on the adversarial pair graph: {fails}/{RUNS}");
+}

@@ -1,0 +1,147 @@
+//! `(Δ+1)`-coloring in the sleeping model — the second of the paper's
+//! concluding open directions.
+//!
+//! Linial's reduction: run MIS on the product graph `G □ K_{Δ+1}`
+//! (see [`graphgen::products::coloring_product`]). Any MIS of the
+//! product selects **exactly one** color node `(v, c)` per original
+//! node `v` (independence in `v`'s palette clique forbids two; if `v`
+//! had none, each of its ≤ Δ neighbors blocks at most one of the Δ+1
+//! colors, leaving an undominated `(v, c)` — contradicting maximality),
+//! and the selected colors are proper along every edge. Running
+//! `Awake-MIS` on the product therefore yields a
+//! **`(Δ+1)`-coloring in `O(log log (nΔ))` awake rounds** per
+//! node-color process.
+
+use crate::state::MisState;
+use crate::{AwakeMis, AwakeMisConfig};
+use graphgen::products::coloring_product;
+use graphgen::Graph;
+use sleeping_congest::{Metrics, SimConfig, SimError, Simulator};
+
+/// Result of a sleeping-model coloring computation.
+#[derive(Debug, Clone)]
+pub struct ColoringResult {
+    /// `colors[v]` is node `v`'s color in `0..palette` (`None` only on
+    /// Monte Carlo failure).
+    pub colors: Vec<Option<u32>>,
+    /// Per-process failure count.
+    pub failures: usize,
+    /// Metrics of the run **on the product graph**.
+    pub metrics: Metrics,
+}
+
+/// Computes a `palette`-coloring of `g` (requires
+/// `palette ≥ Δ(g) + 1`) by running `Awake-MIS` on the coloring
+/// product.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `palette < Δ(g) + 1` (the reduction's guarantee needs the
+/// full palette).
+pub fn coloring(
+    g: &Graph,
+    palette: usize,
+    config: AwakeMisConfig,
+    seed: u64,
+) -> Result<ColoringResult, SimError> {
+    assert!(
+        palette > g.max_degree(),
+        "palette {} too small for max degree {}",
+        palette,
+        g.max_degree()
+    );
+    let product = coloring_product(g, palette);
+    let nodes = (0..product.n()).map(|_| AwakeMis::new(config)).collect();
+    let report = Simulator::new(product, nodes, SimConfig::seeded(seed)).run()?;
+    let failures = report.outputs.iter().filter(|o| o.failed).count();
+    let mut colors: Vec<Option<u32>> = vec![None; g.n()];
+    for (i, o) in report.outputs.iter().enumerate() {
+        if o.state == MisState::InMis {
+            let v = i / palette;
+            let c = (i % palette) as u32;
+            debug_assert!(colors[v].is_none(), "two colors selected for node {v}");
+            colors[v] = Some(c);
+        }
+    }
+    Ok(ColoringResult { colors, failures, metrics: report.metrics })
+}
+
+/// Whether `colors` is a proper coloring of `g` with every node
+/// colored inside `0..palette`.
+pub fn is_proper_coloring(g: &Graph, colors: &[Option<u32>], palette: usize) -> bool {
+    if colors.len() != g.n() {
+        return false;
+    }
+    if colors.iter().any(|c| c.is_none_or(|c| c as usize >= palette)) {
+        return false;
+    }
+    g.edges().all(|(u, v)| colors[u as usize] != colors[v as usize])
+}
+
+/// Number of distinct colors actually used.
+pub fn colors_used(colors: &[Option<u32>]) -> usize {
+    let mut seen: Vec<u32> = colors.iter().flatten().copied().collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn check(g: &Graph, seed: u64) {
+        let palette = g.max_degree() + 1;
+        let r = coloring(g, palette, AwakeMisConfig::default(), seed).unwrap();
+        assert_eq!(r.failures, 0);
+        assert!(
+            is_proper_coloring(g, &r.colors, palette),
+            "bad coloring on n={} Δ={}: {:?}",
+            g.n(),
+            g.max_degree(),
+            r.colors
+        );
+    }
+
+    #[test]
+    fn colors_small_graphs() {
+        check(&generators::path(10), 1);
+        check(&generators::cycle(9), 2);
+        check(&generators::complete(6), 3);
+        check(&generators::star(8), 4);
+    }
+
+    #[test]
+    fn colors_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for seed in 0..3 {
+            let g = generators::gnp(30, 0.15, &mut rng);
+            check(&g, seed);
+        }
+    }
+
+    #[test]
+    fn verifier_detects_flaws() {
+        let g = generators::path(3);
+        assert!(is_proper_coloring(&g, &[Some(0), Some(1), Some(0)], 3));
+        assert!(!is_proper_coloring(&g, &[Some(0), Some(0), Some(1)], 3)); // improper
+        assert!(!is_proper_coloring(&g, &[Some(0), None, Some(1)], 3)); // uncolored
+        assert!(!is_proper_coloring(&g, &[Some(0), Some(3), Some(0)], 3)); // out of palette
+        assert_eq!(colors_used(&[Some(0), Some(2), Some(0)]), 2);
+    }
+
+    #[test]
+    fn clique_uses_full_palette() {
+        let g = generators::complete(5);
+        let r = coloring(&g, 5, AwakeMisConfig::default(), 9).unwrap();
+        assert!(is_proper_coloring(&g, &r.colors, 5));
+        assert_eq!(colors_used(&r.colors), 5);
+    }
+}

@@ -1,0 +1,183 @@
+//! Sequential (randomized) greedy MIS — the algorithm whose distributed
+//! implementation is the heart of the paper (§4.3).
+//!
+//! Processing nodes in order `v₁, …, vₙ` and adding each node unless a
+//! neighbor was already added yields the **lexicographically first MIS**
+//! (LFMIS) with respect to that ordering. These functions are the ground
+//! truth that the distributed algorithms are tested against, and the
+//! direct way to measure the *residual sparsity* property (Lemma 2).
+
+use crate::state::MisState;
+use graphgen::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The LFMIS of `g` with respect to `order` (a permutation of all
+/// nodes): `result[v]` is true iff `v` is in the MIS.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..n`.
+pub fn lfmis(g: &Graph, order: &[NodeId]) -> Vec<bool> {
+    let n = g.n();
+    assert_eq!(order.len(), n, "order must cover all {n} nodes");
+    let mut seen = vec![false; n];
+    for &v in order {
+        assert!(!std::mem::replace(&mut seen[v as usize], true), "duplicate node {v} in order");
+    }
+    let mut in_mis = vec![false; n];
+    let mut blocked = vec![false; n];
+    for &v in order {
+        if !blocked[v as usize] {
+            in_mis[v as usize] = true;
+            for &u in g.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    in_mis
+}
+
+/// Runs randomized greedy MIS: draws a uniform order and returns
+/// `(order, lfmis(g, order))`.
+pub fn random_greedy(g: &Graph, rng: &mut impl Rng) -> (Vec<NodeId>, Vec<bool>) {
+    let mut order: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    order.shuffle(rng);
+    let mis = lfmis(g, &order);
+    (order, mis)
+}
+
+/// The residual graph after processing a prefix: nodes beyond the prefix
+/// that are neither in the prefix's LFMIS nor adjacent to it.
+///
+/// Returns `(residual_nodes, max_residual_degree)` where the degree is
+/// measured inside `G[V_{t'} \ N(M_t)]` for `t' = upto` and `t = prefix`
+/// — exactly the quantity bounded by **Lemma 2**:
+/// `max degree ≤ (t'/t)·ln(n/ε)` with probability `1 − ε`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ prefix < upto ≤ n`.
+pub fn residual_degree(g: &Graph, order: &[NodeId], prefix: usize, upto: usize) -> (Vec<NodeId>, usize) {
+    let n = g.n();
+    assert!(prefix >= 1 && prefix < upto && upto <= n, "need 1 <= prefix < upto <= n");
+    let mut blocked = vec![false; n];
+    for &v in &order[..prefix] {
+        if !blocked[v as usize] {
+            // v joins M_t.
+            blocked[v as usize] = true;
+            for &u in g.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    // Note: `blocked` marks N(M_t) (M_t itself included).
+    let residual: Vec<NodeId> =
+        order[..upto].iter().copied().filter(|&v| !blocked[v as usize]).collect();
+    let in_residual = {
+        let mut f = vec![false; n];
+        for &v in &residual {
+            f[v as usize] = true;
+        }
+        f
+    };
+    let maxdeg = residual
+        .iter()
+        .map(|&v| g.neighbors(v).iter().filter(|&&u| in_residual[u as usize]).count())
+        .max()
+        .unwrap_or(0);
+    (residual, maxdeg)
+}
+
+/// Converts a membership vector into per-node [`MisState`]s.
+pub fn to_states(in_mis: &[bool]) -> Vec<MisState> {
+    in_mis.iter().map(|&b| if b { MisState::InMis } else { MisState::NotInMis }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lfmis_on_path_identity_order() {
+        let g = generators::path(5);
+        let order: Vec<NodeId> = (0..5).collect();
+        assert_eq!(lfmis(&g, &order), vec![true, false, true, false, true]);
+    }
+
+    #[test]
+    fn lfmis_respects_order() {
+        let g = generators::path(3);
+        assert_eq!(lfmis(&g, &[1, 0, 2]), vec![false, true, false]);
+        assert_eq!(lfmis(&g, &[0, 2, 1]), vec![true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_bad_order() {
+        let g = generators::path(3);
+        lfmis(&g, &[0, 0, 1]);
+    }
+
+    #[test]
+    fn random_greedy_is_valid_mis() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let g = generators::gnp(40, 0.15, &mut rng);
+            let (_, mis) = random_greedy(&g, &mut rng);
+            assert!(crate::verify::is_mis(&g, &mis), "greedy output must be an MIS");
+        }
+    }
+
+    #[test]
+    fn residual_degree_shrinks() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::gnp(300, 0.2, &mut rng);
+        let mut order: Vec<NodeId> = (0..300).collect();
+        order.shuffle(&mut rng);
+        let (_, d_small_prefix) = residual_degree(&g, &order, 10, 300);
+        let (_, d_large_prefix) = residual_degree(&g, &order, 150, 300);
+        assert!(
+            d_large_prefix <= d_small_prefix,
+            "larger prefixes must not increase residual degree ({d_large_prefix} > {d_small_prefix})"
+        );
+    }
+
+    #[test]
+    fn residual_nodes_have_no_mis_neighbors() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::gnp(60, 0.2, &mut rng);
+        let mut order: Vec<NodeId> = (0..60).collect();
+        order.shuffle(&mut rng);
+        let (residual, _) = residual_degree(&g, &order, 20, 60);
+        // Recompute the prefix MIS and confirm residual nodes avoid it.
+        let mut blocked = [false; 60];
+        let mut mis = Vec::new();
+        for &v in &order[..20] {
+            if !blocked[v as usize] {
+                mis.push(v);
+                blocked[v as usize] = true;
+                for &u in g.neighbors(v) {
+                    blocked[u as usize] = true;
+                }
+            }
+        }
+        for &r in &residual {
+            assert!(!mis.contains(&r));
+            for &u in g.neighbors(r) {
+                assert!(!mis.contains(&u), "residual node {r} adjacent to MIS node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_conversion() {
+        assert_eq!(
+            to_states(&[true, false]),
+            vec![MisState::InMis, MisState::NotInMis]
+        );
+    }
+}

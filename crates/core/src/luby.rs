@@ -1,0 +1,147 @@
+//! Luby-style randomized MIS — the classical `O(log n)`-round baseline
+//! (Luby, STOC 1986; Alon–Babai–Itai 1986), run in the sleeping model
+//! with every live node awake each round.
+//!
+//! Each round every undecided node draws a fresh random priority and
+//! broadcasts it; a node whose priority is strictly smaller than all
+//! priorities received from undecided neighbors joins the MIS. A node
+//! that has decided broadcasts its final state once more and terminates,
+//! so its awake complexity equals (twice) the number of rounds it stays
+//! undecided — `Θ(log n)` w.h.p., the baseline Awake-MIS beats
+//! exponentially.
+
+use crate::state::MisState;
+use graphgen::Port;
+use rand::Rng;
+use sleeping_congest::{bits_for_value, Action, MessageSize, NodeCtx, Outbox, Protocol};
+
+/// One Luby round's message: the sender's state, plus its priority when
+/// undecided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LubyMsg {
+    /// "I am still competing, with this priority."
+    Competing(u64),
+    /// "I have decided."
+    Decided(bool), // true = in MIS
+}
+
+impl MessageSize for LubyMsg {
+    fn bits(&self) -> usize {
+        1 + match self {
+            LubyMsg::Competing(p) => bits_for_value(*p),
+            LubyMsg::Decided(_) => 1,
+        }
+    }
+}
+
+/// The Luby baseline protocol for one node.
+#[derive(Debug, Clone, Default)]
+pub struct Luby {
+    state: MisState,
+    priority: u64,
+    announced: bool,
+    finished: bool,
+}
+
+impl Luby {
+    /// Creates a Luby node (no parameters: priorities are drawn from the
+    /// node's private randomness each round).
+    pub fn new() -> Luby {
+        Luby::default()
+    }
+}
+
+impl Protocol for Luby {
+    type Msg = LubyMsg;
+    type Output = MisState;
+
+    fn send(&mut self, ctx: &mut NodeCtx) -> Outbox<LubyMsg> {
+        match self.state {
+            MisState::Undecided => {
+                self.priority = ctx.rng.gen();
+                Outbox::Broadcast(LubyMsg::Competing(self.priority))
+            }
+            s => {
+                self.announced = true;
+                Outbox::Broadcast(LubyMsg::Decided(s == MisState::InMis))
+            }
+        }
+    }
+
+    fn receive(&mut self, _ctx: &mut NodeCtx, inbox: &[(Port, LubyMsg)]) -> Action {
+        if self.announced {
+            // Final state went out this round; nothing left to do.
+            self.finished = true;
+            return Action::Terminate;
+        }
+        debug_assert_eq!(self.state, MisState::Undecided);
+        let mut beaten = false;
+        for (_, m) in inbox {
+            match m {
+                LubyMsg::Decided(true) => {
+                    self.state = MisState::NotInMis;
+                    return Action::Continue; // announce next round
+                }
+                LubyMsg::Decided(false) => {}
+                LubyMsg::Competing(p) => {
+                    if *p <= self.priority {
+                        beaten = true;
+                    }
+                }
+            }
+        }
+        if !beaten {
+            self.state = MisState::InMis;
+        }
+        Action::Continue
+    }
+
+    fn output(&self) -> MisState {
+        assert!(self.finished, "Luby output read before completion");
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_mis, states_to_set};
+    use graphgen::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sleeping_congest::{SimConfig, Simulator};
+
+    #[test]
+    fn luby_computes_mis_on_many_graphs() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for trial in 0..15 {
+            let g = generators::gnp(50, 0.1, &mut rng);
+            let nodes = (0..50).map(|_| Luby::new()).collect();
+            let report =
+                Simulator::new(g.clone(), nodes, SimConfig::seeded(trial)).run().expect("run");
+            check_mis(&g, &report.outputs).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        }
+    }
+
+    #[test]
+    fn luby_awake_is_round_count() {
+        // All nodes stay awake until they terminate: awake == rounds for
+        // the longest-lived node.
+        let g = generators::complete(20);
+        let nodes = (0..20).map(|_| Luby::new()).collect();
+        let report = Simulator::new(g, nodes, SimConfig::seeded(8)).run().unwrap();
+        assert_eq!(report.metrics.awake_complexity(), report.metrics.round_complexity());
+        let set = states_to_set(&report.outputs).unwrap();
+        // A clique MIS is a single node.
+        assert_eq!(set.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_join_quickly() {
+        let g = graphgen::Graph::empty(5);
+        let nodes = (0..5).map(|_| Luby::new()).collect();
+        let report = Simulator::new(g, nodes, SimConfig::seeded(1)).run().unwrap();
+        assert!(report.outputs.iter().all(|&s| s == MisState::InMis));
+        assert!(report.metrics.awake_complexity() <= 2);
+    }
+}

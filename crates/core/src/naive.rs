@@ -1,0 +1,64 @@
+//! The naive distributed greedy MIS — the `O(I)`-awake baseline that
+//! `VT-MIS` improves exponentially (paper §5.3).
+//!
+//! All nodes stay awake for `I` rounds; in round `r` everyone sends its
+//! state and the node with ID `r` joins unless a neighbor is already in
+//! the MIS. Output equals the LFMIS of the ID order, like `VT-MIS`, but
+//! the awake complexity is `Θ(I)` instead of `O(log I)`.
+
+use crate::state::{MisMsg, MisState};
+use graphgen::Port;
+use sleeping_congest::{Action, NodeCtx, Outbox, Protocol};
+
+/// The naive greedy protocol for one node.
+#[derive(Debug, Clone)]
+pub struct NaiveGreedy {
+    id: u64,
+    i_max: u64,
+    state: MisState,
+    finished: bool,
+}
+
+impl NaiveGreedy {
+    /// Node with `id ∈ [1, i_max]`; the algorithm runs `i_max` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in `[1, i_max]`.
+    pub fn new(id: u64, i_max: u64) -> NaiveGreedy {
+        assert!(id >= 1 && id <= i_max, "id {id} outside [1, {i_max}]");
+        NaiveGreedy { id, i_max, state: MisState::Undecided, finished: false }
+    }
+}
+
+impl Protocol for NaiveGreedy {
+    type Msg = MisMsg;
+    type Output = MisState;
+
+    fn send(&mut self, _ctx: &mut NodeCtx) -> Outbox<MisMsg> {
+        Outbox::Broadcast(MisMsg(self.state))
+    }
+
+    fn receive(&mut self, ctx: &mut NodeCtx, inbox: &[(Port, MisMsg)]) -> Action {
+        let r = ctx.round + 1; // paper rounds are 1-based
+        if self.state == MisState::Undecided
+            && inbox.iter().any(|&(_, MisMsg(s))| s == MisState::InMis)
+        {
+            self.state = MisState::NotInMis;
+        }
+        if r == self.id && self.state == MisState::Undecided {
+            self.state = MisState::InMis;
+        }
+        if r >= self.i_max {
+            self.finished = true;
+            Action::Terminate
+        } else {
+            Action::Continue
+        }
+    }
+
+    fn output(&self) -> MisState {
+        assert!(self.finished, "naive greedy output read before completion");
+        self.state
+    }
+}

@@ -1,0 +1,47 @@
+//! MIS decision states and the basic MIS wire message.
+
+use sleeping_congest::MessageSize;
+
+/// A node's MIS decision state (`state_v` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MisState {
+    /// Not yet decided.
+    #[default]
+    Undecided,
+    /// Joined the MIS.
+    InMis,
+    /// Excluded (a neighbor joined the MIS).
+    NotInMis,
+}
+
+impl MisState {
+    /// Whether the node has committed to a final answer.
+    pub fn is_decided(self) -> bool {
+        self != MisState::Undecided
+    }
+}
+
+/// A broadcast of one's MIS state: the basic message of `VT-MIS` and of
+/// Awake-MIS communication rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MisMsg(pub MisState);
+
+impl MessageSize for MisMsg {
+    fn bits(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decided() {
+        assert!(!MisState::Undecided.is_decided());
+        assert!(MisState::InMis.is_decided());
+        assert!(MisState::NotInMis.is_decided());
+        assert_eq!(MisState::default(), MisState::Undecided);
+        assert_eq!(MisMsg(MisState::InMis).bits(), 2);
+    }
+}

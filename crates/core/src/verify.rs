@@ -1,0 +1,99 @@
+//! MIS verifiers used by every test and experiment in the workspace.
+
+use crate::state::MisState;
+use graphgen::{Graph, NodeId};
+
+/// Whether `set` (membership by node) is independent in `g`.
+pub fn is_independent(g: &Graph, set: &[bool]) -> bool {
+    g.edges().all(|(u, v)| !(set[u as usize] && set[v as usize]))
+}
+
+/// Whether `set` is maximal: every node is in the set or adjacent to it.
+pub fn is_maximal(g: &Graph, set: &[bool]) -> bool {
+    (0..g.n() as NodeId).all(|v| {
+        set[v as usize] || g.neighbors(v).iter().any(|&u| set[u as usize])
+    })
+}
+
+/// Whether `set` is a maximal independent set of `g`.
+pub fn is_mis(g: &Graph, set: &[bool]) -> bool {
+    is_independent(g, set) && is_maximal(g, set)
+}
+
+/// Whether `set` equals the LFMIS of `g` with respect to `order`.
+pub fn is_lfmis(g: &Graph, order: &[NodeId], set: &[bool]) -> bool {
+    crate::greedy::lfmis(g, order) == set
+}
+
+/// Converts distributed outputs into a membership vector.
+///
+/// # Errors
+///
+/// Returns the id of the first node still undecided.
+pub fn states_to_set(states: &[MisState]) -> Result<Vec<bool>, NodeId> {
+    states
+        .iter()
+        .enumerate()
+        .map(|(v, s)| match s {
+            MisState::InMis => Ok(true),
+            MisState::NotInMis => Ok(false),
+            MisState::Undecided => Err(v as NodeId),
+        })
+        .collect()
+}
+
+/// Detailed MIS check, reporting the first violation found.
+///
+/// # Errors
+///
+/// Describes an undecided node, an intra-set edge, or a non-dominated
+/// node.
+pub fn check_mis(g: &Graph, states: &[MisState]) -> Result<(), String> {
+    let set = states_to_set(states).map_err(|v| format!("node {v} is undecided"))?;
+    for (u, v) in g.edges() {
+        if set[u as usize] && set[v as usize] {
+            return Err(format!("nodes {u} and {v} are adjacent and both in the set"));
+        }
+    }
+    for v in 0..g.n() as NodeId {
+        if !set[v as usize] && !g.neighbors(v).iter().any(|&u| set[u as usize]) {
+            return Err(format!("node {v} is neither in the set nor dominated"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::generators;
+
+    #[test]
+    fn path_checks() {
+        let g = generators::path(4);
+        assert!(is_mis(&g, &[true, false, true, false]));
+        assert!(is_mis(&g, &[false, true, false, true]));
+        assert!(!is_independent(&g, &[true, true, false, false]));
+        assert!(!is_maximal(&g, &[true, false, false, false]));
+        assert!(!is_mis(&g, &[false, false, false, false]));
+    }
+
+    #[test]
+    fn lfmis_check() {
+        let g = generators::path(3);
+        assert!(is_lfmis(&g, &[0, 1, 2], &[true, false, true]));
+        assert!(!is_lfmis(&g, &[1, 0, 2], &[true, false, true]));
+    }
+
+    #[test]
+    fn state_conversion_and_check() {
+        use MisState::*;
+        let g = generators::path(3);
+        assert!(check_mis(&g, &[InMis, NotInMis, InMis]).is_ok());
+        assert!(check_mis(&g, &[InMis, Undecided, InMis]).unwrap_err().contains("undecided"));
+        assert!(check_mis(&g, &[InMis, InMis, NotInMis]).unwrap_err().contains("adjacent"));
+        assert!(check_mis(&g, &[NotInMis, NotInMis, InMis]).unwrap_err().contains("dominated"));
+        assert_eq!(states_to_set(&[InMis, NotInMis]), Ok(vec![true, false]));
+        assert_eq!(states_to_set(&[InMis, Undecided]), Err(1));
+    }
+}

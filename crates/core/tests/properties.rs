@@ -1,0 +1,104 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use awake_mis_core::greedy::{lfmis, random_greedy, residual_degree};
+use awake_mis_core::{is_mis, states_to_set, AwakeMis, AwakeMisConfig, Luby, MisState, VtMis};
+use graphgen::{Graph, NodeId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sleeping_congest::{SimConfig, Simulator, Standalone};
+
+/// Strategy: a random simple graph with up to `max_n` nodes.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n, any::<u64>(), 0.0f64..0.4).prop_map(|(n, seed, p)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        graphgen::generators::gnp(n, p, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sequential greedy always outputs a valid MIS, and its output
+    /// is invariant under the LFMIS fixed point: running greedy again
+    /// with MIS nodes first reproduces it (composability sanity).
+    #[test]
+    fn sequential_greedy_invariants(g in arb_graph(60), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (order, mis) = random_greedy(&g, &mut rng);
+        prop_assert!(is_mis(&g, &mis));
+        // LFMIS prefix-composability: the LFMIS of the order restricted
+        // to "MIS first, rest after" is the same set.
+        let mut order2: Vec<NodeId> = order.clone();
+        order2.sort_by_key(|&v| !mis[v as usize]);
+        prop_assert_eq!(lfmis(&g, &order2), mis);
+    }
+
+    /// VT-MIS equals the sequential LFMIS exactly, for arbitrary graphs
+    /// and arbitrary ID permutations.
+    #[test]
+    fn vt_mis_matches_lfmis(g in arb_graph(40), seed in any::<u64>()) {
+        let n = g.n();
+        let mut ids: Vec<u64> = (1..=n as u64).collect();
+        ids.shuffle(&mut SmallRng::seed_from_u64(seed));
+        let nodes = (0..n).map(|v| Standalone::new(VtMis::new(ids[v], n as u64, None))).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+        let set = states_to_set(&report.outputs).unwrap();
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.sort_by_key(|&v| ids[v as usize]);
+        prop_assert_eq!(set, lfmis(&g, &order));
+    }
+
+    /// Luby always outputs a valid MIS.
+    #[test]
+    fn luby_always_valid(g in arb_graph(50), seed in any::<u64>()) {
+        let nodes = (0..g.n()).map(|_| Luby::new()).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+        let set = states_to_set(&report.outputs).unwrap();
+        prop_assert!(is_mis(&g, &set));
+    }
+
+    /// Awake-MIS always outputs a valid MIS (Monte Carlo: the proptest
+    /// run doubles as a failure-rate estimate — any failure fails the
+    /// property).
+    #[test]
+    fn awake_mis_always_valid(g in arb_graph(48), seed in any::<u64>()) {
+        let nodes = (0..g.n()).map(|_| AwakeMis::new(AwakeMisConfig::default())).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+        prop_assert!(report.outputs.iter().all(|o| !o.failed));
+        let states: Vec<MisState> = report.outputs.iter().map(|o| o.state).collect();
+        let set = states_to_set(&states).map_err(|v| {
+            TestCaseError::fail(format!("node {v} undecided"))
+        })?;
+        prop_assert!(is_mis(&g, &set));
+    }
+
+    /// Lemma 2 (residual sparsity): the measured residual degree never
+    /// exceeds the bound with ε = 1/n... the bound holds *w.h.p.*, so we
+    /// allow the generous ε = n⁻² form used by `residual_profile`.
+    #[test]
+    fn residual_sparsity_bound(seed in any::<u64>(), n in 50usize..150) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graphgen::generators::gnp(n, 0.3, &mut rng);
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.shuffle(&mut rng);
+        let t = n / 4;
+        let (_, d) = residual_degree(&g, &order, t, 2 * t);
+        let bound = 2.0 * ((n * n) as f64).ln();
+        prop_assert!((d as f64) <= bound, "residual degree {d} above {bound}");
+    }
+
+    /// Awake-complexity invariant: the per-node awake counts measured by
+    /// the engine always bound the average, and no node exceeds the
+    /// virtual-tree + window budget by construction.
+    #[test]
+    fn awake_accounting_consistent(g in arb_graph(40), seed in any::<u64>()) {
+        let nodes = (0..g.n()).map(|_| AwakeMis::new(AwakeMisConfig::default())).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+        let m = &report.metrics;
+        prop_assert!(m.awake_average() <= m.awake_complexity() as f64 + 1e-9);
+        prop_assert_eq!(m.messages_sent, m.messages_delivered + m.messages_lost);
+        prop_assert!(m.active_rounds <= m.round_complexity());
+    }
+}

@@ -1,0 +1,256 @@
+//! Integration tests for `VT-MIS`, the naive greedy baseline, and
+//! `LDT-MIS` (both strategies), run through the simulator.
+
+use awake_mis_core::greedy::lfmis;
+use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams, LdtStrategy};
+use awake_mis_core::{check_mis, is_mis, states_to_set, MisState, NaiveGreedy, VtMis};
+use graphgen::{generators, Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sleeping_congest::{Metrics, SimConfig, Simulator, Standalone};
+
+/// A random permutation id assignment: node v gets `ids[v] ∈ [1, n]`.
+fn permutation_ids(n: usize, seed: u64) -> Vec<u64> {
+    let mut ids: Vec<u64> = (1..=n as u64).collect();
+    ids.shuffle(&mut SmallRng::seed_from_u64(seed));
+    ids
+}
+
+/// The processing order corresponding to an id assignment.
+fn order_of(ids: &[u64]) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..ids.len() as NodeId).collect();
+    order.sort_by_key(|&v| ids[v as usize]);
+    order
+}
+
+fn zoo(seed: u64) -> Vec<(String, Graph)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    vec![
+        ("path20".into(), generators::path(20)),
+        ("cycle15".into(), generators::cycle(15)),
+        ("star16".into(), generators::star(16)),
+        ("clique10".into(), generators::complete(10)),
+        ("grid5x6".into(), generators::grid(5, 6)),
+        ("tree25".into(), generators::random_tree(25, &mut rng)),
+        ("gnp50".into(), generators::gnp(50, 0.1, &mut rng)),
+        ("gnp30-dense".into(), generators::gnp(30, 0.35, &mut rng)),
+        (
+            "forest".into(),
+            generators::disjoint_union(&[
+                generators::path(7),
+                generators::complete(5),
+                Graph::empty(4),
+            ]),
+        ),
+    ]
+}
+
+fn run_vt(g: &Graph, ids: &[u64], i_max: u64, seed: u64) -> (Vec<MisState>, Metrics) {
+    let nodes =
+        (0..g.n()).map(|v| Standalone::new(VtMis::new(ids[v], i_max, None))).collect();
+    let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().expect("run");
+    (report.outputs, report.metrics)
+}
+
+#[test]
+fn vt_mis_equals_sequential_lfmis_exactly() {
+    // The theorem behind Lemma 10: VT-MIS output is the LFMIS of the ID
+    // order, bit for bit, on every topology and many orders.
+    for (name, g) in zoo(3) {
+        for seed in 0..5u64 {
+            let ids = permutation_ids(g.n(), seed * 31 + 7);
+            let (states, _) = run_vt(&g, &ids, g.n() as u64, seed);
+            let set = states_to_set(&states)
+                .unwrap_or_else(|v| panic!("{name}: node {v} undecided"));
+            let expect = lfmis(&g, &order_of(&ids));
+            assert_eq!(set, expect, "{name} seed {seed}: VT-MIS deviates from LFMIS");
+        }
+    }
+}
+
+#[test]
+fn vt_mis_awake_is_logarithmic_naive_is_linear() {
+    // Lemma 10 vs the naive baseline: exponential separation in I.
+    for n in [32usize, 128, 512] {
+        let g = generators::cycle(n);
+        let ids = permutation_ids(n, 1);
+        let (_, m_vt) = run_vt(&g, &ids, n as u64, 5);
+        let bound = (n as f64).log2() + 2.0;
+        assert!(
+            (m_vt.awake_complexity() as f64) <= bound,
+            "n = {n}: VT-MIS awake {} > {bound}",
+            m_vt.awake_complexity()
+        );
+
+        let nodes = (0..n).map(|v| NaiveGreedy::new(ids[v], n as u64)).collect();
+        let report = Simulator::new(g, nodes, SimConfig::seeded(5)).run().unwrap();
+        assert_eq!(report.metrics.awake_complexity(), n as u64, "naive greedy is Θ(I) awake");
+    }
+}
+
+#[test]
+fn naive_greedy_equals_lfmis() {
+    for (name, g) in zoo(11) {
+        let ids = permutation_ids(g.n(), 99);
+        let nodes = (0..g.n()).map(|v| NaiveGreedy::new(ids[v], g.n() as u64)).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(2)).run().unwrap();
+        let set = states_to_set(&report.outputs).unwrap();
+        assert_eq!(set, lfmis(&g, &order_of(&ids)), "{name}");
+    }
+}
+
+#[test]
+fn vt_mis_with_sparse_id_space() {
+    // IDs need not be a permutation: any distinct ids in [1, I] work.
+    let g = generators::gnp(40, 0.12, &mut SmallRng::seed_from_u64(8));
+    let mut rng = SmallRng::seed_from_u64(21);
+    let mut ids: Vec<u64> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while ids.len() < 40 {
+        let id = rng.gen_range(1..=100_000u64);
+        if seen.insert(id) {
+            ids.push(id);
+        }
+    }
+    let (states, m) = run_vt(&g, &ids, 100_000, 4);
+    let set = states_to_set(&states).unwrap();
+    assert_eq!(set, lfmis(&g, &order_of(&ids)));
+    // Awake stays logarithmic in I even when I >> n...
+    assert!(m.awake_complexity() <= 18, "awake {}", m.awake_complexity());
+    // ...while round complexity is Θ(I).
+    assert!(m.round_complexity() <= 100_000);
+}
+
+fn run_ldt_mis(
+    g: &Graph,
+    strategy: LdtStrategy,
+    seed: u64,
+) -> (Vec<awake_mis_core::LdtMisOutput>, Metrics) {
+    let n = g.n();
+    let id_upper = ((n.max(4) as u64).pow(3)).max(1 << 24);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x51ED);
+    let mut seen = std::collections::HashSet::new();
+    let mut ids = Vec::with_capacity(n);
+    while ids.len() < n {
+        let id = rng.gen_range(1..=id_upper);
+        if seen.insert(id) {
+            ids.push(id);
+        }
+    }
+    let nodes = (0..n)
+        .map(|v| {
+            Standalone::new(LdtMis::new(LdtMisParams {
+                my_id: ids[v],
+                id_upper,
+                k: n.max(1) as u32,
+                strategy,
+            }))
+        })
+        .collect();
+    let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().expect("run");
+    (report.outputs, report.metrics)
+}
+
+#[test]
+fn ldt_mis_outputs_valid_mis() {
+    for (name, g) in zoo(17) {
+        for seed in [1u64, 2] {
+            let (outs, _) = run_ldt_mis(&g, LdtStrategy::Awake, seed);
+            assert!(outs.iter().all(|o| !o.failed), "{name} seed {seed}: failures");
+            let states: Vec<MisState> = outs.iter().map(|o| o.state).collect();
+            check_mis(&g, &states).unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn ldt_mis_round_strategy_outputs_valid_mis() {
+    for (name, g) in zoo(23) {
+        let (outs, _) = run_ldt_mis(&g, LdtStrategy::Round, 3);
+        assert!(outs.iter().all(|o| !o.failed), "{name}: failures");
+        let states: Vec<MisState> = outs.iter().map(|o| o.state).collect();
+        check_mis(&g, &states).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn ldt_mis_output_is_lfmis_of_some_order() {
+    // Lemma 11: the output equals the LFMIS of a uniformly random order
+    // of each component. We verify the weaker (but checkable without
+    // peeking into the protocol) consequence: the output is an MIS, and
+    // on a *tree* every MIS arising from some order — reconstruct one
+    // greedy order consistent with the output and check it reproduces
+    // the output exactly.
+    let g = generators::path(30);
+    let (outs, _) = run_ldt_mis(&g, LdtStrategy::Awake, 9);
+    let set: Vec<bool> = outs.iter().map(|o| o.state == MisState::InMis).collect();
+    assert!(is_mis(&g, &set));
+    // Order: all InMis nodes first, then the rest. The LFMIS of this
+    // order equals `set` iff `set` is an MIS (standard fact); this
+    // certifies output consistency with *some* sequential greedy run.
+    let mut order: Vec<NodeId> = (0..30).collect();
+    order.sort_by_key(|&v| !set[v as usize]);
+    assert_eq!(lfmis(&g, &order), set);
+}
+
+#[test]
+fn ldt_mis_component_sizes_reported() {
+    let g = generators::disjoint_union(&[
+        generators::complete(6),
+        generators::path(4),
+        Graph::empty(2),
+    ]);
+    let (outs, _) = run_ldt_mis(&g, LdtStrategy::Awake, 5);
+    for (v, o) in outs.iter().enumerate() {
+        match v {
+            0..=5 => assert_eq!(o.comp_size, 6, "clique node {v}"),
+            6..=9 => assert_eq!(o.comp_size, 4, "path node {v}"),
+            _ => {
+                assert_eq!(o.comp_size, 1, "isolated node {v}");
+                assert_eq!(o.state, MisState::InMis);
+            }
+        }
+    }
+}
+
+#[test]
+fn ldt_mis_awake_complexity_shape() {
+    // Lemma 11: O(log n' + n'·log n'/log I) awake. On a single
+    // component of size n' = n with I = n^3, the permutation-broadcast
+    // term n'·log n'/log I = Θ(n'/3) dominates — check both terms with
+    // explicit constants.
+    for n in [16usize, 64, 256] {
+        let g = generators::cycle(n);
+        let (_, m) = run_ldt_mis(&g, LdtStrategy::Awake, 6);
+        let log2n = (n as f64).log2();
+        let log2i = ((n as f64).powi(3)).log2().max(6.0);
+        let bound = 16.0 * (log2n + 2.0) + 6.0 * (n as f64 * log2n / log2i);
+        assert!(
+            (m.awake_complexity() as f64) <= bound,
+            "n = {n}: LDT-MIS awake {} > {bound:.0}",
+            m.awake_complexity()
+        );
+    }
+    // The term that matters for Awake-MIS: on *small* components
+    // (K = O(log n), the shattered regime) the whole pipeline is cheap.
+    // ~11 awake rounds per merge phase × O(log 8) phases + ranking +
+    // permutation + VT ⇒ low three digits, independent of the number of
+    // components (they run concurrently).
+    let g = generators::disjoint_union(&vec![generators::path(8); 32]);
+    let (_, m) = run_ldt_mis(&g, LdtStrategy::Awake, 6);
+    assert!(
+        m.awake_complexity() <= 130,
+        "shattered components: awake {} too large",
+        m.awake_complexity()
+    );
+}
+
+#[test]
+fn ldt_mis_is_deterministic_per_seed() {
+    let g = generators::gnp(25, 0.2, &mut SmallRng::seed_from_u64(31));
+    let (a, ma) = run_ldt_mis(&g, LdtStrategy::Awake, 12);
+    let (b, mb) = run_ldt_mis(&g, LdtStrategy::Awake, 12);
+    assert_eq!(a, b);
+    assert_eq!(ma.awake_rounds, mb.awake_rounds);
+}

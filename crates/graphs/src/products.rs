@@ -1,0 +1,162 @@
+//! Derived graphs: line graphs and the MIS→coloring product.
+//!
+//! These power the paper's concluding open direction — *"design
+//! algorithms for other symmetry breaking problems such as maximal
+//! matching, coloring"* — via the classical reductions: a maximal
+//! matching of `G` is an MIS of the line graph `L(G)`, and an MIS of
+//! `G □ K_{Δ+1}` (one clique per node, one "parallel" edge per color
+//! class) assigns every node exactly one color of a proper
+//! `(Δ+1)`-coloring.
+
+use crate::graph::{Graph, NodeId};
+
+/// The line graph `L(G)`: one node per edge of `G`, adjacent iff the
+/// edges share an endpoint. Returns the line graph and the map from
+/// line-graph node id to the original edge `(u, v)` (with `u < v`).
+///
+/// The construction is `O(Σ_v deg(v)²)` — the number of line-graph
+/// edges.
+pub fn line_graph(g: &Graph) -> (Graph, Vec<(NodeId, NodeId)>) {
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let mut edge_id = std::collections::HashMap::with_capacity(edges.len());
+    for (i, &e) in edges.iter().enumerate() {
+        edge_id.insert(e, i as NodeId);
+    }
+    let mut ledges: Vec<(NodeId, NodeId)> = Vec::new();
+    for v in 0..g.n() as NodeId {
+        let nb = g.neighbors(v);
+        for i in 0..nb.len() {
+            for j in (i + 1)..nb.len() {
+                let a = edge_id[&(v.min(nb[i]), v.max(nb[i]))];
+                let b = edge_id[&(v.min(nb[j]), v.max(nb[j]))];
+                ledges.push((a.min(b), a.max(b)));
+            }
+        }
+    }
+    let lg = Graph::from_edges(edges.len(), &ledges).expect("line graph is valid");
+    (lg, edges)
+}
+
+/// Linial's coloring product: the graph on nodes `(v, c)` for
+/// `c ∈ 0..palette` with
+///
+/// * a clique over `{(v, 0), …, (v, palette−1)}` for every `v`, and
+/// * an edge `(v, c) — (u, c)` for every edge `{u, v}` of `G` and every
+///   color `c`.
+///
+/// An MIS of this product contains **exactly one** `(v, c)` per node
+/// `v` whenever `palette ≥ Δ(G) + 1`, and the selected colors form a
+/// proper coloring of `G`. Product node ids are `v * palette + c`.
+///
+/// # Panics
+///
+/// Panics if `palette == 0`.
+pub fn coloring_product(g: &Graph, palette: usize) -> Graph {
+    assert!(palette >= 1, "palette must be non-empty");
+    let n = g.n();
+    let id = |v: NodeId, c: usize| v * palette as NodeId + c as NodeId;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for v in 0..n as NodeId {
+        for c1 in 0..palette {
+            for c2 in (c1 + 1)..palette {
+                edges.push((id(v, c1), id(v, c2)));
+            }
+        }
+    }
+    for (u, v) in g.edges() {
+        for c in 0..palette {
+            edges.push((id(u, c), id(v, c)));
+        }
+    }
+    Graph::from_edges(n * palette, &edges).expect("coloring product is valid")
+}
+
+/// The complete bipartite graph `K_{a,b}` (left part first).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a as NodeId {
+        for v in 0..b as NodeId {
+            edges.push((u, a as NodeId + v));
+        }
+    }
+    Graph::from_edges(a + b, &edges).expect("biclique is valid")
+}
+
+/// A barbell: two `K_k` cliques joined by a path of `bridge` extra
+/// nodes — a classic "hard to shatter locally" shape.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    let mut edges = Vec::new();
+    let clique = |base: NodeId, edges: &mut Vec<(NodeId, NodeId)>| {
+        for i in 0..k as NodeId {
+            for j in (i + 1)..k as NodeId {
+                edges.push((base + i, base + j));
+            }
+        }
+    };
+    clique(0, &mut edges);
+    let right = (k + bridge) as NodeId;
+    clique(right, &mut edges);
+    // Bridge path from node k-1 through bridge nodes to node `right`.
+    let mut prev = (k - 1) as NodeId;
+    for b in 0..bridge as NodeId {
+        edges.push((prev, k as NodeId + b));
+        prev = k as NodeId + b;
+    }
+    edges.push((prev, right));
+    Graph::from_edges(2 * k + bridge, &edges).expect("barbell is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn line_graph_of_path() {
+        // P4 has 3 edges forming a path in the line graph.
+        let (lg, map) = line_graph(&generators::path(4));
+        assert_eq!(lg.n(), 3);
+        assert_eq!(lg.m(), 2);
+        assert_eq!(map, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn line_graph_of_star_is_clique() {
+        let (lg, _) = line_graph(&generators::star(5));
+        assert_eq!(lg.n(), 4);
+        assert_eq!(lg.m(), 6); // K4
+    }
+
+    #[test]
+    fn line_graph_of_triangle_is_triangle() {
+        let (lg, _) = line_graph(&generators::cycle(3));
+        assert_eq!(lg.n(), 3);
+        assert_eq!(lg.m(), 3);
+    }
+
+    #[test]
+    fn coloring_product_shape() {
+        let g = generators::path(3); // Δ = 2, palette 3
+        let p = coloring_product(&g, 3);
+        assert_eq!(p.n(), 9);
+        // 3 cliques of K3 (3 edges each) + 2 edges × 3 colors.
+        assert_eq!(p.m(), 9 + 6);
+        // (v=0,c=0) is adjacent to (v=1,c=0) and its own clique.
+        assert!(p.has_edge(0, 3));
+        assert!(p.has_edge(0, 1));
+        assert!(!p.has_edge(0, 4)); // different node, different color
+    }
+
+    #[test]
+    fn bipartite_and_barbell() {
+        let b = complete_bipartite(3, 4);
+        assert_eq!(b.n(), 7);
+        assert_eq!(b.m(), 12);
+        assert!(!b.has_edge(0, 1)); // same side
+
+        let bb = barbell(4, 2);
+        assert_eq!(bb.n(), 10);
+        assert_eq!(bb.m(), 6 + 6 + 3);
+        assert!(crate::props::is_connected(&bb));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests on the graph substrate.
+
+use graphgen::{generators, io, products, props, Graph};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..80, any::<u64>(), 0.0f64..0.5).prop_map(|(n, seed, p)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generators::gnp(n, p, &mut rng)
+    })
+}
+
+proptest! {
+    /// Port numbering is an involution: following a port and its
+    /// reverse returns to the start.
+    #[test]
+    fn ports_are_involutive(g in arb_graph()) {
+        for v in 0..g.n() as u32 {
+            for p in 0..g.degree(v) as u32 {
+                let (u, q) = g.endpoint(v, p);
+                prop_assert_eq!(g.endpoint(u, q), (v, p));
+                prop_assert_ne!(u, v);
+            }
+        }
+    }
+
+    /// Degrees sum to twice the edge count; neighbor lists are sorted
+    /// and duplicate-free.
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let sum: usize = (0..g.n() as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.m());
+        for v in 0..g.n() as u32 {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Edge-list serialization round-trips.
+    #[test]
+    fn io_roundtrip(g in arb_graph()) {
+        let text = io::to_edge_list(&g);
+        prop_assert_eq!(io::parse_edge_list(&text).unwrap(), g);
+    }
+
+    /// Component labels are consistent with edges, and sizes sum to n.
+    #[test]
+    fn component_consistency(g in arb_graph()) {
+        let (labels, count) = props::connected_components(&g);
+        for (u, v) in g.edges() {
+            prop_assert_eq!(labels[u as usize], labels[v as usize]);
+        }
+        prop_assert!(labels.iter().all(|&l| (l as usize) < count));
+        prop_assert_eq!(props::component_sizes(&g).iter().sum::<usize>(), g.n());
+    }
+
+    /// Induced subgraphs keep exactly the kept-node edges.
+    #[test]
+    fn induced_edges(g in arb_graph(), keep_bits in any::<u64>()) {
+        let keep: Vec<u32> =
+            (0..g.n() as u32).filter(|&v| keep_bits >> (v % 64) & 1 == 1).collect();
+        let (h, map) = g.induced(&keep);
+        prop_assert_eq!(h.n(), map.len());
+        for (a, b) in h.edges() {
+            prop_assert!(g.has_edge(map[a as usize], map[b as usize]));
+        }
+        // Edge count matches a direct count over kept pairs.
+        let kept: std::collections::HashSet<u32> = map.iter().copied().collect();
+        let direct = g
+            .edges()
+            .filter(|&(u, v)| kept.contains(&u) && kept.contains(&v))
+            .count();
+        prop_assert_eq!(h.m(), direct);
+    }
+
+    /// The line graph has one node per edge and Σ C(deg, 2) edges.
+    #[test]
+    fn line_graph_counts(g in arb_graph()) {
+        let (lg, map) = products::line_graph(&g);
+        prop_assert_eq!(lg.n(), g.m());
+        prop_assert_eq!(map.len(), g.m());
+        let expect: usize =
+            (0..g.n() as u32).map(|v| g.degree(v) * g.degree(v).saturating_sub(1) / 2).sum();
+        prop_assert_eq!(lg.m(), expect);
+    }
+
+    /// Degeneracy is at most the max degree and the ordering is a
+    /// permutation.
+    #[test]
+    fn degeneracy_bounds(g in arb_graph()) {
+        let (d, order) = props::degeneracy(&g);
+        prop_assert!(d <= g.max_degree());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..g.n() as u32).collect::<Vec<_>>());
+    }
+}

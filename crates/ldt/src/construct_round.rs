@@ -1,0 +1,1207 @@
+//! Round-efficient deterministic LDT construction
+//! (`LDT-Construct-Round`, paper Appendix A.2).
+//!
+//! Like [`crate::construct::ConstructAwake`], fragments merge in phases;
+//! unlike it, merging is **deterministic**: every phase *every* fragment
+//! merges with at least one other (so `⌈log₂ n′⌉ + 1` phases always
+//! suffice), at the price of an `O(log* I)` factor in awake complexity
+//! from simulating a Cole–Vishkin coloring of the fragment supergraph.
+//!
+//! Each phase follows the paper's three stages:
+//!
+//! 1. **Stage 1** — every fragment finds its minimum outgoing edge
+//!    (gather/scatter wave), marks it across the cut (side round), and
+//!    detects *core edges* (edges chosen from both sides). The smaller-ID
+//!    fragment of each core edge is the root of its supergraph tree
+//!    `T_i`.
+//! 2. **Stage 2** — the fragments of each `T_i` 6-color themselves with
+//!    Cole–Vishkin steps (each step: a side round moving parent colors
+//!    across edges plus a wave updating the fragment color), compute a
+//!    maximal matching in 6 color-indexed subphases, and unmatched
+//!    fragments attach to their parent (the root attaches to a child).
+//!    The matched/attach edges form a forest of small-depth trees (SDTs,
+//!    diameter ≤ 4).
+//! 3. **Stage 3** — each SDT elects its minimum fragment ID as the core
+//!    (5 side+wave iterations cover diameter 4), then merges onto the
+//!    core in 4 re-rooting waves, exactly as in the awake strategy.
+//!
+//! Every node is awake `O(log* I)` rounds per phase, giving
+//! `O(log n′ · log* I)` awake complexity and `O(n′ log n′ log* I)` round
+//! complexity — the shape of paper Lemma 7 / Lemma 15.
+
+use crate::construct::{ceil_log2, ConstructParams, LdtOutput};
+use crate::msg::ConstructMsg;
+use crate::state::{EdgeKey, PortInfo, TreeState};
+use crate::wave::WaveSchedule;
+use graphgen::Port;
+use sleeping_congest::{NodeCtx, Outbox, Round, SubAction, SubProtocol};
+
+/// Number of Cole–Vishkin iterations needed to reach 6 colors starting
+/// from colors below `2^initial_bits`.
+pub fn cv_iterations(initial_bits: u32) -> u32 {
+    let mut max_color: u64 = if initial_bits >= 64 { u64::MAX } else { (1u64 << initial_bits) - 1 };
+    let mut iters = 0;
+    while max_color > 5 {
+        let bits = 64 - max_color.leading_zeros() as u64;
+        max_color = 2 * (bits - 1) + 1;
+        iters += 1;
+    }
+    iters
+}
+
+/// One Cole–Vishkin color-reduction step: the index of the lowest bit
+/// where `own` and `parent` differ, shifted up, plus that bit of `own`.
+pub fn cv_step(own: u64, parent: u64) -> u64 {
+    let idx = (own ^ parent).trailing_zeros().min(63) as u64;
+    2 * idx + ((own >> idx) & 1)
+}
+
+/// Phases provisioned for components of at most `k` nodes (fragment
+/// count at least halves every phase).
+pub fn round_phase_budget(k: u32) -> u64 {
+    ceil_log2(k.max(2) as u64) + 2
+}
+
+/// The op sequence of one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ROp {
+    /// Wave: min outgoing edge → decision.
+    GsDecide,
+    /// Side: mark chosen edges across cuts; detect core edges.
+    SideChosen,
+    /// Wave: determine whether this fragment roots its `T_i`.
+    GsRootFlag,
+    /// Side: move parent colors down `T_i` edges.
+    SideColor,
+    /// Wave: apply one Cole–Vishkin step.
+    GsColor,
+    /// Side: children report (matched, color) to parents.
+    SideStatus,
+    /// Wave: fragments of this color pick an unmatched child.
+    GsMatch(u8),
+    /// Side: tell the picked child it is matched.
+    SideMatchInform,
+    /// Wave: disseminate "we got matched" inside the child fragment.
+    GsGotMatched,
+    /// Wave: unmatched `T_i` roots pick a child to attach to.
+    GsRootAttach,
+    /// Side: mark attach edges (F-edges) across cuts.
+    SideAttach,
+    /// Side: exchange SDT minima across F-edges.
+    SideSdtMin,
+    /// Wave: fold SDT minima into the fragment register.
+    GsSdtMin,
+    /// Side: merged fragments announce (depth, core) over F-edges.
+    SideMerged,
+    /// Side: attaching endpoints acknowledge, so the merged side adopts
+    /// them as children.
+    SideMergeAck,
+    /// Wave: re-root fragments that heard the merge wavefront.
+    Reroot,
+    /// Side: refresh neighbor fragment IDs.
+    SideRefresh,
+}
+
+impl ROp {
+    fn is_wave(self) -> bool {
+        matches!(
+            self,
+            ROp::GsDecide
+                | ROp::GsRootFlag
+                | ROp::GsColor
+                | ROp::GsMatch(_)
+                | ROp::GsGotMatched
+                | ROp::GsRootAttach
+                | ROp::GsSdtMin
+                | ROp::Reroot
+        )
+    }
+}
+
+fn build_ops(cv_iters: u32) -> Vec<ROp> {
+    let mut ops = vec![ROp::GsDecide, ROp::SideChosen, ROp::GsRootFlag];
+    for _ in 0..cv_iters {
+        ops.push(ROp::SideColor);
+        ops.push(ROp::GsColor);
+    }
+    for c in 0..6u8 {
+        ops.push(ROp::SideStatus);
+        ops.push(ROp::GsMatch(c));
+        ops.push(ROp::SideMatchInform);
+        ops.push(ROp::GsGotMatched);
+    }
+    ops.push(ROp::GsRootAttach);
+    ops.push(ROp::SideAttach);
+    for _ in 0..5 {
+        ops.push(ROp::SideSdtMin);
+        ops.push(ROp::GsSdtMin);
+    }
+    for _ in 0..4 {
+        ops.push(ROp::SideMerged);
+        ops.push(ROp::SideMergeAck);
+        ops.push(ROp::Reroot);
+    }
+    ops.push(ROp::SideRefresh);
+    ops
+}
+
+/// Rounds in one phase of the round strategy.
+pub fn round_phase_len(k: u32, id_upper: u64) -> u64 {
+    let w = 2 * k as u64 + 1;
+    let cv = cv_iterations(64 - id_upper.leading_zeros());
+    build_ops(cv).iter().map(|op| if op.is_wave() { w } else { 1 }).sum()
+}
+
+/// Total local-round budget of [`ConstructRound`].
+pub fn round_round_budget(k: u32, id_upper: u64) -> u64 {
+    1 + round_phase_budget(k) * round_phase_len(k, id_upper)
+}
+
+/// Per-phase scratch registers.
+#[derive(Debug, Clone, Default)]
+struct Regs {
+    up_edge: Option<EdgeKey>,
+    up_val: Option<u64>,
+    up_flag: bool,
+    chosen: Option<EdgeKey>,
+    complete: bool,
+    owner_port: Option<Port>,
+    core_root_candidate: bool,
+    is_ti_root: bool,
+    color: u64,
+    parent_color: Option<u64>,
+    matched: bool,
+    child_status: Vec<(Port, bool)>, // unmatched child ports this subphase
+    hold_match_edge: Option<Port>,   // child port my fragment matched/attached through
+    got_matched: bool,
+    sdt_min: u64,
+    side_min_heard: Option<u64>,
+    reroot_val: Option<(u64, u32)>,
+    id_changed: bool,
+    child_edge: Vec<bool>,
+    f_edge: Vec<bool>,
+}
+
+/// The `LDT-Construct-Round` subprotocol (one instance per node).
+#[derive(Debug, Clone)]
+pub struct ConstructRound {
+    params: ConstructParams,
+    wave: WaveSchedule,
+    ops: Vec<ROp>,
+    starts: Vec<Round>,
+    phase_len: Round,
+    n_phases: u64,
+    tree: TreeState,
+    pending: Option<TreeState>,
+    ports: Vec<PortInfo>,
+    regs: Regs,
+    agenda: Vec<Round>,
+    cur_phase: u64,
+    cur_op: usize,
+    finished: bool,
+    ok: bool,
+    phases_used: u64,
+}
+
+impl ConstructRound {
+    /// Creates the subprotocol for one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.k == 0` or `params.my_id` is outside
+    /// `[1, id_upper]`.
+    pub fn new(params: ConstructParams) -> ConstructRound {
+        assert!(params.k >= 1, "component bound k must be >= 1");
+        assert!(
+            params.my_id >= 1 && params.my_id <= params.id_upper,
+            "id {} outside [1, {}]",
+            params.my_id,
+            params.id_upper
+        );
+        let wave = WaveSchedule::new(params.k);
+        let cv = cv_iterations(64 - params.id_upper.leading_zeros());
+        let ops = build_ops(cv);
+        let w = wave.block_len();
+        let mut starts = Vec::with_capacity(ops.len());
+        let mut acc = 0;
+        for op in &ops {
+            starts.push(acc);
+            acc += if op.is_wave() { w } else { 1 };
+        }
+        ConstructRound {
+            params,
+            wave,
+            phase_len: acc,
+            n_phases: round_phase_budget(params.k),
+            ops,
+            starts,
+            tree: TreeState::singleton(params.my_id),
+            pending: None,
+            ports: Vec::new(),
+            regs: Regs::default(),
+            agenda: Vec::new(),
+            cur_phase: 0,
+            cur_op: 0,
+            finished: false,
+            ok: false,
+            phases_used: 0,
+        }
+    }
+
+    fn my_id(&self) -> u64 {
+        self.params.my_id
+    }
+
+    fn op_start(&self, phase: u64, op: usize) -> Round {
+        1 + phase * self.phase_len + self.starts[op]
+    }
+
+    fn locate(&self, lr: Round) -> (u64, usize, Round) {
+        debug_assert!(lr >= 1);
+        let rel = lr - 1;
+        let phase = rel / self.phase_len;
+        let within = rel % self.phase_len;
+        let op = match self.starts.binary_search(&within) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (phase, op, within - self.starts[op])
+    }
+
+    fn cross_ports(&self) -> impl Iterator<Item = Port> + '_ {
+        self.ports
+            .iter()
+            .enumerate()
+            .filter(|(_, pi)| pi.participant && pi.fragment_id != self.tree.root_id)
+            .map(|(p, _)| p as Port)
+    }
+
+    fn local_candidate(&self) -> Option<EdgeKey> {
+        self.cross_ports()
+            .map(|p| EdgeKey::new(self.my_id(), self.ports[p as usize].neighbor_id))
+            .min()
+    }
+
+    fn child_edge_ports(&self) -> impl Iterator<Item = Port> + '_ {
+        self.regs.child_edge.iter().enumerate().filter(|(_, &b)| b).map(|(p, _)| p as Port)
+    }
+
+    fn f_edge_ports(&self) -> impl Iterator<Item = Port> + '_ {
+        self.regs.f_edge.iter().enumerate().filter(|(_, &b)| b).map(|(p, _)| p as Port)
+    }
+
+    fn merged(&self) -> bool {
+        self.tree.root_id == self.regs.sdt_min
+    }
+
+    /// Wake offsets of a full-fragment gather/scatter wave.
+    fn wave_agenda(&self, base: Round) -> Vec<Round> {
+        let d = self.tree.depth;
+        let mut v = Vec::new();
+        if !self.tree.children_ports.is_empty() {
+            v.extend(self.wave.up_receive(d));
+        }
+        if self.tree.parent_port.is_some() {
+            v.extend(self.wave.up_send(d));
+            v.extend(self.wave.down_receive(d));
+        }
+        if self.tree.is_root() || !self.tree.children_ports.is_empty() {
+            v.extend(self.wave.down_send(d));
+        }
+        v.into_iter().map(|o| base + o).collect()
+    }
+
+    fn initial_agenda(&self, phase: u64, op: usize) -> Vec<Round> {
+        let base = self.op_start(phase, op);
+        let d = self.tree.depth;
+        let mut v: Vec<Round> = Vec::new();
+        match self.ops[op] {
+            ROp::GsDecide | ROp::GsRootFlag | ROp::GsColor | ROp::GsSdtMin => {
+                v = self.wave_agenda(base);
+            }
+            ROp::SideChosen => {
+                if self.regs.owner_port.is_some() || self.cross_ports().next().is_some() {
+                    v.push(base);
+                }
+            }
+            ROp::SideColor => {
+                let sends = self.child_edge_ports().next().is_some();
+                let listens = self.regs.owner_port.is_some() && !self.regs.is_ti_root;
+                if sends || listens {
+                    v.push(base);
+                }
+            }
+            ROp::SideStatus => {
+                let sends = self.regs.owner_port.is_some() && !self.regs.is_ti_root;
+                let listens = self.child_edge_ports().next().is_some();
+                if sends || listens {
+                    v.push(base);
+                }
+            }
+            ROp::GsMatch(c) => {
+                if self.regs.color == c as u64 && !self.regs.matched && !self.regs.complete {
+                    v = self.wave_agenda(base);
+                }
+            }
+            ROp::SideMatchInform => {
+                let sends = self.regs.hold_match_edge.is_some();
+                let listens = self.regs.owner_port.is_some() && !self.regs.matched;
+                if sends || listens {
+                    v.push(base);
+                }
+            }
+            ROp::GsGotMatched => {
+                if !self.regs.matched {
+                    v = self.wave_agenda(base);
+                }
+            }
+            ROp::GsRootAttach => {
+                if self.regs.is_ti_root && !self.regs.matched {
+                    v = self.wave_agenda(base);
+                }
+            }
+            ROp::SideAttach => {
+                let attach_up = !self.regs.matched && !self.regs.is_ti_root;
+                let sends = (attach_up && self.regs.owner_port.is_some())
+                    || self.regs.hold_match_edge.is_some();
+                let listens = self.cross_ports().next().is_some();
+                if sends || listens {
+                    v.push(base);
+                }
+            }
+            ROp::SideSdtMin => {
+                if self.f_edge_ports().next().is_some() {
+                    v.push(base);
+                }
+            }
+            ROp::SideMerged => {
+                if self.f_edge_ports().next().is_some() {
+                    v.push(base);
+                }
+            }
+            ROp::SideMergeAck => {
+                let sends = self.regs.reroot_val.is_some();
+                let listens = self.merged() && self.f_edge_ports().next().is_some();
+                if sends || listens {
+                    v.push(base);
+                }
+            }
+            ROp::Reroot => {
+                if !self.merged() {
+                    if self.regs.reroot_val.is_some() {
+                        if self.tree.parent_port.is_some() {
+                            v.extend(self.wave.up_send(d));
+                        }
+                        if !self.tree.children_ports.is_empty() {
+                            v.extend(self.wave.down_send(d));
+                        }
+                    } else {
+                        if !self.tree.children_ports.is_empty() {
+                            v.extend(self.wave.up_receive(d));
+                        }
+                        if self.tree.parent_port.is_some() {
+                            v.extend(self.wave.down_receive(d));
+                        }
+                    }
+                    v = v.into_iter().map(|o| base + o).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    return v;
+                }
+            }
+            ROp::SideRefresh => {
+                if self.regs.id_changed || self.cross_ports().next().is_some() {
+                    v.push(base);
+                }
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn push_agenda(&mut self, lr: Round) {
+        if let Err(pos) = self.agenda.binary_search(&lr) {
+            self.agenda.insert(pos, lr);
+        }
+    }
+
+    fn advance(&mut self, lr: Round) -> SubAction {
+        loop {
+            if self.finished {
+                return SubAction::Done;
+            }
+            if self.ops[self.cur_op] == ROp::Reroot {
+                if let Some(next) = self.pending.take() {
+                    self.regs.id_changed = next.root_id != self.tree.root_id;
+                    if let Some(p) = next.parent_port {
+                        self.ports[p as usize].fragment_id = next.root_id;
+                    }
+                    self.tree = next;
+                    self.regs.reroot_val = None;
+                }
+            }
+            self.cur_op += 1;
+            if self.cur_op == self.ops.len() {
+                self.cur_op = 0;
+                self.cur_phase += 1;
+                if self.cur_phase >= self.n_phases {
+                    self.finished = true;
+                    self.ok = false;
+                    self.phases_used = self.cur_phase;
+                    return SubAction::Done;
+                }
+                self.reset_phase_regs();
+            }
+            if self.ops[self.cur_op] == ROp::SideStatus {
+                // New matching subphase: one-shot registers start clean.
+                self.regs.up_edge = None;
+                self.regs.up_val = None;
+                self.regs.up_flag = false;
+                self.regs.got_matched = false;
+                self.regs.hold_match_edge = None;
+                self.regs.child_status.clear();
+            }
+            self.agenda = self.initial_agenda(self.cur_phase, self.cur_op);
+            if let Some(&first) = self.agenda.first() {
+                debug_assert!(first > lr, "agenda round {first} not after {lr}");
+                return SubAction::SleepUntil(first);
+            }
+        }
+    }
+
+    fn reset_phase_regs(&mut self) {
+        let deg = self.ports.len();
+        self.regs = Regs {
+            color: self.tree.root_id,
+            sdt_min: self.tree.root_id,
+            child_edge: vec![false; deg],
+            f_edge: vec![false; deg],
+            ..Regs::default()
+        };
+    }
+
+    fn next_action(&mut self, lr: Round) -> SubAction {
+        if self.finished {
+            return SubAction::Done;
+        }
+        if let Some(&next) = self.agenda.iter().find(|&&r| r > lr) {
+            return SubAction::SleepUntil(next);
+        }
+        self.advance(lr)
+    }
+
+    fn fail(&mut self) -> SubAction {
+        self.finished = true;
+        self.ok = false;
+        self.phases_used = self.cur_phase;
+        SubAction::Done
+    }
+
+    fn complete(&mut self) -> SubAction {
+        self.finished = true;
+        self.ok = true;
+        self.phases_used = self.cur_phase + 1;
+        SubAction::Done
+    }
+
+    fn note_owner_port(&mut self) {
+        self.regs.owner_port = None;
+        if let Some(e) = self.regs.chosen {
+            if e.touches(self.my_id()) {
+                let other = if e.lo == self.my_id() { e.hi } else { e.lo };
+                self.regs.owner_port = self
+                    .ports
+                    .iter()
+                    .enumerate()
+                    .find(|(_, pi)| pi.participant && pi.neighbor_id == other)
+                    .map(|(p, _)| p as Port);
+            }
+        }
+    }
+
+    /// Handles the up/down rounds of a full-fragment wave, with
+    /// op-specific combine/decide/apply steps.
+    fn wave_send(&mut self, op: ROp, off: Round) -> Outbox<ConstructMsg> {
+        let d = self.tree.depth;
+        if Some(off) == self.wave.up_send(d) {
+            let p = self.tree.parent_port.expect("up_send implies parent");
+            let msg = match op {
+                ROp::GsDecide => {
+                    ConstructMsg::UpEdge(min_edge(self.regs.up_edge, self.local_candidate()))
+                }
+                ROp::GsRootFlag => {
+                    ConstructMsg::UpFlag(self.regs.up_flag || self.regs.core_root_candidate)
+                }
+                ROp::GsColor => {
+                    ConstructMsg::UpValue(min_val(self.regs.up_val, self.regs.parent_color))
+                }
+                ROp::GsMatch(_) => ConstructMsg::UpEdge(min_edge(
+                    self.regs.up_edge,
+                    self.local_match_candidate(),
+                )),
+                ROp::GsGotMatched => {
+                    ConstructMsg::UpFlag(self.regs.up_flag || self.regs.got_matched)
+                }
+                ROp::GsRootAttach => ConstructMsg::UpEdge(min_edge(
+                    self.regs.up_edge,
+                    self.local_attach_candidate(),
+                )),
+                ROp::GsSdtMin => {
+                    ConstructMsg::UpValue(min_val(self.regs.up_val, self.regs.side_min_heard))
+                }
+                _ => unreachable!("not a wave op"),
+            };
+            Outbox::Unicast(vec![(p, msg)])
+        } else if Some(off) == self.wave.down_send(d) {
+            if self.tree.is_root() {
+                self.decide(op);
+            }
+            if self.tree.children_ports.is_empty() {
+                return Outbox::Silent;
+            }
+            let msg = match op {
+                ROp::GsDecide => ConstructMsg::Decision {
+                    chosen: self.regs.chosen,
+                    head: false,
+                    done: self.regs.complete,
+                },
+                ROp::GsRootFlag => ConstructMsg::DownFlag(self.regs.is_ti_root),
+                ROp::GsColor => ConstructMsg::DownValue(self.regs.color),
+                ROp::GsMatch(_) | ROp::GsRootAttach => {
+                    ConstructMsg::DownEdge(self.regs.up_edge)
+                }
+                ROp::GsGotMatched => ConstructMsg::DownFlag(self.regs.matched),
+                ROp::GsSdtMin => ConstructMsg::DownValue(self.regs.sdt_min),
+                _ => unreachable!("not a wave op"),
+            };
+            Outbox::Unicast(self.tree.children_ports.iter().map(|&p| (p, msg.clone())).collect())
+        } else {
+            Outbox::Silent
+        }
+    }
+
+    /// Root-side decision once the up wave has arrived.
+    fn decide(&mut self, op: ROp) {
+        match op {
+            ROp::GsDecide => {
+                self.regs.chosen = min_edge(self.regs.up_edge, self.local_candidate());
+                self.regs.complete = self.regs.chosen.is_none();
+            }
+            ROp::GsRootFlag => {
+                self.regs.is_ti_root = self.regs.up_flag || self.regs.core_root_candidate;
+            }
+            ROp::GsColor => {
+                let parent = min_val(self.regs.up_val, self.regs.parent_color);
+                let pc = match parent {
+                    Some(c) if !self.regs.is_ti_root => c,
+                    _ => self.regs.color ^ 1,
+                };
+                self.regs.color = cv_step(self.regs.color, pc);
+            }
+            ROp::GsMatch(_) => {
+                self.regs.up_edge = min_edge(self.regs.up_edge, self.local_match_candidate());
+                if self.regs.up_edge.is_some() {
+                    self.regs.matched = true;
+                }
+            }
+            ROp::GsGotMatched
+                if (self.regs.up_flag || self.regs.got_matched) => {
+                    self.regs.matched = true;
+                }
+            ROp::GsRootAttach => {
+                self.regs.up_edge = min_edge(self.regs.up_edge, self.local_attach_candidate());
+            }
+            ROp::GsSdtMin => {
+                self.regs.sdt_min =
+                    min_val(Some(self.regs.sdt_min), min_val(self.regs.up_val, self.regs.side_min_heard))
+                        .expect("sdt_min always set");
+            }
+            _ => {}
+        }
+    }
+
+    /// Candidate edge for the matching wave: my smallest child edge
+    /// leading to an unmatched child fragment.
+    fn local_match_candidate(&self) -> Option<EdgeKey> {
+        self.regs
+            .child_status
+            .iter()
+            .filter(|&&(_, unmatched)| unmatched)
+            .map(|&(p, _)| EdgeKey::new(self.my_id(), self.ports[p as usize].neighbor_id))
+            .min()
+    }
+
+    /// Candidate edge for the root-attach wave: my smallest child edge.
+    fn local_attach_candidate(&self) -> Option<EdgeKey> {
+        self.child_edge_ports()
+            .map(|p| EdgeKey::new(self.my_id(), self.ports[p as usize].neighbor_id))
+            .min()
+    }
+
+    /// Marks the port of an edge this node owns, if any.
+    fn port_of_edge(&self, e: EdgeKey) -> Option<Port> {
+        if !e.touches(self.my_id()) {
+            return None;
+        }
+        let other = if e.lo == self.my_id() { e.hi } else { e.lo };
+        self.ports
+            .iter()
+            .enumerate()
+            .find(|(_, pi)| pi.participant && pi.neighbor_id == other)
+            .map(|(p, _)| p as Port)
+    }
+
+    fn wave_receive(&mut self, op: ROp, off: Round, inbox: &[(Port, ConstructMsg)]) -> Option<SubAction> {
+        let d = self.tree.depth;
+        if Some(off) == self.wave.up_receive(d) {
+            for (_, m) in inbox {
+                match m {
+                    ConstructMsg::UpEdge(e) => self.regs.up_edge = min_edge(self.regs.up_edge, *e),
+                    ConstructMsg::UpValue(v) => self.regs.up_val = min_val(self.regs.up_val, *v),
+                    ConstructMsg::UpFlag(f) => self.regs.up_flag |= f,
+                    _ => {}
+                }
+            }
+        } else if Some(off) == self.wave.down_send(d) && self.tree.is_root() {
+            // Root already decided in the send step of this round.
+            return self.apply_down(op);
+        } else if Some(off) == self.wave.down_receive(d) {
+            for (_, m) in inbox {
+                match m {
+                    ConstructMsg::Decision { chosen, done, .. } => {
+                        self.regs.chosen = *chosen;
+                        self.regs.complete = *done;
+                    }
+                    ConstructMsg::DownFlag(f) => match op {
+                        ROp::GsRootFlag => self.regs.is_ti_root = *f,
+                        ROp::GsGotMatched => self.regs.matched |= f,
+                        _ => {}
+                    },
+                    ConstructMsg::DownValue(v) => match op {
+                        ROp::GsColor => self.regs.color = *v,
+                        ROp::GsSdtMin => self.regs.sdt_min = *v,
+                        _ => {}
+                    },
+                    ConstructMsg::DownEdge(e) => {
+                        self.regs.up_edge = *e; // reuse register for the choice
+                        if e.is_some() && matches!(op, ROp::GsMatch(_)) {
+                            self.regs.matched = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if self.tree.children_ports.is_empty() {
+                return self.apply_down(op);
+            }
+        } else if Some(off) == self.wave.down_send(d) && !self.tree.is_root() {
+            return self.apply_down(op);
+        }
+        None
+    }
+
+    /// Op-specific bookkeeping once this node has both learned and
+    /// forwarded the down-wave value.
+    fn apply_down(&mut self, op: ROp) -> Option<SubAction> {
+        match op {
+            ROp::GsDecide => {
+                if self.regs.complete {
+                    return Some(self.complete());
+                }
+                self.note_owner_port();
+            }
+            ROp::GsMatch(_) | ROp::GsRootAttach => {
+                if let Some(e) = self.regs.up_edge {
+                    if let Some(p) = self.port_of_edge(e) {
+                        if self.regs.child_edge[p as usize] {
+                            self.regs.hold_match_edge = Some(p);
+                            self.regs.f_edge[p as usize] = true;
+                        }
+                    }
+                }
+            }
+            ROp::GsSdtMin => {
+                self.regs.side_min_heard = None;
+            }
+            ROp::GsColor => {
+                self.regs.parent_color = None;
+            }
+            _ => {}
+        }
+        // Clear one-shot up registers for the next wave of the phase.
+        self.regs.up_edge = None;
+        self.regs.up_val = None;
+        self.regs.up_flag = false;
+        None
+    }
+}
+
+impl SubProtocol for ConstructRound {
+    type Msg = ConstructMsg;
+    type Output = LdtOutput;
+
+    fn send(&mut self, lr: Round, _ctx: &mut NodeCtx) -> Outbox<ConstructMsg> {
+        if lr == 0 {
+            return Outbox::Broadcast(ConstructMsg::Hello { id: self.my_id() });
+        }
+        if self.finished {
+            return Outbox::Silent;
+        }
+        let (_, op, off) = self.locate(lr);
+        let op = self.ops[op];
+        match op {
+            ROp::GsDecide
+            | ROp::GsRootFlag
+            | ROp::GsColor
+            | ROp::GsMatch(_)
+            | ROp::GsGotMatched
+            | ROp::GsRootAttach
+            | ROp::GsSdtMin => self.wave_send(op, off),
+            ROp::SideChosen => match self.regs.owner_port {
+                Some(p) => Outbox::Unicast(vec![(
+                    p,
+                    ConstructMsg::Chosen { fragment: self.tree.root_id },
+                )]),
+                None => Outbox::Silent,
+            },
+            ROp::SideColor => {
+                let msgs: Vec<(Port, ConstructMsg)> = self
+                    .child_edge_ports()
+                    .map(|p| (p, ConstructMsg::Color { color: self.regs.color }))
+                    .collect();
+                if msgs.is_empty() {
+                    Outbox::Silent
+                } else {
+                    Outbox::Unicast(msgs)
+                }
+            }
+            ROp::SideStatus => {
+                if !self.regs.is_ti_root {
+                    match self.regs.owner_port {
+                        Some(p) => Outbox::Unicast(vec![(
+                            p,
+                            ConstructMsg::Status {
+                                matched: self.regs.matched,
+                                color: self.regs.color,
+                            },
+                        )]),
+                        None => Outbox::Silent,
+                    }
+                } else {
+                    Outbox::Silent
+                }
+            }
+            ROp::SideMatchInform => match self.regs.hold_match_edge {
+                Some(p) if self.regs.matched => {
+                    Outbox::Unicast(vec![(p, ConstructMsg::MatchInform)])
+                }
+                _ => Outbox::Silent,
+            },
+            ROp::SideAttach => {
+                let mut msgs: Vec<(Port, ConstructMsg)> = Vec::new();
+                if !self.regs.matched && !self.regs.is_ti_root {
+                    if let Some(p) = self.regs.owner_port {
+                        msgs.push((p, ConstructMsg::Attach));
+                    }
+                } else if self.regs.is_ti_root && self.regs.hold_match_edge.is_some() && !self.regs.matched {
+                    msgs.push((self.regs.hold_match_edge.unwrap(), ConstructMsg::Attach));
+                }
+                if msgs.is_empty() {
+                    Outbox::Silent
+                } else {
+                    Outbox::Unicast(msgs)
+                }
+            }
+            ROp::SideSdtMin => {
+                let msgs: Vec<(Port, ConstructMsg)> = self
+                    .f_edge_ports()
+                    .map(|p| (p, ConstructMsg::SdtMin { min_id: self.regs.sdt_min }))
+                    .collect();
+                if msgs.is_empty() {
+                    Outbox::Silent
+                } else {
+                    Outbox::Unicast(msgs)
+                }
+            }
+            ROp::SideMerged => {
+                if self.merged() {
+                    let msgs: Vec<(Port, ConstructMsg)> = self
+                        .f_edge_ports()
+                        .map(|p| {
+                            (
+                                p,
+                                ConstructMsg::Merged {
+                                    depth: self.tree.depth,
+                                    core: self.regs.sdt_min,
+                                },
+                            )
+                        })
+                        .collect();
+                    if msgs.is_empty() {
+                        Outbox::Silent
+                    } else {
+                        Outbox::Unicast(msgs)
+                    }
+                } else {
+                    Outbox::Silent
+                }
+            }
+            ROp::SideMergeAck => match (&self.regs.reroot_val, &self.pending) {
+                (Some(_), Some(t)) => Outbox::Unicast(vec![(
+                    t.parent_port.expect("merge attaches below a parent"),
+                    ConstructMsg::MergeAck,
+                )]),
+                _ => Outbox::Silent,
+            },
+            ROp::Reroot => {
+                let d = self.tree.depth;
+                if Some(off) == self.wave.up_send(d) {
+                    match (self.regs.reroot_val, self.tree.parent_port) {
+                        (Some((nr, nd)), Some(p)) => Outbox::Unicast(vec![(
+                            p,
+                            ConstructMsg::RerootUp { new_root: nr, sender_new_depth: nd },
+                        )]),
+                        _ => Outbox::Silent,
+                    }
+                } else if Some(off) == self.wave.down_send(d) {
+                    match &self.pending {
+                        Some(t) if !self.tree.children_ports.is_empty() => {
+                            let msg = ConstructMsg::Update {
+                                new_root: t.root_id,
+                                sender_new_depth: t.depth,
+                            };
+                            Outbox::Unicast(
+                                self.tree.children_ports.iter().map(|&p| (p, msg.clone())).collect(),
+                            )
+                        }
+                        _ => Outbox::Silent,
+                    }
+                } else {
+                    Outbox::Silent
+                }
+            }
+            ROp::SideRefresh => {
+                if self.regs.id_changed {
+                    let live: Vec<(Port, ConstructMsg)> = self
+                        .ports
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, pi)| pi.participant)
+                        .map(|(p, _)| {
+                            (p as Port, ConstructMsg::FragId { root_id: self.tree.root_id })
+                        })
+                        .collect();
+                    if live.is_empty() {
+                        Outbox::Silent
+                    } else {
+                        Outbox::Unicast(live)
+                    }
+                } else {
+                    Outbox::Silent
+                }
+            }
+        }
+    }
+
+    fn receive(&mut self, lr: Round, ctx: &mut NodeCtx, inbox: &[(Port, ConstructMsg)]) -> SubAction {
+        if lr == 0 {
+            self.ports = vec![PortInfo::unknown(); ctx.degree];
+            let mut ids_seen = vec![self.my_id()];
+            for &(p, ref m) in inbox {
+                if let ConstructMsg::Hello { id } = m {
+                    self.ports[p as usize] =
+                        PortInfo { neighbor_id: *id, fragment_id: *id, participant: true };
+                    ids_seen.push(*id);
+                }
+            }
+            ids_seen.sort_unstable();
+            if ids_seen.windows(2).any(|w| w[0] == w[1]) {
+                return self.fail();
+            }
+            if self.ports.iter().all(|pi| !pi.participant) {
+                return self.complete();
+            }
+            self.reset_phase_regs();
+            self.cur_phase = 0;
+            self.cur_op = 0;
+            self.agenda = self.initial_agenda(0, 0);
+            let first = self.agenda[0];
+            return SubAction::SleepUntil(first);
+        }
+        if self.finished {
+            return SubAction::Done;
+        }
+        let (_, op_idx, off) = self.locate(lr);
+        let op = self.ops[op_idx];
+        match op {
+            ROp::GsDecide
+            | ROp::GsRootFlag
+            | ROp::GsColor
+            | ROp::GsMatch(_)
+            | ROp::GsGotMatched
+            | ROp::GsRootAttach
+            | ROp::GsSdtMin => {
+                if let Some(action) = self.wave_receive(op, off, inbox) {
+                    return action;
+                }
+            }
+            ROp::SideChosen => {
+                for &(p, ref m) in inbox {
+                    if let ConstructMsg::Chosen { .. } = m {
+                        let e = EdgeKey::new(self.my_id(), self.ports[p as usize].neighbor_id);
+                        if self.regs.chosen == Some(e) {
+                            // Both fragments chose this edge: core edge.
+                            // The smaller-ID fragment roots the supertree
+                            // and treats the other as a child.
+                            if self.tree.root_id < self.ports[p as usize].fragment_id {
+                                self.regs.core_root_candidate = true;
+                                self.regs.child_edge[p as usize] = true;
+                            }
+                        } else {
+                            self.regs.child_edge[p as usize] = true;
+                        }
+                    }
+                }
+            }
+            ROp::SideColor => {
+                for &(p, ref m) in inbox {
+                    if let ConstructMsg::Color { color } = m {
+                        if Some(p) == self.regs.owner_port {
+                            self.regs.parent_color = Some(*color);
+                        }
+                    }
+                }
+            }
+            ROp::SideStatus => {
+                self.regs.child_status.clear();
+                for &(p, ref m) in inbox {
+                    if let ConstructMsg::Status { matched, .. } = m {
+                        if self.regs.child_edge[p as usize] {
+                            self.regs.child_status.push((p, !matched));
+                        }
+                    }
+                }
+            }
+            ROp::SideMatchInform => {
+                for (p, m) in inbox {
+                    if matches!(m, ConstructMsg::MatchInform) && Some(*p) == self.regs.owner_port {
+                        self.regs.got_matched = true;
+                        self.regs.f_edge[*p as usize] = true;
+                    }
+                }
+            }
+            ROp::SideAttach => {
+                if !self.regs.matched && !self.regs.is_ti_root {
+                    if let Some(p) = self.regs.owner_port {
+                        // Attaching up our parent edge makes it an F-edge.
+                        self.regs.f_edge[p as usize] = true;
+                    }
+                }
+                for (p, m) in inbox {
+                    if matches!(m, ConstructMsg::Attach) {
+                        self.regs.f_edge[*p as usize] = true;
+                    }
+                }
+            }
+            ROp::SideSdtMin => {
+                for (_, m) in inbox {
+                    if let ConstructMsg::SdtMin { min_id } = m {
+                        self.regs.side_min_heard = min_val(self.regs.side_min_heard, Some(*min_id));
+                    }
+                }
+            }
+            ROp::SideMerged => {
+                if !self.merged() {
+                    for &(p, ref m) in inbox {
+                        if let ConstructMsg::Merged { depth, core } = m {
+                            if self.regs.reroot_val.is_none() {
+                                let my_new = depth + 1;
+                                if my_new as u64 >= self.params.k as u64 {
+                                    return self.fail();
+                                }
+                                let mut children = self.tree.children_ports.clone();
+                                if let Some(old_parent) = self.tree.parent_port {
+                                    push_sorted(&mut children, old_parent);
+                                }
+                                self.regs.reroot_val = Some((*core, my_new));
+                                self.pending = Some(TreeState {
+                                    root_id: *core,
+                                    depth: my_new,
+                                    parent_port: Some(p),
+                                    children_ports: children,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            ROp::SideMergeAck => {
+                if self.merged() {
+                    for &(p, ref m) in inbox {
+                        if matches!(m, ConstructMsg::MergeAck) {
+                            self.tree.add_child(p);
+                            self.ports[p as usize].fragment_id = self.regs.sdt_min;
+                        }
+                    }
+                }
+            }
+            ROp::Reroot => {
+                let d = self.tree.depth;
+                if Some(off) == self.wave.up_receive(d) {
+                    let mut pushes: Vec<Round> = Vec::new();
+                    for &(p, ref m) in inbox {
+                        if let ConstructMsg::RerootUp { new_root, sender_new_depth } = m {
+                            let my_new = sender_new_depth + 1;
+                            if my_new as u64 >= self.params.k as u64 {
+                                return self.fail();
+                            }
+                            let mut children = self.tree.children_ports.clone();
+                            remove_sorted(&mut children, p);
+                            if let Some(old_parent) = self.tree.parent_port {
+                                push_sorted(&mut children, old_parent);
+                            }
+                            self.regs.reroot_val = Some((*new_root, my_new));
+                            self.pending = Some(TreeState {
+                                root_id: *new_root,
+                                depth: my_new,
+                                parent_port: Some(p),
+                                children_ports: children,
+                            });
+                            let base = lr - off;
+                            if self.tree.parent_port.is_some() {
+                                if let Some(us) = self.wave.up_send(d) {
+                                    pushes.push(base + us);
+                                }
+                            }
+                            if !self.tree.children_ports.is_empty() {
+                                if let Some(ds) = self.wave.down_send(d) {
+                                    pushes.push(base + ds);
+                                }
+                            }
+                        }
+                    }
+                    for r in pushes {
+                        self.push_agenda(r);
+                    }
+                } else if Some(off) == self.wave.down_receive(d) {
+                    let mut pushes: Vec<Round> = Vec::new();
+                    for (_, m) in inbox {
+                        if let ConstructMsg::Update { new_root, sender_new_depth } = m {
+                            if self.pending.is_none() {
+                                let my_new = sender_new_depth + 1;
+                                if my_new as u64 >= self.params.k as u64 {
+                                    return self.fail();
+                                }
+                                self.pending = Some(TreeState {
+                                    root_id: *new_root,
+                                    depth: my_new,
+                                    parent_port: self.tree.parent_port,
+                                    children_ports: self.tree.children_ports.clone(),
+                                });
+                                if !self.tree.children_ports.is_empty() {
+                                    let base = lr - off;
+                                    if let Some(ds) = self.wave.down_send(d) {
+                                        pushes.push(base + ds);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for r in pushes {
+                        self.push_agenda(r);
+                    }
+                }
+            }
+            ROp::SideRefresh => {
+                for (p, m) in inbox {
+                    if let ConstructMsg::FragId { root_id } = m {
+                        self.ports[*p as usize].fragment_id = *root_id;
+                    }
+                }
+            }
+        }
+        self.next_action(lr)
+    }
+
+    fn output(&self) -> LdtOutput {
+        assert!(self.finished, "construction output read before completion");
+        LdtOutput {
+            ok: self.ok,
+            tree: self.tree.clone(),
+            ports: self.ports.clone(),
+            phases_used: self.phases_used,
+        }
+    }
+}
+
+fn min_edge(a: Option<EdgeKey>, b: Option<EdgeKey>) -> Option<EdgeKey> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn min_val(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn push_sorted(v: &mut Vec<Port>, x: Port) {
+    if let Err(pos) = v.binary_search(&x) {
+        v.insert(pos, x);
+    }
+}
+
+fn remove_sorted(v: &mut Vec<Port>, x: Port) {
+    if let Ok(pos) = v.binary_search(&x) {
+        v.remove(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cv_iteration_counts() {
+        assert_eq!(cv_iterations(2), 0); // colors already in [0, 3] ⊆ [0, 5]
+        assert_eq!(cv_iterations(3), 1); // 7 -> 5
+        assert_eq!(cv_iterations(64), 4);
+        assert_eq!(cv_iterations(40), 4);
+        assert_eq!(cv_iterations(10), 4);
+    }
+
+    #[test]
+    fn cv_step_properties() {
+        // Proper coloring is preserved: distinct inputs give child != parent
+        // after one step applied to both with their own parents.
+        let own = 0b1011u64;
+        let parent = 0b1001u64;
+        let c = cv_step(own, parent); // differ at bit 1 -> 2*1 + 1 = 3
+        assert_eq!(c, 3);
+        // Root rule: flip bit 0.
+        assert_eq!(cv_step(6, 6 ^ 1), 0); // bit 0 of 6 is 0
+        assert_eq!(cv_step(7, 7 ^ 1), 1);
+    }
+
+    #[test]
+    fn op_sequence_structure() {
+        let ops = build_ops(2);
+        assert_eq!(ops[0], ROp::GsDecide);
+        assert_eq!(*ops.last().unwrap(), ROp::SideRefresh);
+        assert_eq!(ops.iter().filter(|o| matches!(o, ROp::GsMatch(_))).count(), 6);
+        assert_eq!(ops.iter().filter(|o| matches!(o, ROp::Reroot)).count(), 4);
+        assert_eq!(ops.iter().filter(|o| matches!(o, ROp::SideColor)).count(), 2);
+    }
+
+    #[test]
+    fn budgets_monotone() {
+        assert!(round_round_budget(8, 1000) < round_round_budget(16, 1000));
+        assert!(round_phase_budget(4) <= round_phase_budget(64));
+    }
+}

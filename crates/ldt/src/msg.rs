@@ -1,0 +1,216 @@
+//! Wire messages for LDT construction and post-construction operations.
+//!
+//! Sizes are accounted value-wise: a field holding a node ID drawn from
+//! `[1, I]` costs `bits_for_value(value) <= ceil(log2 I)` bits, so with
+//! IDs drawn from a polynomial range every message is `O(log n)` bits —
+//! the CONGEST budget. Enum tags cost [`TAG_BITS`] bits.
+
+use crate::state::EdgeKey;
+use sleeping_congest::{bits_for_value, MessageSize};
+
+/// Bits charged for a message's variant tag.
+pub const TAG_BITS: usize = 5;
+
+/// Messages exchanged during LDT construction (both strategies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstructMsg {
+    /// Hello round: announce participation and the drawn ID.
+    Hello { id: u64 },
+    /// Up wave: the minimum outgoing-edge candidate in the subtree.
+    UpEdge(Option<EdgeKey>),
+    /// Up wave: an optional value (color, SDT minimum, …) combined by min.
+    UpValue(Option<u64>),
+    /// Up wave: a flag combined by OR.
+    UpFlag(bool),
+    /// Down wave (awake strategy): the root's phase decision.
+    Decision {
+        /// The fragment's minimum outgoing edge, if any.
+        chosen: Option<EdgeKey>,
+        /// Randomized merge role for this phase.
+        head: bool,
+        /// No outgoing edge: the fragment spans its whole component.
+        done: bool,
+    },
+    /// Down wave: an edge choice (match/attach decisions).
+    DownEdge(Option<EdgeKey>),
+    /// Down wave: a value (new color, SDT minimum, …).
+    DownValue(u64),
+    /// Down wave: a flag (root status, matched status, …).
+    DownFlag(bool),
+    /// Side: head fragment proposes to merge along its chosen edge.
+    Propose {
+        /// Proposing fragment's ID.
+        fragment: u64,
+    },
+    /// Side: tail fragment accepts a proposal.
+    Accept {
+        /// The accepting fragment's ID (the merged fragment's new ID).
+        root_id: u64,
+        /// Depth of the accepting endpoint (the proposer attaches below
+        /// it).
+        attach_depth: u32,
+    },
+    /// Side: "my fragment chose the edge on this port" (round strategy).
+    Chosen {
+        /// Choosing fragment's ID.
+        fragment: u64,
+    },
+    /// Side: fragment color announcement to child fragments.
+    Color {
+        /// Current Cole–Vishkin color.
+        color: u64,
+    },
+    /// Side: per-phase fragment status used by the matching subphases.
+    Status {
+        /// Whether the sender's fragment is already matched.
+        matched: bool,
+        /// The sender's fragment color.
+        color: u64,
+    },
+    /// Side: "my fragment matched with yours via this edge".
+    MatchInform,
+    /// Side: "my fragment attaches to yours via this edge" (F-edge mark).
+    Attach,
+    /// Side: "my fragment merged under you through this edge" — the
+    /// acknowledgment that lets the receiving endpoint adopt the sender
+    /// as a child (round strategy stage 3).
+    MergeAck,
+    /// Side: SDT minimum exchange between fragments.
+    SdtMin {
+        /// Smallest fragment ID known in the sender's SDT neighborhood.
+        min_id: u64,
+    },
+    /// Side: merge wavefront status (round strategy stage 3).
+    Merged {
+        /// Depth of the sending endpoint in the merged tree.
+        depth: u32,
+        /// The core (new root) ID.
+        core: u64,
+    },
+    /// Wave up: re-rooting wavefront from the attach point to the old
+    /// root; `sender_new_depth` is the sender's depth in the merged tree.
+    RerootUp {
+        /// New tree root (the fragment being merged into).
+        new_root: u64,
+        /// Sender's depth in the merged tree.
+        sender_new_depth: u32,
+    },
+    /// Wave down: new root/depth dissemination to off-path nodes.
+    Update {
+        /// New tree root.
+        new_root: u64,
+        /// Sender's depth in the merged tree.
+        sender_new_depth: u32,
+    },
+    /// Side: post-merge fragment-ID refresh.
+    FragId {
+        /// The sender's (possibly new) fragment ID.
+        root_id: u64,
+    },
+}
+
+fn edge_bits(e: &Option<EdgeKey>) -> usize {
+    1 + e.map_or(0, |e| bits_for_value(e.lo) + bits_for_value(e.hi))
+}
+
+impl MessageSize for ConstructMsg {
+    fn bits(&self) -> usize {
+        TAG_BITS
+            + match self {
+                ConstructMsg::Hello { id } => bits_for_value(*id),
+                ConstructMsg::UpEdge(e) => edge_bits(e),
+                ConstructMsg::UpValue(v) => 1 + v.map_or(0, bits_for_value),
+                ConstructMsg::UpFlag(_) => 1,
+                ConstructMsg::Decision { chosen, .. } => edge_bits(chosen) + 2,
+                ConstructMsg::DownEdge(e) => edge_bits(e),
+                ConstructMsg::DownValue(v) => bits_for_value(*v),
+                ConstructMsg::DownFlag(_) => 1,
+                ConstructMsg::Propose { fragment } => bits_for_value(*fragment),
+                ConstructMsg::Accept { root_id, attach_depth } => {
+                    bits_for_value(*root_id) + bits_for_value(*attach_depth as u64)
+                }
+                ConstructMsg::Chosen { fragment } => bits_for_value(*fragment),
+                ConstructMsg::Color { color } => bits_for_value(*color),
+                ConstructMsg::Status { color, .. } => 1 + bits_for_value(*color),
+                ConstructMsg::MatchInform | ConstructMsg::Attach | ConstructMsg::MergeAck => 0,
+                ConstructMsg::SdtMin { min_id } => bits_for_value(*min_id),
+                ConstructMsg::Merged { depth, core } => {
+                    bits_for_value(*depth as u64) + bits_for_value(*core)
+                }
+                ConstructMsg::RerootUp { new_root, sender_new_depth }
+                | ConstructMsg::Update { new_root, sender_new_depth } => {
+                    bits_for_value(*new_root) + bits_for_value(*sender_new_depth as u64)
+                }
+                ConstructMsg::FragId { root_id } => bits_for_value(*root_id),
+            }
+    }
+}
+
+/// Messages for post-construction tree operations (broadcast, ranking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpsMsg<T> {
+    /// Broadcast payload relayed down the tree.
+    Payload(T),
+    /// Ranking, up wave: size of the sender's subtree.
+    SubtreeSize(u64),
+    /// Ranking, down wave: offset for the receiving child plus the total
+    /// tree size.
+    RankDown {
+        /// Rank offset `x` for the receiving subtree.
+        offset: u64,
+        /// Total number of nodes in the tree (`n''`).
+        total: u64,
+    },
+}
+
+impl<T: MessageSize> MessageSize for OpsMsg<T> {
+    fn bits(&self) -> usize {
+        2 + match self {
+            OpsMsg::Payload(t) => t.bits(),
+            OpsMsg::SubtreeSize(s) => bits_for_value(*s),
+            OpsMsg::RankDown { offset, total } => bits_for_value(*offset) + bits_for_value(*total),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_scale_with_values() {
+        let small = ConstructMsg::Hello { id: 3 };
+        let big = ConstructMsg::Hello { id: 1 << 40 };
+        assert!(small.bits() < big.bits());
+        assert_eq!(small.bits(), TAG_BITS + 2);
+        assert_eq!(big.bits(), TAG_BITS + 41);
+    }
+
+    #[test]
+    fn edge_messages() {
+        let none = ConstructMsg::UpEdge(None);
+        let some = ConstructMsg::UpEdge(Some(EdgeKey::new(5, 9)));
+        assert_eq!(none.bits(), TAG_BITS + 1);
+        assert_eq!(some.bits(), TAG_BITS + 1 + 3 + 4);
+    }
+
+    #[test]
+    fn ops_messages() {
+        assert_eq!(OpsMsg::<u32>::SubtreeSize(15).bits(), 2 + 4);
+        assert_eq!(OpsMsg::<u32>::RankDown { offset: 7, total: 16 }.bits(), 2 + 3 + 5);
+        assert_eq!(OpsMsg::Payload(1u32).bits(), 2 + 32);
+    }
+
+    #[test]
+    fn congest_bound_for_polynomial_ids() {
+        // With IDs in [1, N^3], N = 2^20, every construct message fits in
+        // O(log N) bits.
+        let i = (1u64 << 60) - 1;
+        let worst = ConstructMsg::Decision {
+            chosen: Some(EdgeKey::new(i - 1, i)),
+            head: true,
+            done: false,
+        };
+        assert!(worst.bits() <= TAG_BITS + 2 + 1 + 60 + 60);
+    }
+}

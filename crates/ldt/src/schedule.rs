@@ -1,0 +1,213 @@
+//! Transmission schedules over an LDT (paper Appendix A.1).
+//!
+//! A *transmission schedule* parameterized by an upper bound `k` on the
+//! tree size assigns, to a node at depth `i` of the tree, a handful of
+//! named wake-up offsets inside a **block** of `2k + 1` rounds:
+//!
+//! | name                | offset (0-based) | who                   |
+//! |---------------------|------------------|-----------------------|
+//! | `Down-Send` (root)  | `0`              | root                  |
+//! | `Down-Receive`      | `i − 1`          | non-root at depth `i` |
+//! | `Down-Send`         | `i`              | depth `i`, has children |
+//! | `Side-Send-Receive` | `k`              | anyone                |
+//! | `Up-Receive`        | `2k − i`         | depth `i`, has children (root: `2k`) |
+//! | `Up-Send`           | `2k − i + 1`     | non-root at depth `i` |
+//!
+//! Information flows root→leaves in the `Down` rounds (a parent's
+//! `Down-Send` coincides with its children's `Down-Receive`), leaves→root
+//! in the `Up` rounds, and across tree boundaries in the single `Side`
+//! round where *all* scheduled nodes are awake simultaneously. Every node
+//! is awake `O(1)` rounds per block, which is what makes LDT procedures
+//! (broadcast, upcast, ranking) cost `O(1)` awake rounds.
+
+use sleeping_congest::Round;
+
+/// A transmission schedule for trees of at most `k` nodes (depths
+/// `0..k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    k: u32,
+}
+
+impl Schedule {
+    /// Schedule for trees with at most `k >= 1` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Schedule {
+        assert!(k >= 1, "schedule bound must be at least 1");
+        Schedule { k }
+    }
+
+    /// The tree-size bound `k`.
+    pub fn bound(&self) -> u32 {
+        self.k
+    }
+
+    /// Length of one block: `2k + 1` rounds.
+    pub fn block_len(&self) -> Round {
+        2 * self.k as Round + 1
+    }
+
+    /// `Down-Receive` offset for a node at `depth` (non-root only).
+    pub fn down_receive(&self, depth: u32) -> Option<Round> {
+        (depth >= 1 && depth < self.k).then(|| depth as Round - 1)
+    }
+
+    /// `Down-Send` offset for a node at `depth` (root included).
+    pub fn down_send(&self, depth: u32) -> Option<Round> {
+        (depth < self.k).then_some(depth as Round)
+    }
+
+    /// `Side-Send-Receive` offset (same for every node).
+    pub fn side(&self) -> Round {
+        self.k as Round
+    }
+
+    /// `Up-Receive` offset for a node at `depth`.
+    pub fn up_receive(&self, depth: u32) -> Option<Round> {
+        (depth < self.k).then(|| 2 * self.k as Round - depth as Round)
+    }
+
+    /// `Up-Send` offset for a node at `depth` (non-root only).
+    pub fn up_send(&self, depth: u32) -> Option<Round> {
+        (depth >= 1 && depth < self.k).then(|| 2 * self.k as Round - depth as Round + 1)
+    }
+}
+
+/// Maps local rounds to (block index, offset) pairs for a sequence of
+/// equal-length blocks starting at local round `first`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockClock {
+    first: Round,
+    len: Round,
+}
+
+impl BlockClock {
+    /// Blocks of length `len` starting at local round `first`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(first: Round, len: Round) -> BlockClock {
+        assert!(len > 0, "block length must be positive");
+        BlockClock { first, len }
+    }
+
+    /// First local round of block `b`.
+    pub fn start_of(&self, b: u64) -> Round {
+        self.first + b * self.len
+    }
+
+    /// `(block, offset)` of a local round at or after `first`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr < first`.
+    pub fn locate(&self, lr: Round) -> (u64, Round) {
+        assert!(lr >= self.first, "round {lr} precedes the first block at {}", self.first);
+        let rel = lr - self.first;
+        (rel / self.len, rel % self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_child_rounds_align() {
+        let s = Schedule::new(10);
+        for depth in 1..10u32 {
+            // Child's Down-Receive coincides with parent's Down-Send.
+            assert_eq!(s.down_receive(depth), s.down_send(depth - 1));
+            // Parent's Up-Receive coincides with child's Up-Send.
+            assert_eq!(s.up_receive(depth - 1), s.up_send(depth));
+        }
+    }
+
+    #[test]
+    fn phases_do_not_collide() {
+        let s = Schedule::new(8);
+        // Down offsets live in [0, k-1], side at k, up in [k+1, 2k].
+        for depth in 0..8u32 {
+            if let Some(r) = s.down_send(depth) {
+                assert!(r < 8);
+            }
+            if let Some(r) = s.down_receive(depth) {
+                assert!(r < 8);
+            }
+            if let Some(r) = s.up_receive(depth) {
+                assert!(r > 8 || depth == s.bound() - 1, "depth {depth} ur {r}");
+                assert!(r > 8 || depth == s.bound() - 1);
+            }
+            if let Some(r) = s.up_send(depth) {
+                assert!(r > 8);
+                assert!(r <= 2 * 8);
+            }
+        }
+        assert_eq!(s.side(), 8);
+        assert_eq!(s.block_len(), 17);
+    }
+
+    #[test]
+    fn root_offsets() {
+        let s = Schedule::new(5);
+        assert_eq!(s.down_send(0), Some(0));
+        assert_eq!(s.down_receive(0), None);
+        assert_eq!(s.up_receive(0), Some(10));
+        assert_eq!(s.up_send(0), None);
+    }
+
+    #[test]
+    fn deepest_node() {
+        let s = Schedule::new(5);
+        // Depth k-1 = 4 is the deepest possible in a tree of k nodes.
+        assert_eq!(s.down_receive(4), Some(3));
+        assert_eq!(s.up_send(4), Some(7));
+        // Depths >= k are invalid.
+        assert_eq!(s.down_receive(5), None);
+        assert_eq!(s.down_send(5), None);
+        assert_eq!(s.up_receive(5), None);
+        assert_eq!(s.up_send(5), None);
+    }
+
+    #[test]
+    fn all_offsets_within_block() {
+        for k in 1..30u32 {
+            let s = Schedule::new(k);
+            for depth in 0..k {
+                for off in [
+                    s.down_receive(depth),
+                    s.down_send(depth),
+                    Some(s.side()),
+                    s.up_receive(depth),
+                    s.up_send(depth),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    assert!(off < s.block_len(), "k={k} depth={depth} offset {off}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_clock() {
+        let c = BlockClock::new(1, 17);
+        assert_eq!(c.start_of(0), 1);
+        assert_eq!(c.start_of(3), 52);
+        assert_eq!(c.locate(1), (0, 0));
+        assert_eq!(c.locate(17), (0, 16));
+        assert_eq!(c.locate(18), (1, 0));
+        assert_eq!(c.locate(52 + 5), (3, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn block_clock_rejects_early_rounds() {
+        BlockClock::new(5, 10).locate(4);
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-node LDT state: tree position and per-port knowledge.
+
+use graphgen::Port;
+
+/// A node's position in its labeled distance tree.
+///
+/// The LDT invariants (paper §5.2): every node knows (i) the ID of the
+/// tree root (`root_id`, also serving as the *fragment ID* during
+/// construction), (ii) its own depth (hop distance to the root through
+/// tree edges), and (iii) which of its ports lead to its parent and
+/// children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeState {
+    /// ID of the tree's root — the tree/fragment identifier.
+    pub root_id: u64,
+    /// Hop distance to the root along tree edges.
+    pub depth: u32,
+    /// Port leading to the parent (`None` at the root).
+    pub parent_port: Option<Port>,
+    /// Ports leading to children, sorted ascending.
+    pub children_ports: Vec<Port>,
+}
+
+impl TreeState {
+    /// A singleton tree rooted at this node.
+    pub fn singleton(my_id: u64) -> TreeState {
+        TreeState { root_id: my_id, depth: 0, parent_port: None, children_ports: Vec::new() }
+    }
+
+    /// Whether this node is the root of its tree.
+    pub fn is_root(&self) -> bool {
+        self.parent_port.is_none()
+    }
+
+    /// Whether this node is a leaf (no children).
+    pub fn is_leaf(&self) -> bool {
+        self.children_ports.is_empty()
+    }
+
+    /// Registers `port` as a child port (keeps the list sorted; no-op if
+    /// already present).
+    pub fn add_child(&mut self, port: Port) {
+        if let Err(pos) = self.children_ports.binary_search(&port) {
+            self.children_ports.insert(pos, port);
+        }
+    }
+
+    /// Removes `port` from the children (no-op if absent).
+    pub fn remove_child(&mut self, port: Port) {
+        if let Ok(pos) = self.children_ports.binary_search(&port) {
+            self.children_ports.remove(pos);
+        }
+    }
+}
+
+/// What a node knows about one of its ports after the hello round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortInfo {
+    /// The neighbor's drawn ID (valid only if `participant`).
+    pub neighbor_id: u64,
+    /// The neighbor's current fragment ID (kept fresh by the per-phase
+    /// refresh exchanges during construction).
+    pub fragment_id: u64,
+    /// Whether the neighbor participates in this LDT execution.
+    pub participant: bool,
+}
+
+impl PortInfo {
+    /// State before the hello round: assumed absent.
+    pub fn unknown() -> PortInfo {
+        PortInfo { neighbor_id: 0, fragment_id: 0, participant: false }
+    }
+}
+
+/// An undirected edge identifier: the pair of endpoint IDs, smaller
+/// first. Edges are compared lexicographically — the total order used to
+/// pick "minimum outgoing edges" during construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeKey {
+    /// Smaller endpoint ID.
+    pub lo: u64,
+    /// Larger endpoint ID.
+    pub hi: u64,
+}
+
+impl EdgeKey {
+    /// Canonical key for the edge between two node IDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self loops are not edges).
+    pub fn new(a: u64, b: u64) -> EdgeKey {
+        assert_ne!(a, b, "an edge needs two distinct endpoint ids");
+        EdgeKey { lo: a.min(b), hi: a.max(b) }
+    }
+
+    /// Whether this edge is incident to the node with ID `id`.
+    pub fn touches(&self, id: u64) -> bool {
+        self.lo == id || self.hi == id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_is_root_leaf() {
+        let t = TreeState::singleton(42);
+        assert!(t.is_root());
+        assert!(t.is_leaf());
+        assert_eq!(t.root_id, 42);
+        assert_eq!(t.depth, 0);
+    }
+
+    #[test]
+    fn child_bookkeeping() {
+        let mut t = TreeState::singleton(1);
+        t.add_child(5);
+        t.add_child(2);
+        t.add_child(5); // duplicate ignored
+        assert_eq!(t.children_ports, vec![2, 5]);
+        t.remove_child(2);
+        assert_eq!(t.children_ports, vec![5]);
+        t.remove_child(99); // absent: no-op
+        assert_eq!(t.children_ports, vec![5]);
+    }
+
+    #[test]
+    fn edge_key_canonical_and_ordered() {
+        assert_eq!(EdgeKey::new(7, 3), EdgeKey::new(3, 7));
+        assert!(EdgeKey::new(1, 9) < EdgeKey::new(2, 3));
+        assert!(EdgeKey::new(1, 5) < EdgeKey::new(1, 9));
+        assert!(EdgeKey::new(2, 3).touches(3));
+        assert!(!EdgeKey::new(2, 3).touches(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn edge_key_rejects_loops() {
+        EdgeKey::new(4, 4);
+    }
+}

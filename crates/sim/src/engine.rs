@@ -1,0 +1,515 @@
+//! The round engine.
+
+use crate::metrics::{Metrics, RunReport};
+use crate::protocol::{Action, NodeCtx, Outbox, Protocol};
+use crate::rng::node_rng;
+use crate::Round;
+use graphgen::{Graph, NodeId, Port};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed; per-node RNGs are derived deterministically from it.
+    pub seed: u64,
+    /// CONGEST bandwidth: if set, a message larger than this many bits
+    /// aborts the run with [`SimError::MessageTooLarge`]. The maximum
+    /// observed size is recorded either way in
+    /// [`Metrics::max_message_bits`].
+    pub bit_limit: Option<usize>,
+    /// Common upper bound on the network size given to every node
+    /// (`N` in the paper: a polynomial upper bound on `n`). Defaults to
+    /// the actual `n` at [`Simulator::new`] time when left as `None`.
+    pub n_upper: Option<usize>,
+    /// Safety cap on the round counter.
+    pub max_rounds: Round,
+    /// Safety cap on the number of *active* rounds actually simulated.
+    pub max_active_rounds: u64,
+    /// Record, per node, the exact list of rounds it was awake in
+    /// (costs memory; intended for tests).
+    pub record_wake_history: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xC0FFEE,
+            bit_limit: None,
+            n_upper: None,
+            max_rounds: u64::MAX / 4,
+            max_active_rounds: 500_000_000,
+            record_wake_history: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with the given seed and all other fields default.
+    pub fn seeded(seed: u64) -> Self {
+        SimConfig { seed, ..SimConfig::default() }
+    }
+}
+
+/// Errors aborting a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// `protocols.len()` differed from the number of graph nodes.
+    NodeCountMismatch { nodes: usize, protocols: usize },
+    /// The round counter exceeded [`SimConfig::max_rounds`].
+    RoundLimit(Round),
+    /// More than [`SimConfig::max_active_rounds`] active rounds were
+    /// simulated (runaway protocol).
+    ActiveRoundLimit(u64),
+    /// Every scheduled node terminated but some nodes slept forever
+    /// without terminating.
+    Deadlock { sleeping_forever: usize },
+    /// A node emitted a message above [`SimConfig::bit_limit`].
+    MessageTooLarge { node: NodeId, round: Round, bits: usize, limit: usize },
+    /// A node asked to sleep until a round that is not in the future.
+    BadSleep { node: NodeId, round: Round, until: Round },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NodeCountMismatch { nodes, protocols } => {
+                write!(f, "graph has {nodes} nodes but {protocols} protocols were supplied")
+            }
+            SimError::RoundLimit(r) => write!(f, "round limit exceeded at round {r}"),
+            SimError::ActiveRoundLimit(a) => write!(f, "active-round limit exceeded ({a})"),
+            SimError::Deadlock { sleeping_forever } => {
+                write!(f, "deadlock: {sleeping_forever} nodes slept forever without terminating")
+            }
+            SimError::MessageTooLarge { node, round, bits, limit } => write!(
+                f,
+                "node {node} sent a {bits}-bit message in round {round} (limit {limit})"
+            ),
+            SimError::BadSleep { node, round, until } => {
+                write!(f, "node {node} in round {round} asked to sleep until round {until}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A configured simulation, ready to [`run`](Simulator::run).
+pub struct Simulator<P: Protocol> {
+    graph: Graph,
+    nodes: Vec<P>,
+    config: SimConfig,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulation of `protocols` over `graph`.
+    ///
+    /// `protocols[v]` is node `v`'s program. The counts must match — this
+    /// is checked at [`run`](Simulator::run) time so construction stays
+    /// infallible.
+    pub fn new(graph: Graph, protocols: Vec<P>, config: SimConfig) -> Self {
+        Simulator { graph, nodes: protocols, config }
+    }
+
+    /// Runs the simulation to completion (all nodes terminated).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`]. In particular a protocol that lets some nodes
+    /// sleep forever yields [`SimError::Deadlock`] rather than hanging.
+    pub fn run(mut self) -> Result<RunReport<P::Output>, SimError> {
+        let n = self.graph.n();
+        if self.nodes.len() != n {
+            return Err(SimError::NodeCountMismatch { nodes: n, protocols: self.nodes.len() });
+        }
+        let n_upper = self.config.n_upper.unwrap_or(n);
+        let mut metrics = Metrics::new(n, self.config.record_wake_history);
+        let mut rngs: Vec<_> = (0..n as u32).map(|v| node_rng(self.config.seed, v)).collect();
+
+        // Each non-terminated node has exactly one entry in the heap: its
+        // next wake-up round.
+        let mut heap: BinaryHeap<Reverse<(Round, NodeId)>> = BinaryHeap::with_capacity(n);
+        for v in 0..n as NodeId {
+            heap.push(Reverse((0, v)));
+        }
+        let mut terminated = vec![false; n];
+        let mut live = n;
+
+        // Scratch space reused across rounds.
+        let mut batch: Vec<NodeId> = Vec::new();
+        let mut awake_stamp: Vec<u64> = vec![0; n];
+        let mut inboxes: Vec<Vec<(Port, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+
+        while live > 0 {
+            let Some(&Reverse((round, _))) = heap.peek() else {
+                return Err(SimError::Deadlock { sleeping_forever: live });
+            };
+            if round > self.config.max_rounds {
+                return Err(SimError::RoundLimit(round));
+            }
+            metrics.active_rounds += 1;
+            if metrics.active_rounds > self.config.max_active_rounds {
+                return Err(SimError::ActiveRoundLimit(metrics.active_rounds));
+            }
+
+            batch.clear();
+            while let Some(&Reverse((r, v))) = heap.peek() {
+                if r != round {
+                    break;
+                }
+                heap.pop();
+                batch.push(v);
+            }
+            batch.sort_unstable();
+            let stamp = round + 1; // nonzero marker for "awake this round"
+            for &v in &batch {
+                awake_stamp[v as usize] = stamp;
+            }
+
+            // Send step (in node-id order for determinism).
+            for &v in &batch {
+                let mut ctx = NodeCtx {
+                    node: v,
+                    degree: self.graph.degree(v),
+                    round,
+                    n_upper,
+                    rng: &mut rngs[v as usize],
+                };
+                let outbox = self.nodes[v as usize].send(&mut ctx);
+                match outbox {
+                    Outbox::Silent => {}
+                    Outbox::Broadcast(msg) => {
+                        let bits = crate::message::MessageSize::bits(&msg);
+                        self.account(&mut metrics, v, round, bits, self.graph.degree(v))?;
+                        for p in 0..self.graph.degree(v) as Port {
+                            let (u, q) = self.graph.endpoint(v, p);
+                            if awake_stamp[u as usize] == stamp {
+                                inboxes[u as usize].push((q, msg.clone()));
+                                metrics.messages_delivered += 1;
+                            } else {
+                                metrics.messages_lost += 1;
+                            }
+                        }
+                    }
+                    Outbox::Unicast(list) => {
+                        for (p, msg) in list {
+                            let bits = crate::message::MessageSize::bits(&msg);
+                            self.account(&mut metrics, v, round, bits, 1)?;
+                            let (u, q) = self.graph.endpoint(v, p);
+                            if awake_stamp[u as usize] == stamp {
+                                inboxes[u as usize].push((q, msg));
+                                metrics.messages_delivered += 1;
+                            } else {
+                                metrics.messages_lost += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Receive step.
+            for &v in &batch {
+                inboxes[v as usize].sort_unstable_by_key(|&(p, _)| p);
+                let action = {
+                    let mut ctx = NodeCtx {
+                        node: v,
+                        degree: self.graph.degree(v),
+                        round,
+                        n_upper,
+                        rng: &mut rngs[v as usize],
+                    };
+                    self.nodes[v as usize].receive(&mut ctx, &inboxes[v as usize])
+                };
+                inboxes[v as usize].clear();
+                metrics.awake_rounds[v as usize] += 1;
+                if let Some(h) = metrics.wake_history.as_mut() {
+                    h[v as usize].push(round);
+                }
+                match action {
+                    Action::Continue => heap.push(Reverse((round + 1, v))),
+                    Action::SleepUntil(t) => {
+                        if t <= round {
+                            return Err(SimError::BadSleep { node: v, round, until: t });
+                        }
+                        heap.push(Reverse((t, v)));
+                    }
+                    Action::Terminate => {
+                        terminated[v as usize] = true;
+                        metrics.terminated_at[v as usize] = round;
+                        live -= 1;
+                    }
+                }
+            }
+        }
+
+        let outputs = self.nodes.iter().map(|p| p.output()).collect();
+        Ok(RunReport { outputs, metrics })
+    }
+
+    fn account(
+        &self,
+        metrics: &mut Metrics,
+        node: NodeId,
+        round: Round,
+        bits: usize,
+        copies: usize,
+    ) -> Result<(), SimError> {
+        if let Some(limit) = self.config.bit_limit {
+            if bits > limit {
+                return Err(SimError::MessageTooLarge { node, round, bits, limit });
+            }
+        }
+        metrics.max_message_bits = metrics.max_message_bits.max(bits);
+        metrics.messages_sent += copies as u64;
+        metrics.total_message_bits += (bits * copies) as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::generators;
+
+    /// Flood protocol: node 0 starts with a token; each node forwards the
+    /// token once, the round after first hearing it, then terminates.
+    #[derive(Debug)]
+    struct Flood {
+        has_token: bool,
+        sent: bool,
+        got_at: Option<Round>,
+    }
+
+    impl Flood {
+        fn start(seeded: bool) -> Flood {
+            Flood { has_token: seeded, sent: false, got_at: if seeded { Some(0) } else { None } }
+        }
+    }
+
+    impl Protocol for Flood {
+        type Msg = ();
+        type Output = Option<Round>;
+        fn send(&mut self, _ctx: &mut NodeCtx) -> Outbox<()> {
+            if self.has_token && !self.sent {
+                self.sent = true;
+                Outbox::Broadcast(())
+            } else {
+                Outbox::Silent
+            }
+        }
+        fn receive(&mut self, ctx: &mut NodeCtx, inbox: &[(Port, ())]) -> Action {
+            if !self.has_token && !inbox.is_empty() {
+                self.has_token = true;
+                self.got_at = Some(ctx.round);
+            }
+            if self.sent {
+                Action::Terminate
+            } else {
+                Action::Continue
+            }
+        }
+        fn output(&self) -> Option<Round> {
+            self.got_at
+        }
+    }
+
+    #[test]
+    fn flood_reaches_everyone_in_bfs_order() {
+        let g = generators::path(5);
+        let nodes = (0..5).map(|v| Flood::start(v == 0)).collect();
+        let report = Simulator::new(g, nodes, SimConfig::default()).run().unwrap();
+        assert_eq!(report.outputs, vec![Some(0), Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(report.metrics.round_complexity(), 5);
+    }
+
+    /// Sleeper: node v sleeps to round `gap * v`, broadcasts once, and
+    /// records what it heard.
+    #[derive(Debug)]
+    struct Sleeper {
+        wake_at: Round,
+        phase: u8,
+        heard: usize,
+    }
+
+    impl Protocol for Sleeper {
+        type Msg = u32;
+        type Output = usize;
+        fn send(&mut self, ctx: &mut NodeCtx) -> Outbox<u32> {
+            if ctx.round == self.wake_at {
+                Outbox::Broadcast(ctx.node)
+            } else {
+                Outbox::Silent
+            }
+        }
+        fn receive(&mut self, ctx: &mut NodeCtx, inbox: &[(Port, u32)]) -> Action {
+            if ctx.round < self.wake_at {
+                self.phase = 1;
+                Action::SleepUntil(self.wake_at)
+            } else {
+                self.heard = inbox.len();
+                Action::Terminate
+            }
+        }
+        fn output(&self) -> usize {
+            self.heard
+        }
+    }
+
+    #[test]
+    fn messages_to_sleeping_nodes_are_lost() {
+        // Path 0-1-2; all wake at distinct rounds (> 0, since every node
+        // starts awake in round 0) → nobody hears anything.
+        let g = generators::path(3);
+        let nodes =
+            (0..3).map(|v| Sleeper { wake_at: 10 * (v + 1) as Round, phase: 0, heard: 0 }).collect();
+        let report = Simulator::new(g, nodes, SimConfig::default()).run().unwrap();
+        assert_eq!(report.outputs, vec![0, 0, 0]);
+        assert_eq!(report.metrics.messages_delivered, 0);
+        assert_eq!(report.metrics.messages_lost, 4);
+        // Only 4 active rounds (0, 10, 20, 30) despite round complexity 31.
+        assert_eq!(report.metrics.active_rounds, 4);
+        assert_eq!(report.metrics.round_complexity(), 31);
+    }
+
+    #[test]
+    fn simultaneously_awake_nodes_communicate() {
+        let g = generators::path(3);
+        let nodes = (0..3).map(|_| Sleeper { wake_at: 5, phase: 0, heard: 0 }).collect();
+        let report = Simulator::new(g, nodes, SimConfig::default()).run().unwrap();
+        assert_eq!(report.outputs, vec![1, 2, 1]);
+        assert_eq!(report.metrics.messages_lost, 0);
+        // Awake in round 0 (initial) + round 5.
+        assert_eq!(report.metrics.awake_complexity(), 2);
+    }
+
+    #[test]
+    fn node_count_mismatch_detected() {
+        let g = generators::path(3);
+        let nodes = vec![Flood::start(true)];
+        let err = Simulator::new(g, nodes, SimConfig::default()).run().unwrap_err();
+        assert_eq!(err, SimError::NodeCountMismatch { nodes: 3, protocols: 1 });
+    }
+
+    /// A protocol that sleeps forever after round 0 without terminating.
+    struct Insomniac;
+    impl Protocol for Insomniac {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &mut NodeCtx) -> Outbox<()> {
+            Outbox::Silent
+        }
+        fn receive(&mut self, ctx: &mut NodeCtx, _: &[(Port, ())]) -> Action {
+            // Sleep far beyond the round cap.
+            Action::SleepUntil(ctx.round + u64::MAX / 2)
+        }
+        fn output(&self) {}
+    }
+
+    #[test]
+    fn round_limit_guards_runaway_sleeps() {
+        let g = generators::path(2);
+        let cfg = SimConfig { max_rounds: 1000, ..SimConfig::default() };
+        let err = Simulator::new(g, vec![Insomniac, Insomniac], cfg).run().unwrap_err();
+        assert!(matches!(err, SimError::RoundLimit(_)));
+    }
+
+    /// Broadcasts a 64-bit message once.
+    struct BigTalker;
+    impl Protocol for BigTalker {
+        type Msg = u64;
+        type Output = ();
+        fn send(&mut self, _: &mut NodeCtx) -> Outbox<u64> {
+            Outbox::Broadcast(42)
+        }
+        fn receive(&mut self, _: &mut NodeCtx, _: &[(Port, u64)]) -> Action {
+            Action::Terminate
+        }
+        fn output(&self) {}
+    }
+
+    #[test]
+    fn bit_limit_enforced() {
+        let g = generators::path(2);
+        let cfg = SimConfig { bit_limit: Some(32), ..SimConfig::default() };
+        let err = Simulator::new(g, vec![BigTalker, BigTalker], cfg).run().unwrap_err();
+        assert!(matches!(err, SimError::MessageTooLarge { bits: 64, limit: 32, .. }));
+        let cfg2 = SimConfig { bit_limit: Some(64), ..SimConfig::default() };
+        let g2 = generators::path(2);
+        let report = Simulator::new(g2, vec![BigTalker, BigTalker], cfg2).run().unwrap();
+        assert_eq!(report.metrics.max_message_bits, 64);
+    }
+
+    /// Sleeps to the past — must be rejected.
+    struct TimeTraveler;
+    impl Protocol for TimeTraveler {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &mut NodeCtx) -> Outbox<()> {
+            Outbox::Silent
+        }
+        fn receive(&mut self, ctx: &mut NodeCtx, _: &[(Port, ())]) -> Action {
+            Action::SleepUntil(ctx.round)
+        }
+        fn output(&self) {}
+    }
+
+    #[test]
+    fn sleeping_into_the_past_rejected() {
+        let g = generators::path(2);
+        let err = Simulator::new(g, vec![TimeTraveler, TimeTraveler], SimConfig::default())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadSleep { until: 0, .. }));
+    }
+
+    #[test]
+    fn wake_history_recorded() {
+        let g = generators::path(2);
+        let cfg = SimConfig { record_wake_history: true, ..SimConfig::default() };
+        let nodes = (0..2).map(|v| Sleeper { wake_at: 3 + v as Round, phase: 0, heard: 0 }).collect();
+        let report = Simulator::new(g, nodes, cfg).run().unwrap();
+        let h = report.metrics.wake_history.unwrap();
+        assert_eq!(h[0], vec![0, 3]);
+        assert_eq!(h[1], vec![0, 4]);
+    }
+
+    #[test]
+    fn unicast_routing_and_rng_determinism() {
+        /// Node sends a random u32 to port 0 only.
+        struct RandomUnicast {
+            drew: u32,
+            heard: Vec<u32>,
+        }
+        impl Protocol for RandomUnicast {
+            type Msg = u32;
+            type Output = (u32, Vec<u32>);
+            fn send(&mut self, ctx: &mut NodeCtx) -> Outbox<u32> {
+                self.drew = rand::Rng::gen(ctx.rng);
+                Outbox::Unicast(vec![(0, self.drew)])
+            }
+            fn receive(&mut self, _: &mut NodeCtx, inbox: &[(Port, u32)]) -> Action {
+                self.heard = inbox.iter().map(|&(_, m)| m).collect();
+                Action::Terminate
+            }
+            fn output(&self) -> (u32, Vec<u32>) {
+                (self.drew, self.heard.clone())
+            }
+        }
+
+        let run = || {
+            let g = generators::path(3); // 1's port 0 → 0
+            let nodes = (0..3).map(|_| RandomUnicast { drew: 0, heard: vec![] }).collect();
+            Simulator::new(g, nodes, SimConfig::seeded(99)).run().unwrap().outputs
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must reproduce identical runs");
+        // Node 0's port 0 goes to node 1; node 1 sent its value to port 0 (node 0).
+        assert_eq!(a[0].1, vec![a[1].0]);
+        // Node 2 sent to port 0 (node 1) and node 1 heard from ports 0 and 1.
+        assert_eq!(a[1].1.len(), 2);
+        // Distinct nodes draw distinct randomness (overwhelmingly likely).
+        assert_ne!(a[0].0, a[1].0);
+    }
+}

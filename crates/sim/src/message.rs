@@ -1,0 +1,90 @@
+//! Message-size accounting for the CONGEST bandwidth constraint.
+//!
+//! The CONGEST model allows `O(log n)` bits per edge per round. Every
+//! protocol message type reports its encoded size through [`MessageSize`];
+//! the engine records the maximum observed size and can optionally reject
+//! oversized messages (see [`crate::SimConfig::bit_limit`]).
+
+/// Types that know their wire size in bits.
+///
+/// Implementations should report the size of a reasonable binary encoding
+/// of the *payload* (not of the Rust in-memory representation): e.g. a
+/// node id in `[1, I]` costs `bits_for_value(I)` bits, an enum tag over
+/// `k` variants costs `bits_for_value(k - 1)` bits.
+pub trait MessageSize {
+    /// Encoded size of this message in bits.
+    fn bits(&self) -> usize;
+}
+
+/// Number of bits needed to represent any value in `[0, max_value]`.
+///
+/// ```
+/// # use sleeping_congest::bits_for_value;
+/// assert_eq!(bits_for_value(0), 0);
+/// assert_eq!(bits_for_value(1), 1);
+/// assert_eq!(bits_for_value(255), 8);
+/// assert_eq!(bits_for_value(256), 9);
+/// ```
+pub fn bits_for_value(max_value: u64) -> usize {
+    (64 - max_value.leading_zeros()) as usize
+}
+
+impl MessageSize for () {
+    fn bits(&self) -> usize {
+        0
+    }
+}
+
+impl MessageSize for bool {
+    fn bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for u32 {
+    fn bits(&self) -> usize {
+        32
+    }
+}
+
+impl MessageSize for u64 {
+    fn bits(&self) -> usize {
+        64
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn bits(&self) -> usize {
+        self.0.bits() + self.1.bits()
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, MessageSize::bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_value_boundaries() {
+        assert_eq!(bits_for_value(0), 0);
+        assert_eq!(bits_for_value(1), 1);
+        assert_eq!(bits_for_value(2), 2);
+        assert_eq!(bits_for_value(3), 2);
+        assert_eq!(bits_for_value(4), 3);
+        assert_eq!(bits_for_value(u64::MAX), 64);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!(().bits(), 0);
+        assert_eq!(true.bits(), 1);
+        assert_eq!((7u32, false).bits(), 33);
+        assert_eq!(Some(1u64).bits(), 65);
+        assert_eq!(None::<u64>.bits(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Run metrics: awake complexity, round complexity, message accounting.
+
+use crate::Round;
+
+/// Everything measured during a run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Per-node count of awake rounds (the paper's `A_v`).
+    pub awake_rounds: Vec<u64>,
+    /// Per-node round in which the node terminated.
+    pub terminated_at: Vec<Round>,
+    /// Number of distinct rounds in which at least one node was awake
+    /// (the engine's actual work; always `<= round_complexity()`).
+    pub active_rounds: u64,
+    /// Messages handed to the engine for transmission.
+    pub messages_sent: u64,
+    /// Messages received by an awake neighbor.
+    pub messages_delivered: u64,
+    /// Messages lost because the receiving endpoint was asleep.
+    pub messages_lost: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: usize,
+    /// Sum of bits over all sent messages.
+    pub total_message_bits: u64,
+    /// Optional per-node list of rounds the node was awake in (recorded
+    /// when [`crate::SimConfig::record_wake_history`] is set).
+    pub wake_history: Option<Vec<Vec<Round>>>,
+}
+
+impl Metrics {
+    pub(crate) fn new(n: usize, record_history: bool) -> Metrics {
+        Metrics {
+            awake_rounds: vec![0; n],
+            terminated_at: vec![0; n],
+            active_rounds: 0,
+            messages_sent: 0,
+            messages_delivered: 0,
+            messages_lost: 0,
+            max_message_bits: 0,
+            total_message_bits: 0,
+            wake_history: if record_history { Some(vec![Vec::new(); n]) } else { None },
+        }
+    }
+
+    /// Worst-case awake complexity: `max_v A_v`.
+    pub fn awake_complexity(&self) -> u64 {
+        self.awake_rounds.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Node-averaged awake complexity: `(1/n) Σ_v A_v`.
+    pub fn awake_average(&self) -> f64 {
+        if self.awake_rounds.is_empty() {
+            0.0
+        } else {
+            self.awake_rounds.iter().sum::<u64>() as f64 / self.awake_rounds.len() as f64
+        }
+    }
+
+    /// Total awake node-rounds across all nodes.
+    pub fn awake_total(&self) -> u64 {
+        self.awake_rounds.iter().sum()
+    }
+
+    /// Round complexity: number of rounds until the last node terminated
+    /// (rounds are 0-based, so this is `max terminated_at + 1`).
+    pub fn round_complexity(&self) -> u64 {
+        self.terminated_at.iter().copied().max().map_or(0, |r| r + 1)
+    }
+}
+
+/// The result of a completed run: per-node outputs plus [`Metrics`].
+#[derive(Debug, Clone)]
+pub struct RunReport<O> {
+    /// `outputs[v]` is node `v`'s local output.
+    pub outputs: Vec<O>,
+    /// Measurements for the run.
+    pub metrics: Metrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut m = Metrics::new(3, false);
+        m.awake_rounds = vec![2, 5, 3];
+        m.terminated_at = vec![9, 4, 7];
+        assert_eq!(m.awake_complexity(), 5);
+        assert!((m.awake_average() - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.awake_total(), 10);
+        assert_eq!(m.round_complexity(), 10);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = Metrics::new(0, false);
+        assert_eq!(m.awake_complexity(), 0);
+        assert_eq!(m.awake_average(), 0.0);
+        assert_eq!(m.round_complexity(), 0);
+    }
+}

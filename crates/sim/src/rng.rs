@@ -1,0 +1,47 @@
+//! Deterministic per-node randomness.
+//!
+//! Every node's private RNG is derived from the run seed and the node
+//! index by a SplitMix64 mix, so a run is fully reproducible from
+//! `(graph, protocols, SimConfig)` and statistically independent across
+//! nodes.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// SplitMix64 output function: a high-quality 64-bit mixer.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The RNG assigned to `node` in a run with the given master `seed`.
+pub fn node_rng(seed: u64, node: u32) -> SmallRng {
+    SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(node as u64 + 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let a: u64 = node_rng(7, 0).gen();
+        let b: u64 = node_rng(7, 0).gen();
+        assert_eq!(a, b);
+        let c: u64 = node_rng(7, 1).gen();
+        assert_ne!(a, c);
+        let d: u64 = node_rng(8, 0).gen();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // First outputs of SplitMix64 seeded with 0 and 1 (well-known
+        // reference values for the Vigna implementation).
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests on the engine's semantics: determinism, conservation
+//! of messages, awake accounting, and equivalence of the event-driven
+//! scheduler with dense execution.
+
+use graphgen::{generators, Graph, Port};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sleeping_congest::{Action, NodeCtx, Outbox, Protocol, SimConfig, Simulator};
+
+/// A randomized protocol: each node wakes on a pseudo-random schedule
+/// derived from its RNG, gossips a counter, and terminates after a few
+/// wakes. Exercises scheduling paths without meaning anything.
+#[derive(Debug, Clone)]
+struct Gossip {
+    wakes_left: u32,
+    heard: u64,
+    dense: bool,
+}
+
+impl Gossip {
+    fn new(wakes: u32, dense: bool) -> Gossip {
+        Gossip { wakes_left: wakes, heard: 0, dense }
+    }
+}
+
+impl Protocol for Gossip {
+    type Msg = u64;
+    type Output = u64;
+
+    fn send(&mut self, _ctx: &mut NodeCtx) -> Outbox<u64> {
+        Outbox::Broadcast(self.heard.wrapping_mul(31).wrapping_add(1))
+    }
+
+    fn receive(&mut self, ctx: &mut NodeCtx, inbox: &[(Port, u64)]) -> Action {
+        for &(p, m) in inbox {
+            self.heard = self.heard.wrapping_add(m ^ (p as u64)).rotate_left(7);
+        }
+        self.wakes_left -= 1;
+        if self.wakes_left == 0 {
+            Action::Terminate
+        } else if self.dense {
+            Action::Continue
+        } else {
+            let gap = ctx.rng.gen_range(1..5u64);
+            Action::SleepUntil(ctx.round + gap)
+        }
+    }
+
+    fn output(&self) -> u64 {
+        self.heard
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40, any::<u64>(), 0.05f64..0.5).prop_map(|(n, seed, p)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generators::gnp(n, p, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identical (graph, protocols, seed) gives identical transcripts.
+    #[test]
+    fn runs_are_deterministic(g in arb_graph(), seed in any::<u64>(), wakes in 1u32..6) {
+        let run = || {
+            let nodes = (0..g.n()).map(|_| Gossip::new(wakes, false)).collect();
+            Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.metrics.awake_rounds, b.metrics.awake_rounds);
+        prop_assert_eq!(a.metrics.messages_sent, b.metrics.messages_sent);
+        prop_assert_eq!(a.metrics.total_message_bits, b.metrics.total_message_bits);
+    }
+
+    /// Message conservation: sent = delivered + lost; in a dense run
+    /// (everyone awake until termination staggering begins) only
+    /// messages to already-terminated nodes are lost.
+    #[test]
+    fn message_conservation(g in arb_graph(), seed in any::<u64>(), wakes in 1u32..6) {
+        let nodes = (0..g.n()).map(|_| Gossip::new(wakes, false)).collect();
+        let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+        prop_assert_eq!(
+            rep.metrics.messages_sent,
+            rep.metrics.messages_delivered + rep.metrics.messages_lost
+        );
+    }
+
+    /// Awake accounting: each node's awake count equals its recorded
+    /// wake history length, and equal-wakes protocols give everyone the
+    /// same count in dense mode.
+    #[test]
+    fn awake_accounting(g in arb_graph(), seed in any::<u64>(), wakes in 1u32..6) {
+        let nodes = (0..g.n()).map(|_| Gossip::new(wakes, true)).collect();
+        let cfg = SimConfig { record_wake_history: true, ..SimConfig::seeded(seed) };
+        let rep = Simulator::new(g.clone(), nodes, cfg).run().unwrap();
+        let hist = rep.metrics.wake_history.as_ref().unwrap();
+        for (v, h) in hist.iter().enumerate() {
+            prop_assert_eq!(rep.metrics.awake_rounds[v], h.len() as u64);
+            prop_assert_eq!(rep.metrics.awake_rounds[v], wakes as u64);
+        }
+        // Dense mode: all nodes awake every round until they terminate
+        // simultaneously.
+        prop_assert_eq!(rep.metrics.round_complexity(), wakes as u64);
+        prop_assert_eq!(rep.metrics.messages_lost, 0);
+    }
+
+    /// In dense mode the event-driven scheduler must visit exactly
+    /// `wakes` rounds (no phantom rounds, no skipped rounds).
+    #[test]
+    fn dense_equals_round_by_round(g in arb_graph(), seed in any::<u64>(), wakes in 1u32..6) {
+        let nodes = (0..g.n()).map(|_| Gossip::new(wakes, true)).collect();
+        let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+        prop_assert_eq!(rep.metrics.active_rounds, wakes as u64);
+    }
+}

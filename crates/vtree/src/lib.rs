@@ -1,0 +1,200 @@
+//! The **virtual binary tree** technique of
+//! *"Distributed MIS in O(log log n) Awake Complexity"* (PODC 2023), §5.1.
+//!
+//! Given a parameter `i`, the virtual full binary tree `B([1,i])` has
+//! depth `d = ⌈log₂ i⌉` and `2^(d+1) − 1` nodes labeled by an in-order
+//! traversal. Applying `g(x) = ⌊x/2⌋ + 1` to every label yields the tree
+//! `B*([1,i])`, whose leaves are labeled `1..=2^d` left to right.
+//!
+//! For `i = 6` (paper Figure 1):
+//!
+//! ```text
+//!        B([1,6])                      B*([1,6])
+//!            8                             5
+//!        /       \                     /       \
+//!       4         12                  3         7
+//!     /   \      /   \              /   \     /   \
+//!    2     6   10     14           2     4   6     8
+//!   / \   / \  / \    / \         / \   / \ / \   / \
+//!  1   3 5   7 9  11 13 15       1   2 3  4 5  6 7   8
+//! ```
+//!
+//! The **communication set** `S_k([1,i])` is the set of `B*` labels of the
+//! leaf labeled `k` and all of its ancestors. The two key properties
+//! (paper Observations 4 and 5) are:
+//!
+//! * `|S_k([1,i])| ≤ ⌈log₂ i⌉ + 1` — a node that wakes exactly in the
+//!   rounds of its communication set is awake `O(log i)` times;
+//! * for any `k < k′` there is a common label `r ∈ S_k ∩ S_k′` with
+//!   `k < r ≤ k′` — so if node `k` decides something in round `k`, node
+//!   `k′` is guaranteed to hear about it (both awake in round `r`) before
+//!   its own decision round `k′`.
+//!
+//! (The paper states the bound of Observation 4 as `⌈log i⌉`; the exact
+//! count including the leaf itself is `⌈log₂ i⌉ + 1` distinct labels in
+//! the worst case — e.g. `S_1([1,6]) = {1,2,3,5}` — which is what this
+//! crate guarantees and what the awake-complexity accounting uses.)
+//!
+//! # Example
+//!
+//! ```
+//! use vtree::{communication_set, common_round};
+//!
+//! // Paper Figure 2: S_3([1,6]) = {3,4,5}, S_5([1,6]) = {5,6,7}.
+//! assert_eq!(communication_set(3, 6), vec![3, 4, 5]);
+//! assert_eq!(communication_set(5, 6), vec![5, 6, 7]);
+//! // They meet in round 5, with 3 < 5 <= 5.
+//! assert_eq!(common_round(3, 5, 6), 5);
+//! ```
+
+/// Depth `d = ⌈log₂ i⌉` of the virtual binary tree `B([1,i])`.
+///
+/// # Panics
+///
+/// Panics if `i == 0`.
+pub fn depth(i: u64) -> u32 {
+    assert!(i >= 1, "virtual tree parameter i must be >= 1");
+    if i == 1 {
+        0
+    } else {
+        64 - (i - 1).leading_zeros()
+    }
+}
+
+/// In-order label in `B([1,i])` of the height-`h` ancestor of the leaf
+/// with in-order label `x` (which must be odd).
+fn ancestor_label(x: u64, h: u32) -> u64 {
+    debug_assert!(x % 2 == 1);
+    ((x - 1) >> (h + 1) << (h + 1)) + (1 << h)
+}
+
+/// The map `g(x) = ⌊x/2⌋ + 1` from `B` labels to `B*` labels.
+fn g(x: u64) -> u64 {
+    x / 2 + 1
+}
+
+/// The communication set `S_k([1,i])`: sorted, deduplicated `B*` labels of
+/// the leaf `k` and its ancestors.
+///
+/// Labels can exceed `i` (they range up to `2^(d-1) + 1`); callers using
+/// them as round numbers in `[1, i]` should use [`wake_rounds`] instead.
+///
+/// # Panics
+///
+/// Panics if `k` is not in `[1, i]`.
+pub fn communication_set(k: u64, i: u64) -> Vec<u64> {
+    assert!(k >= 1 && k <= i, "k = {k} out of range [1, {i}]");
+    let d = depth(i);
+    let x = 2 * k - 1; // in-order label of leaf k in B([1,i])
+    let mut set: Vec<u64> = (0..=d).map(|h| g(ancestor_label(x, h))).collect();
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+/// `S_k([1,i]) ∩ [1, i]`: the actual rounds in which the node with ID `k`
+/// is awake when running a virtual-tree-coordinated algorithm over `i`
+/// rounds. Sorted ascending; always contains `k` itself.
+pub fn wake_rounds(k: u64, i: u64) -> Vec<u64> {
+    let mut s = communication_set(k, i);
+    s.retain(|&r| r <= i);
+    s
+}
+
+/// A common label `r ∈ S_k ∩ S_k′` with `k < r ≤ k′` as guaranteed by
+/// Observation 5 — the `B*` label of the lowest common ancestor of leaves
+/// `k` and `k′`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k < k′ ≤ i`.
+pub fn common_round(k: u64, kp: u64, i: u64) -> u64 {
+    assert!(k >= 1 && k < kp && kp <= i, "need 1 <= k < k' <= i, got k={k} k'={kp} i={i}");
+    let d = depth(i);
+    let x = 2 * k - 1;
+    let y = 2 * kp - 1;
+    for h in 0..=d {
+        let a = ancestor_label(x, h);
+        if a == ancestor_label(y, h) {
+            return g(a);
+        }
+    }
+    unreachable!("the root is a common ancestor of all leaves")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_values() {
+        assert_eq!(depth(1), 0);
+        assert_eq!(depth(2), 1);
+        assert_eq!(depth(3), 2);
+        assert_eq!(depth(4), 2);
+        assert_eq!(depth(5), 3);
+        assert_eq!(depth(6), 3);
+        assert_eq!(depth(8), 3);
+        assert_eq!(depth(9), 4);
+        assert_eq!(depth(1 << 20), 20);
+    }
+
+    #[test]
+    fn paper_figure_examples() {
+        // Figure 1/2 of the paper, i = 6.
+        assert_eq!(communication_set(3, 6), vec![3, 4, 5]);
+        assert_eq!(communication_set(5, 6), vec![5, 6, 7]);
+        // S_1([1,6]) includes the whole left spine.
+        assert_eq!(communication_set(1, 6), vec![1, 2, 3, 5]);
+        // Node with ID 5 must ignore round 7 (only 6 rounds exist).
+        assert_eq!(wake_rounds(5, 6), vec![5, 6]);
+        assert_eq!(common_round(3, 5, 6), 5);
+    }
+
+    #[test]
+    fn singleton_tree() {
+        assert_eq!(communication_set(1, 1), vec![1]);
+        assert_eq!(wake_rounds(1, 1), vec![1]);
+    }
+
+    #[test]
+    fn observation4_exhaustive() {
+        // |S_k| <= ceil(log2 i) + 1 for all k <= i <= 512.
+        for i in 1..=512u64 {
+            let bound = depth(i) as usize + 1;
+            for k in 1..=i {
+                let s = communication_set(k, i);
+                assert!(s.len() <= bound, "|S_{k}([1,{i}])| = {} > {bound}", s.len());
+                assert!(s.contains(&k), "S_k must contain k itself");
+            }
+        }
+    }
+
+    #[test]
+    fn observation5_exhaustive() {
+        // For all k < k' <= i <= 96: some r in both sets with k < r <= k'.
+        for i in 1..=96u64 {
+            for k in 1..i {
+                let sk = communication_set(k, i);
+                for kp in (k + 1)..=i {
+                    let skp = communication_set(kp, i);
+                    let r = common_round(k, kp, i);
+                    assert!(sk.contains(&r), "r={r} not in S_{k}([1,{i}])");
+                    assert!(skp.contains(&r), "r={r} not in S_{kp}([1,{i}])");
+                    assert!(k < r && r <= kp, "need {k} < {r} <= {kp}");
+                    // And r is usable as a round: r <= i because r <= k' <= i.
+                    assert!(r <= i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wake_rounds_always_contains_own_id() {
+        for i in [1u64, 2, 3, 7, 8, 9, 100, 1000] {
+            for k in 1..=i.min(64) {
+                assert!(wake_rounds(k, i).contains(&k));
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Property tests for the virtual binary tree communication sets
+//! (paper Observations 4 and 5) on large random instances.
+
+use proptest::prelude::*;
+use vtree::{common_round, communication_set, depth, wake_rounds};
+
+proptest! {
+    /// Observation 4 (`+1` form): |S_k([1,i])| <= ceil(log2 i) + 1.
+    #[test]
+    fn observation4(i in 1u64..1_000_000, k_frac in 0.0f64..1.0) {
+        let k = 1 + ((i - 1) as f64 * k_frac) as u64;
+        let s = communication_set(k, i);
+        prop_assert!(s.len() <= depth(i) as usize + 1);
+        prop_assert!(s.contains(&k));
+        // Sorted and deduplicated.
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Observation 5: for k < k' there is a common label r with k < r <= k'.
+    #[test]
+    fn observation5(i in 2u64..1_000_000, a_frac in 0.0f64..1.0, b_frac in 0.0f64..1.0) {
+        let a = 1 + ((i - 1) as f64 * a_frac) as u64;
+        let b = 1 + ((i - 1) as f64 * b_frac) as u64;
+        prop_assume!(a != b);
+        let (k, kp) = (a.min(b), a.max(b));
+        let r = common_round(k, kp, i);
+        prop_assert!(k < r && r <= kp);
+        prop_assert!(communication_set(k, i).contains(&r));
+        prop_assert!(communication_set(kp, i).contains(&r));
+    }
+
+    /// Wake rounds are exactly the communication set clipped to [1, i],
+    /// and every element beyond i that gets clipped is > i.
+    #[test]
+    fn wake_rounds_clip(i in 1u64..100_000, k_frac in 0.0f64..1.0) {
+        let k = 1 + ((i - 1) as f64 * k_frac) as u64;
+        let s = communication_set(k, i);
+        let w = wake_rounds(k, i);
+        prop_assert!(w.iter().all(|&r| r >= 1 && r <= i));
+        prop_assert_eq!(
+            w.clone(),
+            s.iter().copied().filter(|&r| r <= i).collect::<Vec<_>>()
+        );
+    }
+
+    /// The awake-round count of VT-coordinated algorithms: summing over
+    /// all k, the total size of all wake sets is O(i log i) — each round
+    /// r is in at most O(2^h) sets at height h... concretely we check the
+    /// global bound sum_k |S_k| <= i * (log2(i) + 2).
+    #[test]
+    fn total_wake_budget(i in 1u64..2_000) {
+        let total: usize = (1..=i).map(|k| wake_rounds(k, i).len()).sum();
+        prop_assert!(total as u64 <= i * (depth(i) as u64 + 2));
+    }
+}

@@ -1,0 +1,71 @@
+//! Anatomy of one `Awake-MIS` execution: dissects a run into the
+//! paper's moving parts — derived parameters, batch occupancy, wake
+//! schedules, component sizes after shattering, and the per-node awake
+//! distribution.
+//!
+//! ```bash
+//! cargo run --release --example anatomy
+//! ```
+
+use awake_mis::analysis::render_timeline;
+use awake_mis::core::{check_mis, derive_params, AwakeMis, AwakeMisConfig};
+use awake_mis::graphs::generators;
+use awake_mis::sim::{SimConfig, Simulator};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4096usize;
+    let cfg = AwakeMisConfig::default();
+    let p = derive_params(n, &cfg);
+    println!("derived parameters for N = {n} (Theorem 13 defaults):");
+    println!("  collections ℓ      = {}", p.ell);
+    println!("  batches/collection = {} (2Δ')", p.two_delta);
+    println!("  phases P           = {} (= O(log² n))", p.phases);
+    println!("  component bound K  = {} (= O(log n))", p.k);
+    println!("  ID space I         = {} (= N³)", p.id_upper);
+    println!("  rounds per phase   = {}", p.r_phase);
+    println!("  total rounds       = {}", p.phases * p.r_phase);
+    println!(
+        "  comm-round wakes   ≤ {} per node (⌈log2 P⌉+1 — the O(log log n) term)\n",
+        vtree::depth(p.phases) + 1
+    );
+
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+    let g = generators::gnp_avg_degree(n, 8.0, &mut rng);
+    let nodes = (0..n).map(|_| AwakeMis::new(cfg)).collect();
+    let sim_cfg = SimConfig { record_wake_history: true, ..SimConfig::seeded(11) };
+    let report = Simulator::new(g.clone(), nodes, sim_cfg).run()?;
+    let states: Vec<_> = report.outputs.iter().map(|o| o.state).collect();
+    check_mis(&g, &states)?;
+
+    // Batch occupancy per collection: |V_i| should roughly double.
+    let mut per_collection = vec![0usize; p.ell as usize + 1];
+    for o in &report.outputs {
+        per_collection[o.batch.0 as usize] += 1;
+    }
+    println!("collection occupancy (expect ~doubling — drives Lemma 2):");
+    for (i, c) in per_collection.iter().enumerate().skip(1) {
+        println!("  V_{i}: {c} nodes");
+    }
+
+    // Shattered component sizes: Lemma 3 in action.
+    let comp_sizes: Vec<u64> =
+        report.outputs.iter().map(|o| o.comp_size).filter(|&c| c > 0).collect();
+    let solved = comp_sizes.len();
+    let biggest = comp_sizes.iter().max().copied().unwrap_or(0);
+    let avg = comp_sizes.iter().sum::<u64>() as f64 / solved.max(1) as f64;
+    println!("\nshattering: {solved} nodes ran LDT-MIS; component sizes: mean {avg:.2}, max {biggest} (bound K = {})", p.k);
+    let decided_early = n - solved;
+    println!("{decided_early} nodes were dominated before their phase and never ran LDT-MIS");
+
+    // Awake distribution.
+    let mut awake = report.metrics.awake_rounds.clone();
+    awake.sort_unstable();
+    println!("\nawake rounds per node: min {}, median {}, p99 {}, max {}", awake[0], awake[n / 2], awake[n * 99 / 100], awake[n - 1]);
+    println!("round complexity: {}", report.metrics.round_complexity());
+
+    // The sleeping model's defining picture: when are nodes 0..8 awake?
+    println!("\nwake timelines (█ = awake in that time slice, · = asleep, blank = terminated):");
+    print!("{}", render_timeline(&report.metrics, &[0, 1, 2, 3, 4, 5, 6, 7], 72));
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Sensor-network scenario — the motivating application of the sleeping
+//! model (paper §1.2): battery-powered nodes scattered in the plane must
+//! elect a *clusterhead backbone* (an MIS) while spending as little
+//! energy awake as possible.
+//!
+//! Compares `Awake-MIS` against Luby's algorithm under a radio energy
+//! model (60 mW awake, 3 mW asleep, 1 ms rounds) on a random geometric
+//! graph.
+//!
+//! ```bash
+//! cargo run --release --example sensor_network
+//! ```
+
+use awake_mis::analysis::runners::{run_algorithm, Algorithm};
+use awake_mis::analysis::{EnergyModel, Table};
+use awake_mis::graphs::{generators, props};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4096;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2024);
+    // Deployment: n sensors uniform in the unit square, radio range set
+    // for an expected degree of ~12 (a dense, well-connected field).
+    let radius = (12.0 / (std::f64::consts::PI * n as f64)).sqrt();
+    let g = generators::random_geometric(n, radius, &mut rng);
+    println!(
+        "sensor field: {} nodes, {} links, max degree {}, {} connected clusters",
+        g.n(),
+        g.m(),
+        g.max_degree(),
+        props::connected_components(&g).1
+    );
+
+    let model = EnergyModel::default();
+    println!(
+        "energy model: awake {} mW, asleep {} mW, {} ms rounds\n",
+        model.awake_mw, model.sleep_mw, model.round_ms
+    );
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "clusterheads",
+        "awake max",
+        "radio energy, worst node (mJ)",
+        "with 5 µW sleep draw (mJ)",
+        "latency (rounds)",
+        "valid",
+    ]);
+    for alg in [Algorithm::AwakeMis, Algorithm::AwakeMisRound, Algorithm::Luby] {
+        let r = run_algorithm(alg, &g, 7)?;
+        let awake_only = model.awake_energy_mj(r.awake_max);
+        let with_sleep =
+            model.max_node_energy_mj(&r.metrics.awake_rounds, &r.metrics.terminated_at);
+        table.row(vec![
+            alg.name().to_string(),
+            r.mis_size.to_string(),
+            r.awake_max.to_string(),
+            format!("{awake_only:.2}"),
+            format!("{with_sleep:.2}"),
+            r.rounds.to_string(),
+            r.correct.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\nreading the table: the paper's energy metric is the awake-round count (the");
+    println!("radio-on column). Awake-MIS keeps it at O(log log n) — but note the honest");
+    println!("caveat visible in the sleep-draw column: a schedule stretched over many");
+    println!("rounds pays residual sleep current for its whole duration, which is exactly");
+    println!("why the paper *also* chases round complexity (Corollary 14) and why the");
+    println!("open problem of O(log log n) awake with O(log n) rounds matters.");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! **awake-mis** — a full reproduction of
+//! *"Distributed MIS in O(log log n) Awake Complexity"*
+//! (Dufoulon–Moses–Pandurangan, PODC 2023) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`sim`] (`sleeping-congest`) — event-driven SLEEPING-CONGEST
+//!   simulator: synchronous rounds, awake/asleep scheduling, message loss
+//!   to sleeping nodes, CONGEST bit accounting, awake/round metrics.
+//! * [`graphs`] (`graphgen`) — port-numbered CSR graphs and workload
+//!   generators.
+//! * [`vtree`] — virtual binary tree communication sets (paper §5.1).
+//! * [`ldt`] — labeled distance trees: transmission schedules,
+//!   construction (two strategies), broadcast and ranking (§5.2, App. A).
+//! * [`core`] (`awake-mis-core`) — the MIS algorithms: `VT-MIS`,
+//!   `LDT-MIS`, **`Awake-MIS`** (Theorem 13 / Corollary 14) and the
+//!   Luby / naive-greedy baselines plus verifiers.
+//! * [`analysis`] — statistics, growth-law fitting, tables, the energy
+//!   model, and unified runners used by the experiment harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use awake_mis::core::{AwakeMis, check_mis};
+//! use awake_mis::graphs::generators;
+//! use awake_mis::sim::{SimConfig, Simulator};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let g = generators::gnp(200, 0.04, &mut rng);
+//! let nodes = (0..g.n()).map(|_| AwakeMis::theorem13()).collect();
+//! let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(2)).run()?;
+//! let states: Vec<_> = report.outputs.iter().map(|o| o.state).collect();
+//! check_mis(&g, &states).expect("valid MIS");
+//! println!(
+//!     "awake complexity {} over {} rounds",
+//!     report.metrics.awake_complexity(),
+//!     report.metrics.round_complexity()
+//! );
+//! # Ok::<(), awake_mis::sim::SimError>(())
+//! ```
+
+pub use analysis;
+pub use awake_mis_core as core;
+pub use graphgen as graphs;
+pub use ldt;
+pub use sleeping_congest as sim;
+pub use vtree;

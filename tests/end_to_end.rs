@@ -1,0 +1,102 @@
+//! Workspace-level integration tests: exercise the full public API the
+//! way a downstream user would (through the `awake_mis` facade).
+
+use awake_mis::analysis::runners::{run_algorithm, Algorithm};
+use awake_mis::core::{check_mis, AwakeMis, AwakeMisConfig, MisState};
+use awake_mis::graphs::{generators, Graph};
+use awake_mis::sim::{SimConfig, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn facade_quickstart_flow() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = generators::gnp(150, 0.05, &mut rng);
+    let nodes = (0..g.n()).map(|_| AwakeMis::theorem13()).collect();
+    let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(3)).run().unwrap();
+    let states: Vec<MisState> = report.outputs.iter().map(|o| o.state).collect();
+    check_mis(&g, &states).unwrap();
+    assert!(report.metrics.awake_complexity() < report.metrics.round_complexity());
+}
+
+#[test]
+fn all_algorithms_agree_on_validity_across_families() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let graphs = [generators::gnp(80, 0.08, &mut rng),
+        generators::random_geometric(80, 0.2, &mut rng),
+        generators::barabasi_albert(80, 2, &mut rng),
+        generators::grid(9, 9),
+        generators::random_tree(80, &mut rng)];
+    for (i, g) in graphs.iter().enumerate() {
+        for alg in Algorithm::all() {
+            let r = run_algorithm(alg, g, 17).unwrap();
+            assert!(r.correct, "graph {i}, {}: invalid output", alg.name());
+        }
+    }
+}
+
+#[test]
+fn awake_mis_handles_degenerate_topologies() {
+    // Tiny, disconnected, and edgeless graphs must all work.
+    for (name, g) in [
+        ("n1", Graph::empty(1)),
+        ("n2-edge", generators::path(2)),
+        ("n2-noedge", Graph::empty(2)),
+        ("n3-path", generators::path(3)),
+        (
+            "mixed",
+            generators::disjoint_union(&[Graph::empty(3), generators::complete(3), generators::path(2)]),
+        ),
+    ] {
+        let nodes = (0..g.n()).map(|_| AwakeMis::theorem13()).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(5)).run().unwrap();
+        let states: Vec<MisState> = report.outputs.iter().map(|o| o.state).collect();
+        check_mis(&g, &states).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn n_upper_may_exceed_n() {
+    // Nodes only know a polynomial upper bound N >= n (paper §1.3).
+    let mut rng = SmallRng::seed_from_u64(4);
+    let g = generators::gnp(100, 0.07, &mut rng);
+    let cfg = SimConfig { n_upper: Some(100 * 8), ..SimConfig::seeded(6) };
+    let nodes = (0..g.n()).map(|_| AwakeMis::theorem13()).collect();
+    let report = Simulator::new(g.clone(), nodes, cfg).run().unwrap();
+    let states: Vec<MisState> = report.outputs.iter().map(|o| o.state).collect();
+    check_mis(&g, &states).unwrap();
+}
+
+#[test]
+fn failure_rate_is_low_across_seeds_and_configs() {
+    // Monte Carlo guarantee: across 20 seeds on two graph families, no
+    // run may produce an invalid MIS with the default parameters.
+    let mut rng = SmallRng::seed_from_u64(8);
+    let graphs =
+        vec![generators::gnp(200, 0.05, &mut rng), generators::barabasi_albert(200, 3, &mut rng)];
+    for g in &graphs {
+        for seed in 0..10u64 {
+            for cfg in [AwakeMisConfig::default(), AwakeMisConfig::round_efficient()] {
+                let nodes = (0..g.n()).map(|_| AwakeMis::new(cfg)).collect();
+                let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+                assert_eq!(report.outputs.iter().filter(|o| o.failed).count(), 0);
+                let states: Vec<MisState> = report.outputs.iter().map(|o| o.state).collect();
+                check_mis(g, &states).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn energy_model_prefers_awake_mis_on_awake_energy() {
+    use awake_mis::analysis::EnergyModel;
+    let mut rng = SmallRng::seed_from_u64(9);
+    let g = generators::random_geometric(300, 0.12, &mut rng);
+    let am = run_algorithm(Algorithm::AwakeMis, &g, 10).unwrap();
+    let naive = run_algorithm(Algorithm::NaiveGreedy, &g, 10).unwrap();
+    let m = EnergyModel::default();
+    assert!(
+        m.awake_energy_mj(am.awake_max) < m.awake_energy_mj(naive.awake_max),
+        "Awake-MIS must beat the naive baseline on the paper's energy metric"
+    );
+}

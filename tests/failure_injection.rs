@@ -1,0 +1,143 @@
+//! Failure injection: deliberately violate protocol assumptions and
+//! verify that the *detection machinery* (verifiers, metrics, failure
+//! flags) catches the breakage — guarding the simulator's message-loss
+//! semantics and the harness's ability to see real failures.
+
+use awake_mis::core::{check_mis, is_mis, states_to_set, MisMsg, MisState};
+use awake_mis::graphs::{generators, Port};
+use awake_mis::sim::{Action, NodeCtx, Outbox, Protocol, SimConfig, Simulator};
+
+/// `VT-MIS` with sabotage: the saboteur node skips its communication-set
+/// wake-ups after deciding, so later neighbors never hear its InMis
+/// announcement — exactly the failure the virtual-tree schedule exists
+/// to prevent.
+struct SabotagedVtMis {
+    id: u64,
+    saboteur: bool,
+    state: MisState,
+    wakes: Vec<u64>,
+    idx: usize,
+    finished: bool,
+}
+
+impl SabotagedVtMis {
+    fn new(id: u64, i_max: u64, saboteur: bool) -> Self {
+        let wakes: Vec<u64> = vtree::wake_rounds(id, i_max).into_iter().map(|r| r - 1).collect();
+        let _ = i_max; // wake schedule already encodes the horizon
+        SabotagedVtMis { id, saboteur, state: MisState::Undecided, wakes, idx: 0, finished: false }
+    }
+}
+
+impl Protocol for SabotagedVtMis {
+    type Msg = MisMsg;
+    type Output = MisState;
+
+    fn send(&mut self, ctx: &mut NodeCtx) -> Outbox<MisMsg> {
+        if self.wakes.get(self.idx) == Some(&ctx.round) {
+            Outbox::Broadcast(MisMsg(self.state))
+        } else {
+            Outbox::Silent
+        }
+    }
+
+    fn receive(&mut self, ctx: &mut NodeCtx, inbox: &[(Port, MisMsg)]) -> Action {
+        if self.wakes.get(self.idx) == Some(&ctx.round) {
+            if self.state == MisState::Undecided
+                && inbox.iter().any(|&(_, MisMsg(s))| s == MisState::InMis)
+            {
+                self.state = MisState::NotInMis;
+            }
+            if ctx.round + 1 == self.id && self.state == MisState::Undecided {
+                self.state = MisState::InMis;
+            }
+            self.idx += 1;
+        }
+        // The saboteur goes to sleep for good once decided: its remaining
+        // communication-set rounds are skipped.
+        if self.saboteur && self.state.is_decided() {
+            self.finished = true;
+            return Action::Terminate;
+        }
+        match self.wakes.get(self.idx) {
+            Some(&w) => Action::SleepUntil(w.max(ctx.round + 1)),
+            None => {
+                self.finished = true;
+                Action::Terminate
+            }
+        }
+    }
+
+    fn output(&self) -> MisState {
+        assert!(self.finished);
+        self.state
+    }
+}
+
+#[test]
+fn skipping_comm_rounds_breaks_independence_detectably() {
+    // Path 0-1-2-...: give node 0 the smallest ID and make it the
+    // saboteur. Node 0 joins the MIS in round 1 but never announces —
+    // its neighbor (next in ID order) will wrongly join too.
+    let n = 8usize;
+    let g = generators::path(n);
+    // IDs along the path: 1, 2, ..., n → everyone conflicts with the
+    // previous node unless announcements work.
+    let nodes = (0..n)
+        .map(|v| SabotagedVtMis::new(v as u64 + 1, n as u64, v == 0))
+        .collect();
+    let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(1)).run().unwrap();
+    let set = states_to_set(&report.outputs).unwrap();
+    assert!(
+        !is_mis(&g, &set),
+        "sabotage must produce an invalid MIS (got {set:?}) — otherwise the \
+         communication schedule wasn't actually needed"
+    );
+    // And the verifier names the violation precisely.
+    let err = check_mis(&g, &report.outputs).unwrap_err();
+    assert!(err.contains("adjacent"), "unexpected error: {err}");
+}
+
+#[test]
+fn control_without_sabotage_is_correct() {
+    // Identical setup minus the sabotage: a valid LFMIS of the ID order.
+    let n = 8usize;
+    let g = generators::path(n);
+    let nodes = (0..n).map(|v| SabotagedVtMis::new(v as u64 + 1, n as u64, false)).collect();
+    let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(1)).run().unwrap();
+    check_mis(&g, &report.outputs).unwrap();
+    // Alternating pattern: LFMIS of 1..n on a path.
+    let set = states_to_set(&report.outputs).unwrap();
+    assert_eq!(set, (0..n).map(|v| v % 2 == 0).collect::<Vec<_>>());
+}
+
+/// A message that ignores the CONGEST budget.
+#[derive(Debug, Clone)]
+struct FatMsg(Vec<u64>);
+
+impl awake_mis::sim::MessageSize for FatMsg {
+    fn bits(&self) -> usize {
+        self.0.len() * 64
+    }
+}
+
+/// A protocol that shouts oversized messages — the engine must refuse.
+struct Shouter;
+impl Protocol for Shouter {
+    type Msg = FatMsg;
+    type Output = ();
+    fn send(&mut self, _: &mut NodeCtx) -> Outbox<FatMsg> {
+        Outbox::Broadcast(FatMsg(vec![0; 64])) // 4096 bits
+    }
+    fn receive(&mut self, _: &mut NodeCtx, _: &[(Port, FatMsg)]) -> Action {
+        Action::Terminate
+    }
+    fn output(&self) {}
+}
+
+#[test]
+fn congest_budget_violations_abort() {
+    let g = generators::path(2);
+    let cfg = SimConfig { bit_limit: Some(256), ..SimConfig::seeded(1) };
+    let err = Simulator::new(g, vec![Shouter, Shouter], cfg).run().unwrap_err();
+    assert!(matches!(err, awake_mis::sim::SimError::MessageTooLarge { bits: 4096, .. }));
+}
