@@ -75,6 +75,8 @@ pub struct AlgoResult {
     pub failures: usize,
     /// Full engine metrics.
     pub metrics: Metrics,
+    /// Per-node final states (for re-verification by callers).
+    pub states: Vec<MisState>,
 }
 
 /// Distinct random IDs in `[1, upper]`.
@@ -110,6 +112,7 @@ fn finish(
         correct,
         failures,
         metrics,
+        states,
     }
 }
 

@@ -42,6 +42,27 @@ pub fn states_to_set(states: &[MisState]) -> Result<Vec<bool>, NodeId> {
         .collect()
 }
 
+/// Domination loop shared by [`check_maximal`] and [`check_mis`].
+fn maximality_of_set(g: &Graph, set: &[bool]) -> Result<(), String> {
+    for v in 0..g.n() as NodeId {
+        if !set[v as usize] && !g.neighbors(v).iter().any(|&u| set[u as usize]) {
+            return Err(format!("node {v} is neither in the set nor dominated"));
+        }
+    }
+    Ok(())
+}
+
+/// Detailed maximality check, reporting the first non-dominated node.
+///
+/// # Errors
+///
+/// Describes an undecided node or a node that is neither in the set nor
+/// adjacent to a set member.
+pub fn check_maximal(g: &Graph, states: &[MisState]) -> Result<(), String> {
+    let set = states_to_set(states).map_err(|v| format!("node {v} is undecided"))?;
+    maximality_of_set(g, &set)
+}
+
 /// Detailed MIS check, reporting the first violation found.
 ///
 /// # Errors
@@ -55,12 +76,7 @@ pub fn check_mis(g: &Graph, states: &[MisState]) -> Result<(), String> {
             return Err(format!("nodes {u} and {v} are adjacent and both in the set"));
         }
     }
-    for v in 0..g.n() as NodeId {
-        if !set[v as usize] && !g.neighbors(v).iter().any(|&u| set[u as usize]) {
-            return Err(format!("node {v} is neither in the set nor dominated"));
-        }
-    }
-    Ok(())
+    maximality_of_set(g, &set)
 }
 
 #[cfg(test)]
@@ -95,5 +111,18 @@ mod tests {
         assert!(check_mis(&g, &[NotInMis, NotInMis, InMis]).unwrap_err().contains("dominated"));
         assert_eq!(states_to_set(&[InMis, NotInMis]), Ok(vec![true, false]));
         assert_eq!(states_to_set(&[InMis, Undecided]), Err(1));
+    }
+
+    #[test]
+    fn maximality_check() {
+        use MisState::*;
+        let g = generators::path(3);
+        assert!(check_maximal(&g, &[InMis, NotInMis, InMis]).is_ok());
+        // Maximal but not independent: check_maximal alone accepts it.
+        assert!(check_maximal(&g, &[InMis, InMis, InMis]).is_ok());
+        assert!(check_maximal(&g, &[NotInMis, NotInMis, InMis])
+            .unwrap_err()
+            .contains("dominated"));
+        assert!(check_maximal(&g, &[InMis, Undecided, InMis]).unwrap_err().contains("undecided"));
     }
 }

@@ -99,13 +99,27 @@ fn awake_complexity_growth_is_flat() {
     // awake complexity must grow far slower than log n does (which
     // would be a 2.5x jump for Luby-style algorithms... here we check
     // the growth factor stays small).
-    let mut rng = SmallRng::seed_from_u64(500);
+    // Max awake complexity is heavy-tailed: a run where every shattered
+    // component is a singleton skips the LDT-MIS pipeline entirely,
+    // while any 2-node component pays the full construct/rank/permute
+    // window, and the randomized fragment merging has a geometric tail.
+    // Compare seed-averaged maxima so the shape check is about growth
+    // with n, not about which size drew the unlucky component.
     let mut awakes = Vec::new();
     for n in [64usize, 256, 1024] {
-        let g = generators::gnp_avg_degree(n, 8.0, &mut rng);
-        let (outs, m) = run(&g, AwakeMisConfig::default(), 4);
-        assert_valid(&format!("n={n}"), &g, &outs);
-        awakes.push(m.awake_complexity() as f64);
+        let mut total = 0u64;
+        let mut runs = 0u64;
+        for gseed in [500u64, 501, 502] {
+            let mut rng = SmallRng::seed_from_u64(gseed);
+            let g = generators::gnp_avg_degree(n, 8.0, &mut rng);
+            for seed in 4..12u64 {
+                let (outs, m) = run(&g, AwakeMisConfig::default(), seed);
+                assert_valid(&format!("n={n}"), &g, &outs);
+                total += m.awake_complexity();
+                runs += 1;
+            }
+        }
+        awakes.push(total as f64 / runs as f64);
     }
     // 16x more nodes: awake complexity grows by < 75%.
     assert!(

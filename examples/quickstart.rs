@@ -10,7 +10,28 @@ use awake_mis::graphs::generators;
 use awake_mis::sim::{SimConfig, Simulator};
 use rand::SeedableRng;
 
+/// The crate-level Quickstart, line for line. Keep this in sync with
+/// the doctest in `src/lib.rs` and the README — same code, exercised
+/// here as a real binary (`cargo run --example quickstart`).
+fn quickstart() -> Result<(), awake_mis::sim::SimError> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let g = generators::gnp(200, 0.04, &mut rng);
+    let nodes = (0..g.n()).map(|_| AwakeMis::theorem13()).collect();
+    let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(2)).run()?;
+    let states: Vec<_> = report.outputs.iter().map(|o| o.state).collect();
+    check_mis(&g, &states).expect("valid MIS");
+    println!(
+        "awake complexity {} over {} rounds",
+        report.metrics.awake_complexity(),
+        report.metrics.round_complexity()
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The documented Quickstart first.
+    quickstart()?;
+
     // 1. A workload: an Erdős–Rényi graph with average degree 8.
     let n = 1 << 12;
     let mut rng = rand::rngs::SmallRng::seed_from_u64(7);

@@ -1,0 +1,40 @@
+//! Workspace smoke test: every MIS algorithm in the repo — the four
+//! distributed protocols of the paper (`Awake-MIS` in both variants,
+//! `LDT-MIS`, `VT-MIS`), the two distributed baselines (Luby,
+//! naive greedy), and the sequential greedy reference — on a small
+//! fixed-seed graph, each output checked for independence and
+//! maximality.
+
+use awake_mis::analysis::runners::{run_algorithm, Algorithm};
+use awake_mis::core::{check_maximal, check_mis, greedy, is_independent, is_maximal};
+use awake_mis::graphs::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn every_algorithm_produces_a_verified_mis() {
+    let g = generators::gnp(48, 0.12, &mut SmallRng::seed_from_u64(11));
+    assert!(g.m() > 0, "fixture graph must have edges");
+
+    // One row per distributed algorithm; every row must pass both
+    // verifiers on the same fixture.
+    for alg in Algorithm::all() {
+        let result = run_algorithm(alg, &g, 7)
+            .unwrap_or_else(|e| panic!("{}: simulator error: {e:?}", alg.name()));
+        assert_eq!(result.failures, 0, "{}: Monte Carlo failures", alg.name());
+        let states = &result.states;
+        check_mis(&g, states).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        check_maximal(&g, states).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        assert!(result.correct, "{}: runner flagged incorrect", alg.name());
+        assert!(result.mis_size > 0, "{}: empty MIS on a non-empty graph", alg.name());
+    }
+
+    // The sequential greedy reference (LFMIS of a random order).
+    let (order, in_mis) = greedy::random_greedy(&g, &mut SmallRng::seed_from_u64(13));
+    assert_eq!(order.len(), g.n());
+    assert!(is_independent(&g, &in_mis), "sequential greedy: not independent");
+    assert!(is_maximal(&g, &in_mis), "sequential greedy: not maximal");
+    let states = greedy::to_states(&in_mis);
+    check_mis(&g, &states).expect("sequential greedy output");
+    check_maximal(&g, &states).expect("sequential greedy maximality");
+}

@@ -1,0 +1,161 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no crates-registry access, so this vendored
+//! stub lets the workspace's `[[bench]]` targets compile and run without
+//! the real dependency. It implements the API surface the benches use —
+//! `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId::new`] and [`black_box`] — and reports a simple
+//! mean-time-per-iteration measurement on stdout. There are no
+//! statistics, plots, or baselines; swap in real criterion when a
+//! registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times a closure over a fixed number of iterations.
+pub struct Bencher {
+    samples: u64,
+    /// Mean wall time per iteration of the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up iteration, then the timed samples.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.last_mean = start.elapsed() / self.samples.max(1) as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size.min(self.criterion.max_samples),
+            last_mean: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        println!(
+            "bench {}/{}: {:?}/iter ({} samples)",
+            self.name, id, bencher.last_mean, bencher.samples
+        );
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size.min(self.criterion.max_samples),
+            last_mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!(
+            "bench {}/{}: {:?}/iter ({} samples)",
+            self.name, id, bencher.last_mean, bencher.samples
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    max_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `--quick` in CI-ish environments: keep stub runs short.
+        let max_samples = std::env::var("CRITERION_STUB_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        Criterion { max_samples }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+}
+
+/// An identity function that hides a value from the optimizer.
+#[inline]
+pub fn black_box<T>(dummy: T) -> T {
+    std::hint::black_box(dummy)
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,173 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no crates-registry access, so this vendored
+//! stub implements the slice of proptest the workspace's property tests
+//! use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), range / `any::<T>()` / tuple / `Just` /
+//! `prop_map` strategies, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Semantics: each test body runs `cases` times against values drawn
+//! from a per-test deterministic RNG (seeded from the test's module
+//! path, so runs are reproducible). `prop_assume!` rejections re-draw
+//! without counting toward `cases`. There is **no shrinking** — a
+//! failing case panics with the formatted assertion message.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Attributes (normally `#[test]`) pass
+/// through to the generated zero-argument function:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     // In real tests this carries `#[test]`.
+///     fn my_prop(x in 0u64..100, (a, b) in (0i32..5, 0i32..5)) {
+///         prop_assert!(x < 100 && a < b + 5);
+///     }
+/// }
+/// my_prop();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut __cases: u32 = 0;
+            let mut __rejects: u32 = 0;
+            while __cases < __cfg.cases {
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __cases += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                        __why,
+                    )) => {
+                        __rejects += 1;
+                        if __rejects > 1000 + 100 * __cfg.cases {
+                            panic!(
+                                "proptest `{}`: too many prop_assume rejections ({}): {}",
+                                stringify!($name),
+                                __rejects,
+                                __why
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        __msg,
+                    )) => {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            __cases + 1,
+                            __cfg.cases,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // The stringified condition may contain braces; pass it as an
+        // argument, never as the format string.
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            __left,
+            __right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current test case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left != __right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __left
+        );
+    }};
+}
+
+/// Rejects the current case (re-drawn without counting) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

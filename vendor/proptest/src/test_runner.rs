@@ -1,0 +1,64 @@
+//! Test-runner plumbing: per-test deterministic RNG, case config, and
+//! the error type threaded through `prop_assert*` / `prop_assume!`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: redraw inputs, don't count the case.
+    Reject(&'static str),
+    /// `prop_assert*!` failed: the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructor-style alias matching upstream proptest.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies. Deterministic per test (seeded from the
+/// test's fully-qualified name) so failures reproduce across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng(pub SmallRng);
+
+impl TestRng {
+    /// RNG for the named test (FNV-1a of the name as the seed).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

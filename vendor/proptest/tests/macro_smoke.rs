@@ -1,0 +1,78 @@
+//! Self-tests for the vendored proptest stub: the macro forms the
+//! workspace relies on must parse, run the configured number of cases,
+//! respect `prop_assume!`, and surface failures as panics.
+
+use proptest::prelude::*;
+
+fn cases_counter() -> &'static std::sync::atomic::AtomicU32 {
+    static COUNTER: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+    &COUNTER
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(17))]
+
+    /// Ranges stay in bounds; the case count matches the config.
+    #[test]
+    fn ranges_and_case_count(x in 3u64..9, y in 0.0f64..1.0, z in 1usize..=4) {
+        cases_counter().fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        prop_assert!((3..9).contains(&x));
+        prop_assert!((0.0..1.0).contains(&y));
+        prop_assert!((1..=4).contains(&z));
+    }
+}
+
+#[test]
+fn configured_case_count_is_respected() {
+    ranges_and_case_count();
+    assert_eq!(
+        cases_counter().load(std::sync::atomic::Ordering::SeqCst),
+        17
+    );
+}
+
+proptest! {
+    /// Tuple strategies, prop_map, any, Just, patterns, and assume.
+    #[test]
+    fn combinators(
+        (a, b) in (0u32..5, 10u32..15),
+        v in (1usize..6, any::<u64>()).prop_map(|(n, seed)| vec![seed; n]),
+        c in Just(41i32),
+    ) {
+        prop_assume!(a != 3);
+        prop_assert!(a < 5 && (10..15).contains(&b));
+        // Braces in the bare condition must not break the macro's
+        // format! expansion.
+        prop_assert!([a, b].iter().all(|&x| { x < 20 }));
+        prop_assert_ne!(a, 3);
+        prop_assert!(!v.is_empty() && v.len() < 6);
+        prop_assert_eq!(c + 1, 42);
+    }
+}
+
+proptest! {
+    // No `#[test]` attribute: only invoked via catch_unwind below.
+    fn always_fails(x in 0u8..10) {
+        prop_assert!(x > 200, "x was {}", x);
+    }
+}
+
+#[test]
+fn failures_panic_with_message() {
+    let err = std::panic::catch_unwind(always_fails).unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("always_fails"), "got: {msg}");
+    assert!(msg.contains("x was"), "got: {msg}");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    fn draw() -> Vec<u64> {
+        let mut rng = TestRng::for_test("fixed-name");
+        (0..5).map(|_| (0u64..1_000_000).sample(&mut rng)).collect()
+    }
+    assert_eq!(draw(), draw());
+}
