@@ -1,0 +1,389 @@
+//! Batched seed-grid experiment harness.
+//!
+//! A [`GridSpec`] describes a cartesian grid of
+//! `{algorithm × graph family × n × seed}`; [`run_grid`] fans the grid
+//! across OS threads via [`sleeping_congest::batch`], reusing one
+//! [`AlgoScratch`] per worker so mailboxes, RNG tables, and wake buckets
+//! are shared across runs. Results come back as per-run [`GridPoint`]s
+//! (in grid order, independent of the thread count) plus per-cell
+//! aggregates ([`GridCell`], one per `{algorithm × family × n}` with
+//! summary statistics over seeds), and serialize to the machine-readable
+//! `BENCH_grid.json` payload.
+//!
+//! Determinism contract: every run is a pure function of
+//! `(family, n, seed, algorithm)`, so [`GridResult::payload_json`] is
+//! byte-identical across thread counts. Wall-clock and thread-count
+//! metadata live only in the separate [`GridMeta`] object appended by
+//! [`GridResult::to_json`].
+
+use crate::runners::{run_algorithm_with_scratch, AlgoScratch, Algorithm};
+use crate::stats::Summary;
+use graphgen::GraphFamily;
+use sleeping_congest::batch::{resolve_threads, run_batch};
+
+/// A cartesian experiment grid.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Algorithms to run (outermost grid axis).
+    pub algorithms: Vec<Algorithm>,
+    /// Graph families.
+    pub families: Vec<GraphFamily>,
+    /// Node counts.
+    pub sizes: Vec<usize>,
+    /// Seeds (innermost axis). Each seed drives both the instance
+    /// generation and the run randomness, so any point is reproducible
+    /// from its coordinates alone.
+    pub seeds: Vec<u64>,
+    /// Worker threads; `0` means all available hardware threads. Does
+    /// not affect results.
+    pub threads: usize,
+}
+
+impl GridSpec {
+    /// The grid flattened to jobs, in deterministic grid order
+    /// (algorithm-major, seed-minor).
+    pub fn jobs(&self) -> Vec<GridJob> {
+        let mut jobs =
+            Vec::with_capacity(self.algorithms.len() * self.families.len() * self.sizes.len() * self.seeds.len());
+        for &algorithm in &self.algorithms {
+            for &family in &self.families {
+                for &n in &self.sizes {
+                    for &seed in &self.seeds {
+                        jobs.push(GridJob { algorithm, family, n, seed });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// One coordinate of the grid: a single `(algorithm, family, n, seed)`
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridJob {
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Graph family generating the instance.
+    pub family: GraphFamily,
+    /// Node count.
+    pub n: usize,
+    /// Seed for both instance generation and run randomness.
+    pub seed: u64,
+}
+
+/// Normalized measurements of one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// The coordinates this point was measured at.
+    pub job: GridJob,
+    /// Actual node count of the generated instance. Families that round
+    /// to a lattice (`grid`) or clamp (`cycle`) can deviate from the
+    /// requested `job.n`; fits against instance size must use this.
+    pub nodes: usize,
+    /// Worst-case awake complexity (`max_v A_v`).
+    pub awake_max: u64,
+    /// Node-averaged awake complexity.
+    pub awake_avg: f64,
+    /// Round complexity (sleeping + awake).
+    pub rounds: u64,
+    /// Rounds the engine actually simulated (≥ 1 node awake).
+    pub active_rounds: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Largest message in bits.
+    pub max_message_bits: usize,
+    /// Size of the computed MIS.
+    pub mis_size: usize,
+    /// Whether the output verified as a correct MIS.
+    pub correct: bool,
+    /// Number of nodes reporting a Monte Carlo failure.
+    pub failures: usize,
+    /// Engine-level error, if the run aborted (correct is false then).
+    pub sim_error: Option<String>,
+}
+
+/// Aggregates over the seed axis for one `{algorithm × family × n}`.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Algorithm of this cell.
+    pub algorithm: Algorithm,
+    /// Graph family of this cell.
+    pub family: GraphFamily,
+    /// Node count of this cell.
+    pub n: usize,
+    /// Number of seeds aggregated.
+    pub runs: usize,
+    /// Summary of worst-case awake complexity over seeds.
+    pub awake_max: Summary,
+    /// Summary of node-averaged awake complexity over seeds.
+    pub awake_avg: Summary,
+    /// Summary of round complexity over seeds.
+    pub rounds: Summary,
+    /// Largest message observed across seeds, in bits.
+    pub max_message_bits: usize,
+    /// Whether every seed verified correct with zero failures.
+    pub all_correct: bool,
+}
+
+/// The outcome of [`run_grid`]: the spec, every point, every cell.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// The grid that was run.
+    pub spec: GridSpec,
+    /// Per-run measurements, in grid order.
+    pub points: Vec<GridPoint>,
+    /// Per-`{algorithm × family × n}` aggregates, in grid order.
+    pub cells: Vec<GridCell>,
+}
+
+/// Non-deterministic run metadata, kept out of the payload so payloads
+/// compare byte-identical across machines and thread counts.
+#[derive(Debug, Clone)]
+pub struct GridMeta {
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock duration of the grid in milliseconds.
+    pub wall_ms: u128,
+}
+
+/// Runs one grid job on a caller-provided scratch.
+pub fn run_point(job: &GridJob, scratch: &mut AlgoScratch) -> GridPoint {
+    let g = job.family.generate(job.n, job.seed);
+    let nodes = g.n();
+    match run_algorithm_with_scratch(job.algorithm, &g, job.seed, scratch) {
+        Ok(r) => GridPoint {
+            job: *job,
+            nodes,
+            awake_max: r.awake_max,
+            awake_avg: r.awake_avg,
+            rounds: r.rounds,
+            active_rounds: r.metrics.active_rounds,
+            messages: r.messages,
+            max_message_bits: r.max_message_bits,
+            mis_size: r.mis_size,
+            correct: r.correct,
+            failures: r.failures,
+            sim_error: None,
+        },
+        Err(e) => GridPoint {
+            job: *job,
+            nodes,
+            awake_max: 0,
+            awake_avg: 0.0,
+            rounds: 0,
+            active_rounds: 0,
+            messages: 0,
+            max_message_bits: 0,
+            mis_size: 0,
+            correct: false,
+            failures: 0,
+            sim_error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Runs the whole grid, fanning jobs over `spec.threads` workers with
+/// per-worker scratch reuse. The returned points and cells are in grid
+/// order and bit-identical for every thread count.
+pub fn run_grid(spec: &GridSpec) -> GridResult {
+    let jobs = spec.jobs();
+    let threads = resolve_threads(spec.threads);
+    let points = run_batch(&jobs, threads, |_| AlgoScratch::new(), |scratch, _i, job| {
+        run_point(job, scratch)
+    });
+    let cells = aggregate(spec, &points);
+    GridResult { spec: spec.clone(), points, cells }
+}
+
+fn aggregate(spec: &GridSpec, points: &[GridPoint]) -> Vec<GridCell> {
+    let runs = spec.seeds.len();
+    if runs == 0 {
+        return Vec::new();
+    }
+    points
+        .chunks(runs)
+        .map(|chunk| {
+            let head = chunk[0].job;
+            let awake_max: Vec<u64> = chunk.iter().map(|p| p.awake_max).collect();
+            let awake_avg: Vec<f64> = chunk.iter().map(|p| p.awake_avg).collect();
+            let rounds: Vec<u64> = chunk.iter().map(|p| p.rounds).collect();
+            GridCell {
+                algorithm: head.algorithm,
+                family: head.family,
+                n: head.n,
+                runs,
+                awake_max: Summary::of_u64(&awake_max),
+                awake_avg: Summary::of(&awake_avg),
+                rounds: Summary::of_u64(&rounds),
+                max_message_bits: chunk.iter().map(|p| p.max_message_bits).max().unwrap_or(0),
+                all_correct: chunk.iter().all(|p| p.correct),
+            }
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn summary_json(s: &Summary) -> String {
+    format!(
+        "{{\"mean\":{},\"std\":{},\"min\":{},\"median\":{},\"max\":{}}}",
+        s.mean, s.std, s.min, s.median, s.max
+    )
+}
+
+impl GridPoint {
+    fn json(&self) -> String {
+        let mut out = format!(
+            "{{\"algorithm\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\"nodes\":{},\
+             \"awake_max\":{},\"awake_avg\":{},\"rounds\":{},\"active_rounds\":{},\
+             \"messages\":{},\"max_message_bits\":{},\"mis_size\":{},\
+             \"correct\":{},\"failures\":{}",
+            self.job.algorithm.key(),
+            self.job.family.key(),
+            self.job.n,
+            self.job.seed,
+            self.nodes,
+            self.awake_max,
+            self.awake_avg,
+            self.rounds,
+            self.active_rounds,
+            self.messages,
+            self.max_message_bits,
+            self.mis_size,
+            self.correct,
+            self.failures,
+        );
+        if let Some(e) = &self.sim_error {
+            out.push_str(&format!(",\"sim_error\":\"{}\"", json_escape(e)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl GridCell {
+    fn json(&self) -> String {
+        format!(
+            "{{\"algorithm\":\"{}\",\"family\":\"{}\",\"n\":{},\"runs\":{},\
+             \"awake_max\":{},\"awake_avg\":{},\"rounds\":{},\
+             \"max_message_bits\":{},\"all_correct\":{}}}",
+            self.algorithm.key(),
+            self.family.key(),
+            self.n,
+            self.runs,
+            summary_json(&self.awake_max),
+            summary_json(&self.awake_avg),
+            summary_json(&self.rounds),
+            self.max_message_bits,
+            self.all_correct,
+        )
+    }
+}
+
+impl GridResult {
+    /// The deterministic JSON payload: schema id, spec echo, cells,
+    /// points. Byte-identical across thread counts and repeat runs.
+    pub fn payload_json(&self) -> String {
+        self.json_with_meta(None)
+    }
+
+    /// The full JSON document: the payload plus a `meta` object carrying
+    /// wall-clock fields (excluded from determinism comparisons).
+    pub fn to_json(&self, meta: &GridMeta) -> String {
+        self.json_with_meta(Some(meta))
+    }
+
+    fn json_with_meta(&self, meta: Option<&GridMeta>) -> String {
+        let mut out = String::from("{\n  \"schema\": \"awake-mis/bench-grid/v1\",\n");
+        if let Some(m) = meta {
+            out.push_str(&format!(
+                "  \"meta\": {{\"threads\": {}, \"wall_ms\": {}}},\n",
+                m.threads, m.wall_ms
+            ));
+        }
+        let algorithms: Vec<String> =
+            self.spec.algorithms.iter().map(|a| format!("\"{}\"", a.key())).collect();
+        let families: Vec<String> =
+            self.spec.families.iter().map(|f| format!("\"{}\"", f.key())).collect();
+        let sizes: Vec<String> = self.spec.sizes.iter().map(|n| n.to_string()).collect();
+        let seeds: Vec<String> = self.spec.seeds.iter().map(|s| s.to_string()).collect();
+        out.push_str(&format!(
+            "  \"spec\": {{\"algorithms\": [{}], \"families\": [{}], \"sizes\": [{}], \"seeds\": [{}]}},\n",
+            algorithms.join(", "),
+            families.join(", "),
+            sizes.join(", "),
+            seeds.join(", "),
+        ));
+        out.push_str("  \"cells\": [\n");
+        let cells: Vec<String> = self.cells.iter().map(|c| format!("    {}", c.json())).collect();
+        out.push_str(&cells.join(",\n"));
+        out.push_str("\n  ],\n  \"points\": [\n");
+        let points: Vec<String> = self.points.iter().map(|p| format!("    {}", p.json())).collect();
+        out.push_str(&points.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(threads: usize) -> GridSpec {
+        GridSpec {
+            algorithms: vec![Algorithm::Luby, Algorithm::VtMis],
+            families: vec![GraphFamily::Er, GraphFamily::Cycle],
+            sizes: vec![32, 64],
+            seeds: vec![1, 2, 3],
+            threads,
+        }
+    }
+
+    #[test]
+    fn grid_shape_and_order() {
+        let spec = tiny_spec(1);
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 3);
+        // Seed-minor ordering.
+        assert_eq!(jobs[0].seed, 1);
+        assert_eq!(jobs[1].seed, 2);
+        assert_eq!(jobs[3].n, 64);
+        assert_eq!(jobs[3].seed, 1);
+        let result = run_grid(&spec);
+        assert_eq!(result.points.len(), jobs.len());
+        assert_eq!(result.cells.len(), 2 * 2 * 2);
+        assert!(result.cells.iter().all(|c| c.all_correct), "all cells must verify");
+        for (job, point) in jobs.iter().zip(&result.points) {
+            assert_eq!(*job, point.job, "points must come back in grid order");
+        }
+    }
+
+    #[test]
+    fn payload_is_valid_shape_and_deterministic() {
+        let spec = tiny_spec(1);
+        let a = run_grid(&spec).payload_json();
+        let b = run_grid(&spec).payload_json();
+        assert_eq!(a, b, "payload must be reproducible");
+        assert!(a.contains("\"schema\": \"awake-mis/bench-grid/v1\""));
+        assert!(a.contains("\"cells\""));
+        assert!(a.contains("\"points\""));
+        assert!(!a.contains("wall_ms"), "payload must not carry wall-clock fields");
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn meta_lives_only_in_full_document() {
+        let spec = tiny_spec(1);
+        let result = run_grid(&spec);
+        let full = result.to_json(&GridMeta { threads: 3, wall_ms: 17 });
+        assert!(full.contains("\"meta\": {\"threads\": 3, \"wall_ms\": 17}"));
+        // Stripping the meta line reproduces the payload exactly.
+        let stripped: String = full.lines().filter(|l| !l.contains("\"meta\"")).collect::<Vec<_>>().join("\n") + "\n";
+        assert_eq!(stripped, result.payload_json());
+    }
+}

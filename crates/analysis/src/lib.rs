@@ -3,14 +3,17 @@
 //!
 //! Every experiment in `EXPERIMENTS.md` is built from these pieces: the
 //! [`runners`] module executes an algorithm on a graph and returns a
-//! normalized [`runners::AlgoResult`]; [`stats`] summarizes repeated
-//! runs; [`fit`] decides which growth law (`log n` vs `log log n`) a
-//! measured curve follows; [`table`] renders the paper-style tables; and
-//! [`energy`] converts awake/sleeping rounds into the energy figures
-//! that motivate the sleeping model (paper §1.2).
+//! normalized [`runners::AlgoResult`]; [`grid`] fans a cartesian
+//! `{algorithm × family × n × seed}` grid across OS threads with
+//! per-worker scratch reuse and emits the `BENCH_grid.json` payload;
+//! [`stats`] summarizes repeated runs; [`fit`] decides which growth law
+//! (`log n` vs `log log n`) a measured curve follows; [`table`] renders
+//! the paper-style tables; and [`energy`] converts awake/sleeping rounds
+//! into the energy figures that motivate the sleeping model (paper §1.2).
 
 pub mod energy;
 pub mod fit;
+pub mod grid;
 pub mod runners;
 pub mod shattering;
 pub mod stats;
@@ -19,7 +22,8 @@ pub mod timeline;
 
 pub use energy::EnergyModel;
 pub use fit::{fit_linear, growth_exponent, Fit};
-pub use runners::{AlgoResult, Algorithm};
+pub use grid::{run_grid, GridCell, GridJob, GridMeta, GridPoint, GridResult, GridSpec};
+pub use runners::{AlgoResult, AlgoScratch, Algorithm};
 pub use stats::Summary;
 pub use table::Table;
 pub use timeline::render_timeline;

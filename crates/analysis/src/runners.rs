@@ -1,13 +1,17 @@
 //! Unified algorithm runners: one call = one algorithm on one graph,
 //! returning normalized measurements.
 
-use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams};
-use awake_mis_core::{AwakeMis, AwakeMisConfig, LdtStrategy, Luby, MisState, NaiveGreedy, VtMis};
+use awake_mis_core::awake_mis::AwakeMisMsg;
+use awake_mis_core::ldt_mis::{LdtMis, LdtMisMsg, LdtMisParams};
+use awake_mis_core::luby::LubyMsg;
+use awake_mis_core::{
+    AwakeMis, AwakeMisConfig, LdtStrategy, Luby, MisMsg, MisState, NaiveGreedy, VtMis,
+};
 use graphgen::Graph;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sleeping_congest::{Metrics, SimConfig, SimError, Simulator, Standalone};
+use sleeping_congest::{Metrics, SimConfig, SimError, SimScratch, Simulator, Standalone};
 
 /// The MIS algorithms the harness can run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +53,55 @@ impl Algorithm {
             Algorithm::NaiveGreedy,
             Algorithm::Luby,
         ]
+    }
+
+    /// Parses a CLI-style algorithm key (`awake`, `awake-round`, `ldt`,
+    /// `vt`, `naive`, `luby`; the display names are accepted too,
+    /// case-insensitively).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s.to_ascii_lowercase().as_str() {
+            "awake" | "awake-mis" => Some(Algorithm::AwakeMis),
+            "awake-round" | "awake-mis-round" => Some(Algorithm::AwakeMisRound),
+            "ldt" | "ldt-mis" => Some(Algorithm::LdtMis),
+            "vt" | "vt-mis" => Some(Algorithm::VtMis),
+            "naive" | "naive-greedy" => Some(Algorithm::NaiveGreedy),
+            "luby" => Some(Algorithm::Luby),
+            _ => None,
+        }
+    }
+
+    /// CLI key accepted by [`parse`](Algorithm::parse).
+    pub fn key(self) -> &'static str {
+        match self {
+            Algorithm::AwakeMis => "awake",
+            Algorithm::AwakeMisRound => "awake-round",
+            Algorithm::Luby => "luby",
+            Algorithm::VtMis => "vt",
+            Algorithm::NaiveGreedy => "naive",
+            Algorithm::LdtMis => "ldt",
+        }
+    }
+}
+
+/// Reusable simulator scratch for every algorithm the harness runs.
+///
+/// One `AlgoScratch` per worker thread lets a whole grid of runs share
+/// mailbox / RNG-table / wake-bucket allocations (see
+/// [`SimScratch`]). Message types differ per algorithm, so the scratch
+/// keeps one typed arena per protocol family.
+#[derive(Debug, Default)]
+pub struct AlgoScratch {
+    awake: SimScratch<AwakeMisMsg>,
+    luby: SimScratch<LubyMsg>,
+    /// Shared by `VT-MIS` and `Naive-Greedy` (both exchange [`MisMsg`]).
+    mis: SimScratch<MisMsg>,
+    ldt: SimScratch<LdtMisMsg>,
+}
+
+impl AlgoScratch {
+    /// A scratch with no buffers allocated yet.
+    pub fn new() -> AlgoScratch {
+        AlgoScratch::default()
     }
 }
 
@@ -116,7 +169,8 @@ fn finish(
     }
 }
 
-/// Runs `algorithm` on `g` with the given seed.
+/// Runs `algorithm` on `g` with the given seed, allocating fresh
+/// simulator working memory.
 ///
 /// # Errors
 ///
@@ -124,6 +178,22 @@ fn finish(
 /// algorithmic Monte Carlo failures are reported in
 /// [`AlgoResult::failures`], not as errors.
 pub fn run_algorithm(algorithm: Algorithm, g: &Graph, seed: u64) -> Result<AlgoResult, SimError> {
+    run_algorithm_with_scratch(algorithm, g, seed, &mut AlgoScratch::new())
+}
+
+/// Runs `algorithm` on `g` with the given seed, reusing `scratch`'s
+/// buffers. Results are identical to [`run_algorithm`]; this variant
+/// exists so grid workers amortize allocations across many runs.
+///
+/// # Errors
+///
+/// Same as [`run_algorithm`].
+pub fn run_algorithm_with_scratch(
+    algorithm: Algorithm,
+    g: &Graph,
+    seed: u64,
+    scratch: &mut AlgoScratch,
+) -> Result<AlgoResult, SimError> {
     let n = g.n();
     let cfg = SimConfig::seeded(seed);
     match algorithm {
@@ -134,14 +204,14 @@ pub fn run_algorithm(algorithm: Algorithm, g: &Graph, seed: u64) -> Result<AlgoR
                 AwakeMisConfig::round_efficient()
             };
             let nodes = (0..n).map(|_| AwakeMis::new(acfg)).collect();
-            let report = Simulator::new(g.clone(), nodes, cfg).run()?;
+            let report = Simulator::new(g.clone(), nodes, cfg).run_with_scratch(&mut scratch.awake)?;
             let failures = report.outputs.iter().filter(|o| o.failed).count();
             let states = report.outputs.iter().map(|o| o.state).collect();
             Ok(finish(algorithm, g, states, failures, report.metrics))
         }
         Algorithm::Luby => {
             let nodes = (0..n).map(|_| Luby::new()).collect();
-            let report = Simulator::new(g.clone(), nodes, cfg).run()?;
+            let report = Simulator::new(g.clone(), nodes, cfg).run_with_scratch(&mut scratch.luby)?;
             Ok(finish(algorithm, g, report.outputs, 0, report.metrics))
         }
         Algorithm::VtMis => {
@@ -150,7 +220,7 @@ pub fn run_algorithm(algorithm: Algorithm, g: &Graph, seed: u64) -> Result<AlgoR
             ids.shuffle(&mut rng);
             let nodes =
                 (0..n).map(|v| Standalone::new(VtMis::new(ids[v], n as u64, None))).collect();
-            let report = Simulator::new(g.clone(), nodes, cfg).run()?;
+            let report = Simulator::new(g.clone(), nodes, cfg).run_with_scratch(&mut scratch.mis)?;
             Ok(finish(algorithm, g, report.outputs, 0, report.metrics))
         }
         Algorithm::NaiveGreedy => {
@@ -158,7 +228,7 @@ pub fn run_algorithm(algorithm: Algorithm, g: &Graph, seed: u64) -> Result<AlgoR
             let mut ids: Vec<u64> = (1..=n as u64).collect();
             ids.shuffle(&mut rng);
             let nodes = (0..n).map(|v| NaiveGreedy::new(ids[v], n as u64)).collect();
-            let report = Simulator::new(g.clone(), nodes, cfg).run()?;
+            let report = Simulator::new(g.clone(), nodes, cfg).run_with_scratch(&mut scratch.mis)?;
             Ok(finish(algorithm, g, report.outputs, 0, report.metrics))
         }
         Algorithm::LdtMis => {
@@ -175,7 +245,7 @@ pub fn run_algorithm(algorithm: Algorithm, g: &Graph, seed: u64) -> Result<AlgoR
                     }))
                 })
                 .collect();
-            let report = Simulator::new(g.clone(), nodes, cfg).run()?;
+            let report = Simulator::new(g.clone(), nodes, cfg).run_with_scratch(&mut scratch.ldt)?;
             let failures = report.outputs.iter().filter(|o| o.failed).count();
             let states = report.outputs.iter().map(|o| o.state).collect();
             Ok(finish(algorithm, g, states, failures, report.metrics))
@@ -198,6 +268,35 @@ mod tests {
             assert!(r.awake_max > 0);
             assert!(r.awake_avg <= r.awake_max as f64);
         }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // One dirty scratch reused across all algorithms and two graphs
+        // must reproduce the fresh-allocation results exactly.
+        let mut scratch = AlgoScratch::new();
+        for (n, p, seed) in [(40usize, 0.15, 3u64), (70, 0.08, 9)] {
+            let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(seed));
+            for alg in Algorithm::all() {
+                let fresh = run_algorithm(alg, &g, seed).expect("fresh");
+                let reused =
+                    run_algorithm_with_scratch(alg, &g, seed, &mut scratch).expect("reused");
+                assert_eq!(fresh.states, reused.states, "{} diverged", alg.name());
+                assert_eq!(fresh.awake_max, reused.awake_max);
+                assert_eq!(fresh.rounds, reused.rounds);
+                assert_eq!(fresh.messages, reused.messages);
+                assert_eq!(fresh.metrics.active_rounds, reused.metrics.active_rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for alg in Algorithm::all() {
+            assert_eq!(Algorithm::parse(alg.key()), Some(alg));
+            assert_eq!(Algorithm::parse(alg.name()), Some(alg));
+        }
+        assert_eq!(Algorithm::parse("quantum"), None);
     }
 
     #[test]

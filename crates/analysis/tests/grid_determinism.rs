@@ -1,0 +1,47 @@
+//! Batch-harness determinism: the `BENCH_grid.json` payload must be
+//! byte-identical no matter how many worker threads ran the grid
+//! (wall-clock fields live in the separate `meta` object and are
+//! excluded by construction).
+
+use analysis::grid::{run_grid, GridMeta, GridSpec};
+use analysis::runners::Algorithm;
+use graphgen::GraphFamily;
+
+fn spec(threads: usize) -> GridSpec {
+    GridSpec {
+        algorithms: vec![Algorithm::AwakeMis, Algorithm::Luby, Algorithm::VtMis],
+        families: vec![GraphFamily::Er, GraphFamily::Tree],
+        sizes: vec![48, 96],
+        seeds: vec![1, 2, 3, 4],
+        threads,
+    }
+}
+
+#[test]
+fn two_and_eight_thread_payloads_are_byte_identical() {
+    let two = run_grid(&spec(2));
+    let eight = run_grid(&spec(8));
+    assert_eq!(
+        two.payload_json(),
+        eight.payload_json(),
+        "thread count leaked into the deterministic payload"
+    );
+    // And both match a fully serial run.
+    let one = run_grid(&spec(1));
+    assert_eq!(one.payload_json(), two.payload_json());
+}
+
+#[test]
+fn meta_carries_the_wall_clock_fields_only() {
+    let result = run_grid(&spec(2));
+    let payload = result.payload_json();
+    let full = result.to_json(&GridMeta { threads: 2, wall_ms: 12345 });
+    assert!(!payload.contains("wall_ms"));
+    assert!(!payload.contains("threads"));
+    assert!(full.contains("\"wall_ms\": 12345"));
+    // Dropping the meta line recovers the payload byte for byte — i.e.
+    // "identical modulo wall-clock fields" is checkable mechanically.
+    let stripped =
+        full.lines().filter(|l| !l.contains("\"meta\"")).collect::<Vec<_>>().join("\n") + "\n";
+    assert_eq!(stripped, payload);
+}

@@ -1,0 +1,85 @@
+//! Single-run vs batched grid throughput.
+//!
+//! `serial` runs a seed sweep the pre-harness way: one `run_algorithm`
+//! at a time, fresh simulator allocations per run, one thread.
+//! `batched` runs the same sweep through the grid harness: all hardware
+//! threads, per-worker scratch reuse (`AlgoScratch`). The two produce
+//! identical measurements; only the wall clock differs.
+//!
+//! After the Criterion groups, a throughput report times the full sweep
+//! both ways at n = 10⁴ and prints the speedup ratio — the number the
+//! acceptance bar cares about (≥ 3× on a ≥ 4-core machine).
+
+use analysis::grid::{run_grid, GridSpec};
+use analysis::runners::{run_algorithm, Algorithm};
+use bench::Family;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sleeping_congest::batch::available_threads;
+use std::time::Instant;
+
+const SWEEP_SEEDS: u64 = 4;
+
+fn spec_for(n: usize) -> GridSpec {
+    GridSpec {
+        algorithms: vec![Algorithm::AwakeMis],
+        families: vec![Family::Er],
+        sizes: vec![n],
+        seeds: (1..=SWEEP_SEEDS).collect(),
+        threads: 0,
+    }
+}
+
+/// The pre-harness baseline: serial runs, fresh allocations every time.
+fn serial_sweep(n: usize) -> u64 {
+    let mut acc = 0;
+    for seed in 1..=SWEEP_SEEDS {
+        let g = Family::Er.generate(n, seed);
+        let r = run_algorithm(Algorithm::AwakeMis, &g, seed).unwrap();
+        acc += r.awake_max;
+    }
+    acc
+}
+
+fn bench_grid_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.sample_size(if n >= 100_000 { 2 } else { 5 });
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, &n| {
+            b.iter(|| black_box(serial_sweep(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+            b.iter(|| black_box(run_grid(&spec_for(n)).points.len()))
+        });
+    }
+    group.finish();
+}
+
+/// Explicit speedup report at the acceptance-bar size.
+fn report_speedup(_c: &mut Criterion) {
+    let n = 10_000;
+    // Warm up both paths once so allocator and page-cache state match.
+    serial_sweep(n);
+    run_grid(&spec_for(n));
+
+    let reps = 3;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(serial_sweep(n));
+    }
+    let serial = t0.elapsed();
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        black_box(run_grid(&spec_for(n)).points.len());
+    }
+    let batched = t1.elapsed();
+    println!(
+        "grid speedup at n={n}: serial {:.3}s vs batched {:.3}s → {:.2}x ({} threads)",
+        serial.as_secs_f64() / reps as f64,
+        batched.as_secs_f64() / reps as f64,
+        serial.as_secs_f64() / batched.as_secs_f64(),
+        available_threads(),
+    );
+}
+
+criterion_group!(benches, bench_grid_throughput, report_speedup);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! (no arguments = run everything).
 
 use analysis::fit::{compare_growth_laws, growth_exponent};
+use analysis::grid::{run_grid, GridSpec};
 use analysis::runners::{run_algorithm, Algorithm};
 use analysis::shattering::{residual_profile, shatter_once};
 use analysis::{EnergyModel, Summary, Table};
@@ -106,75 +107,38 @@ struct SweepPoint {
     correct: bool,
 }
 
+/// E1/E2 sweep, batched over all hardware threads via the grid harness
+/// (per-worker scratch reuse; results identical to serial execution).
 fn run_sweep() -> Vec<SweepPoint> {
-    const SWEEP_SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
-    let families = [Family::Er, Family::Rgg, Family::Ba];
-    let ns = [256usize, 1024, 4096, 16384, 65536];
-    let algs = [Algorithm::AwakeMis, Algorithm::Luby];
-    let mut out = Vec::new();
-    for &family in &families {
-        for &n in &ns {
-            for &alg in &algs {
-                let mut mx = Vec::new();
-                let mut avg = Vec::new();
-                let mut rounds = Vec::new();
-                let mut correct = true;
-                for &seed in &SWEEP_SEEDS {
-                    let g = family.generate(n, seed);
-                    let r = run_algorithm(alg, &g, seed).expect("run");
-                    correct &= r.correct;
-                    mx.push(r.awake_max);
-                    avg.push(r.awake_avg);
-                    rounds.push(r.rounds);
-                }
-                out.push(SweepPoint {
-                    family,
-                    n,
-                    alg,
-                    awake_max: Summary::of_u64(&mx),
-                    awake_avg: Summary::of(&avg),
-                    rounds: Summary::of_u64(&rounds),
-                    correct,
-                });
-            }
-        }
-    }
+    let algorithms = vec![Algorithm::AwakeMis, Algorithm::Luby];
+    let main = run_grid(&GridSpec {
+        algorithms: algorithms.clone(),
+        families: vec![Family::Er, Family::Rgg, Family::Ba],
+        sizes: vec![256, 1024, 4096, 16384, 65536],
+        seeds: vec![11, 22, 33, 44, 55],
+        threads: 0,
+    });
     // The dense family where Luby's Θ(log n) bites at laptop scale.
-    for &n in &[1024usize, 4096, 16384] {
-        for &alg in &algs {
-            let mut mx = Vec::new();
-            let mut avg = Vec::new();
-            let mut rounds = Vec::new();
-            let mut correct = true;
-            for &seed in &SEEDS {
-                let mut rng = SmallRng::seed_from_u64(seed);
-                let g = generators::gnp_avg_degree(n, (n as f64).sqrt(), &mut rng);
-                let r = run_algorithm(alg, &g, seed).expect("run");
-                correct &= r.correct;
-                mx.push(r.awake_max);
-                avg.push(r.awake_avg);
-                rounds.push(r.rounds);
-            }
-            out.push(SweepPoint {
-                family: Family::Grid, // placeholder tag; rendered as Dense below
-                n,
-                alg,
-                awake_max: Summary::of_u64(&mx),
-                awake_avg: Summary::of(&avg),
-                rounds: Summary::of_u64(&rounds),
-                correct,
-            });
-        }
-    }
-    out
-}
-
-fn family_label(p: &SweepPoint) -> &'static str {
-    if p.family == Family::Grid {
-        "Dense(√n)"
-    } else {
-        p.family.name()
-    }
+    let dense = run_grid(&GridSpec {
+        algorithms,
+        families: vec![Family::Dense],
+        sizes: vec![1024, 4096, 16384],
+        seeds: SEEDS.to_vec(),
+        threads: 0,
+    });
+    main.cells
+        .iter()
+        .chain(dense.cells.iter())
+        .map(|c| SweepPoint {
+            family: c.family,
+            n: c.n,
+            alg: c.algorithm,
+            awake_max: c.awake_max,
+            awake_avg: c.awake_avg,
+            rounds: c.rounds,
+            correct: c.all_correct,
+        })
+        .collect()
 }
 
 /// E1 — Theorem 13: awake complexity is O(log log n).
@@ -188,7 +152,7 @@ fn e1(sweep: &[SweepPoint]) {
     ]);
     for p in sweep {
         t.row(vec![
-            family_label(p).to_string(),
+            p.family.name().to_string(),
             p.n.to_string(),
             p.alg.name().to_string(),
             format!("{:.1} ± {:.1}", p.awake_max.mean, p.awake_max.std),
@@ -246,7 +210,7 @@ fn e2(sweep: &[SweepPoint]) {
     for p in sweep.iter().filter(|p| p.alg == Algorithm::AwakeMis) {
         let l = (p.n as f64).log2();
         t.row(vec![
-            family_label(p).to_string(),
+            p.family.name().to_string(),
             p.n.to_string(),
             format!("{:.3e}", p.rounds.mean),
             format!("{:.0}", p.rounds.mean / l.powi(4)),

@@ -1,16 +1,31 @@
 //! Monte Carlo failure-rate estimation on an adversarial instance
 //! (both endpoints of the only edge must land in the same batch for the
 //! failure machinery to even be exercised).
+//!
+//! The 50k independent runs fan out over all hardware threads with
+//! per-worker scratch reuse; the failure count is deterministic (each
+//! run depends only on its seed).
+use awake_mis_core::awake_mis::AwakeMisMsg;
 use awake_mis_core::{AwakeMis, AwakeMisConfig};
-use sleeping_congest::{SimConfig, Simulator};
+use sleeping_congest::batch::{available_threads, run_batch};
+use sleeping_congest::{SimConfig, SimScratch, Simulator};
+
 fn main() {
     let g = graphgen::Graph::from_edges(5, &[(0, 1)]).unwrap();
-    let mut fails = 0u64;
     const RUNS: u64 = 50_000;
-    for seed in 0..RUNS {
-        let nodes = (0..5).map(|_| AwakeMis::new(AwakeMisConfig::default())).collect();
-        let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
-        fails += rep.outputs.iter().filter(|o| o.failed).count().min(1) as u64;
-    }
+    let seeds: Vec<u64> = (0..RUNS).collect();
+    let failed = run_batch(
+        &seeds,
+        available_threads(),
+        |_| SimScratch::<AwakeMisMsg>::new(),
+        |scratch, _, &seed| {
+            let nodes = (0..5).map(|_| AwakeMis::new(AwakeMisConfig::default())).collect();
+            let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed))
+                .run_with_scratch(scratch)
+                .unwrap();
+            rep.outputs.iter().any(|o| o.failed)
+        },
+    );
+    let fails = failed.iter().filter(|&&f| f).count();
     println!("failure rate on the adversarial pair graph: {fails}/{RUNS}");
 }

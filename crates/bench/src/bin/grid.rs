@@ -1,0 +1,107 @@
+//! Batched seed-grid experiment runner: fans a cartesian grid of
+//! `{algorithm × graph family × n × seed}` across OS threads and writes
+//! the machine-readable `BENCH_grid.json` (schema
+//! `awake-mis/bench-grid/v1`) plus a human-readable summary table.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin grid -- \
+//!     [--algos awake,luby] [--families er,rgg,ba,grid,tree] \
+//!     [--sizes 1000,10000,100000] [--seeds 8] [--threads 0] \
+//!     [--out BENCH_grid.json]
+//! ```
+//!
+//! `--seeds K` runs seeds `1..=K`; `--threads 0` (default) uses every
+//! hardware thread. The JSON payload (everything except the `meta`
+//! object) is byte-identical for any thread count.
+
+use analysis::grid::{run_grid, GridMeta, GridSpec};
+use analysis::runners::Algorithm;
+use analysis::Table;
+use bench::Family;
+use sleeping_congest::batch::resolve_threads;
+use std::time::Instant;
+
+fn parse_list<T>(arg: &str, parse: impl Fn(&str) -> Option<T>, what: &str) -> Vec<T> {
+    arg.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s).unwrap_or_else(|| panic!("unknown {what} {s:?}")))
+        .collect()
+}
+
+fn main() {
+    let mut algorithms = vec![Algorithm::AwakeMis, Algorithm::Luby];
+    let mut families = vec![Family::Er, Family::Rgg, Family::Ba, Family::Grid, Family::Tree];
+    let mut sizes = vec![1_000usize, 10_000, 100_000];
+    let mut seed_count = 8u64;
+    let mut threads = 0usize;
+    let mut out_path = String::from("BENCH_grid.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> &str {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| panic!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--algos" => algorithms = parse_list(value(&mut i), Algorithm::parse, "algorithm"),
+            "--families" => families = parse_list(value(&mut i), Family::parse, "family"),
+            "--sizes" => {
+                sizes = parse_list(value(&mut i), |s| s.parse().ok(), "size");
+            }
+            "--seeds" => seed_count = value(&mut i).parse().expect("--seeds takes a count"),
+            "--threads" => threads = value(&mut i).parse().expect("--threads takes a count"),
+            "--out" => out_path = value(&mut i).to_string(),
+            other => panic!("unknown argument {other:?} (see the doc comment for usage)"),
+        }
+        i += 1;
+    }
+
+    let spec = GridSpec {
+        algorithms,
+        families,
+        sizes,
+        seeds: (1..=seed_count).collect(),
+        threads,
+    };
+    let jobs = spec.jobs().len();
+    let threads_used = resolve_threads(spec.threads);
+    println!("running {jobs} grid jobs over {threads_used} threads…");
+
+    let start = Instant::now();
+    let result = run_grid(&spec);
+    let wall = start.elapsed();
+
+    let mut t = Table::new(vec![
+        "algorithm", "family", "n", "awake max (mean±std)", "awake avg", "rounds (mean)", "max bits", "ok",
+    ]);
+    for c in &result.cells {
+        t.row(vec![
+            c.algorithm.name().to_string(),
+            c.family.name().to_string(),
+            c.n.to_string(),
+            format!("{:.1} ± {:.1}", c.awake_max.mean, c.awake_max.std),
+            format!("{:.2}", c.awake_avg.mean),
+            format!("{:.3e}", c.rounds.mean),
+            c.max_message_bits.to_string(),
+            if c.all_correct { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    print!("{}", t.render());
+
+    let meta = GridMeta { threads: threads_used, wall_ms: wall.as_millis() };
+    std::fs::write(&out_path, result.to_json(&meta)).expect("write grid JSON");
+    let bad = result.points.iter().filter(|p| !p.correct).count();
+    println!(
+        "\nwrote {out_path}: {} points, {} cells, {} incorrect, {:.1}s wall",
+        result.points.len(),
+        result.cells.len(),
+        bad,
+        wall.as_secs_f64()
+    );
+    if bad > 0 {
+        std::process::exit(1);
+    }
+}

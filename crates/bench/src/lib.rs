@@ -1,52 +1,7 @@
-//! Shared helpers for the experiment binary and the Criterion benches.
+//! Shared helpers for the experiment binaries and the Criterion benches.
+//!
+//! The workload families moved down into [`graphgen::families`] so that
+//! experiment grids can iterate generators at the graphs layer; `Family`
+//! is re-exported here for the binaries and for backward compatibility.
 
-use graphgen::{generators, Graph};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-/// The workload families used across experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Family {
-    /// Erdős–Rényi with average degree 8.
-    Er,
-    /// Random geometric graph with expected average degree ~10.
-    Rgg,
-    /// Barabási–Albert with attachment 3.
-    Ba,
-    /// 2D grid (√n × √n).
-    Grid,
-    /// Uniform random tree.
-    Tree,
-}
-
-impl Family {
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Family::Er => "ER(d=8)",
-            Family::Rgg => "RGG",
-            Family::Ba => "BA(m=3)",
-            Family::Grid => "Grid",
-            Family::Tree => "Tree",
-        }
-    }
-
-    /// Generates an `n`-node instance.
-    pub fn generate(self, n: usize, seed: u64) -> Graph {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        match self {
-            Family::Er => generators::gnp_avg_degree(n, 8.0, &mut rng),
-            Family::Rgg => {
-                // radius for expected degree ~10: pi r^2 n = 10.
-                let r = (10.0 / (std::f64::consts::PI * n as f64)).sqrt();
-                generators::random_geometric(n, r, &mut rng)
-            }
-            Family::Ba => generators::barabasi_albert(n, 3, &mut rng),
-            Family::Grid => {
-                let side = (n as f64).sqrt().round() as usize;
-                generators::grid(side.max(2), side.max(2))
-            }
-            Family::Tree => generators::random_tree(n, &mut rng),
-        }
-    }
-}
+pub use graphgen::families::GraphFamily as Family;

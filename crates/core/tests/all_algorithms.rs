@@ -1,0 +1,126 @@
+//! Differential property oracle over **all six** MIS algorithms: for
+//! arbitrary generated graphs and seeds, every algorithm's output must
+//! pass both `check_mis` and `check_maximal`. The seed tests only cover
+//! two algorithms this way; this test pins the full comparison surface
+//! the experiment harness reports on.
+
+use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams};
+use awake_mis_core::{
+    check_maximal, check_mis, AwakeMis, AwakeMisConfig, LdtStrategy, Luby, MisState, NaiveGreedy,
+    VtMis,
+};
+use graphgen::Graph;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sleeping_congest::{SimConfig, Simulator, Standalone};
+
+/// Strategy: a random simple graph with up to `max_n` nodes, spanning
+/// sparse to fairly dense regimes.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n, any::<u64>(), 0.0f64..0.5).prop_map(|(n, seed, p)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        graphgen::generators::gnp(n, p, &mut rng)
+    })
+}
+
+/// Runs one named algorithm and returns `(states, monte_carlo_failures)`.
+fn run_one(name: &str, g: &Graph, seed: u64) -> (Vec<MisState>, usize) {
+    let n = g.n();
+    let cfg = SimConfig::seeded(seed);
+    match name {
+        "awake-mis" | "awake-mis-round" => {
+            let acfg = if name == "awake-mis" {
+                AwakeMisConfig::default()
+            } else {
+                AwakeMisConfig::round_efficient()
+            };
+            let nodes = (0..n).map(|_| AwakeMis::new(acfg)).collect();
+            let report = Simulator::new(g.clone(), nodes, cfg).run().expect(name);
+            let failures = report.outputs.iter().filter(|o| o.failed).count();
+            (report.outputs.iter().map(|o| o.state).collect(), failures)
+        }
+        "luby" => {
+            let nodes = (0..n).map(|_| Luby::new()).collect();
+            (Simulator::new(g.clone(), nodes, cfg).run().expect(name).outputs, 0)
+        }
+        "vt-mis" => {
+            let mut ids: Vec<u64> = (1..=n as u64).collect();
+            ids.shuffle(&mut SmallRng::seed_from_u64(seed ^ 0x77));
+            let nodes =
+                (0..n).map(|v| Standalone::new(VtMis::new(ids[v], n as u64, None))).collect();
+            (Simulator::new(g.clone(), nodes, cfg).run().expect(name).outputs, 0)
+        }
+        "naive-greedy" => {
+            let mut ids: Vec<u64> = (1..=n as u64).collect();
+            ids.shuffle(&mut SmallRng::seed_from_u64(seed ^ 0x77));
+            let nodes = (0..n).map(|v| NaiveGreedy::new(ids[v], n as u64)).collect();
+            (Simulator::new(g.clone(), nodes, cfg).run().expect(name).outputs, 0)
+        }
+        "ldt-mis" => {
+            let id_upper = (n.max(4) as u64).pow(3).max(1 << 24);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+            let mut seen = std::collections::HashSet::new();
+            let mut ids = Vec::with_capacity(n);
+            while ids.len() < n {
+                let id = rng.gen_range(1..=id_upper);
+                if seen.insert(id) {
+                    ids.push(id);
+                }
+            }
+            let nodes = (0..n)
+                .map(|v| {
+                    Standalone::new(LdtMis::new(LdtMisParams {
+                        my_id: ids[v],
+                        id_upper,
+                        k: n.max(1) as u32,
+                        strategy: LdtStrategy::Awake,
+                    }))
+                })
+                .collect();
+            let report = Simulator::new(g.clone(), nodes, cfg).run().expect(name);
+            let failures = report.outputs.iter().filter(|o| o.failed).count();
+            (report.outputs.iter().map(|o| o.state).collect(), failures)
+        }
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+const ALL: [&str; 6] =
+    ["awake-mis", "awake-mis-round", "ldt-mis", "vt-mis", "naive-greedy", "luby"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every algorithm yields a set passing the independence *and*
+    /// maximality oracles on the same instance.
+    #[test]
+    fn all_six_algorithms_yield_valid_mis(g in arb_graph(36), seed in any::<u64>()) {
+        for name in ALL {
+            let (states, failures) = run_one(name, &g, seed);
+            prop_assert_eq!(failures, 0, "{} reported Monte Carlo failures", name);
+            prop_assert!(
+                check_mis(&g, &states).is_ok(),
+                "{} violated check_mis on n={}: {:?}",
+                name, g.n(), check_mis(&g, &states)
+            );
+            prop_assert!(
+                check_maximal(&g, &states).is_ok(),
+                "{} violated check_maximal on n={}: {:?}",
+                name, g.n(), check_maximal(&g, &states)
+            );
+        }
+    }
+
+    /// The two deterministic-order algorithms (VT-MIS and Naive-Greedy
+    /// with the same ID permutation) must agree exactly: both compute the
+    /// lexicographically-first MIS of that order. A true differential
+    /// check, not just per-output validity.
+    #[test]
+    fn vt_mis_and_naive_greedy_agree(g in arb_graph(40), seed in any::<u64>()) {
+        let (vt, _) = run_one("vt-mis", &g, seed);
+        let (naive, _) = run_one("naive-greedy", &g, seed);
+        prop_assert_eq!(vt, naive, "LFMIS differs between VT-MIS and Naive-Greedy");
+    }
+}

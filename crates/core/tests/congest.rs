@@ -1,0 +1,51 @@
+//! CONGEST-discipline regression: `Awake-MIS` messages must stay
+//! `O(log n)` bits. The constant is pinned — measured maxima follow
+//! `3·log₂(n_upper) + 8` bits on current code, and the test allows
+//! `5·⌈log₂ n_upper⌉`, so a refactor that silently widens messages (an
+//! extra ID, a fatter tag) trips the bound while normal drift does not.
+
+use awake_mis_core::{check_mis, AwakeMis, AwakeMisConfig};
+use graphgen::GraphFamily;
+use sleeping_congest::{SimConfig, Simulator};
+
+/// Pinned CONGEST constant: message bits ≤ `PINNED_C · ⌈log₂ n_upper⌉`.
+const PINNED_C: usize = 5;
+
+#[test]
+fn awake_mis_message_bits_stay_logarithmic_across_seed_grid() {
+    for family in [GraphFamily::Er, GraphFamily::Tree, GraphFamily::Grid] {
+        for n in [256usize, 1024, 4096] {
+            for seed in 1..=4u64 {
+                let g = family.generate(n, seed);
+                let n_upper = g.n(); // SimConfig defaults n_upper to n
+                let nodes = (0..g.n()).map(|_| AwakeMis::new(AwakeMisConfig::default())).collect();
+                let report =
+                    Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+                let states: Vec<_> = report.outputs.iter().map(|o| o.state).collect();
+                assert!(check_mis(&g, &states).is_ok(), "{} n={n} seed={seed}", family.name());
+                let log2_ceil = usize::BITS as usize - (n_upper - 1).leading_zeros() as usize;
+                let budget = PINNED_C * log2_ceil;
+                assert!(
+                    report.metrics.max_message_bits <= budget,
+                    "{} n={n} seed={seed}: {} bits exceeds {budget} (= {PINNED_C}·⌈log₂ {n_upper}⌉)",
+                    family.name(),
+                    report.metrics.max_message_bits,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_limit_enforcement_matches_recorded_maximum() {
+    // Running under a hard `bit_limit` exactly at the pinned budget must
+    // succeed — i.e. the recorded maximum is the real maximum the engine
+    // accounts, not an under-estimate.
+    let n = 1024usize;
+    let g = GraphFamily::Er.generate(n, 9);
+    let log2_ceil = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    let cfg = SimConfig { bit_limit: Some(PINNED_C * log2_ceil), ..SimConfig::seeded(9) };
+    let nodes = (0..g.n()).map(|_| AwakeMis::new(AwakeMisConfig::default())).collect();
+    let report = Simulator::new(g, nodes, cfg).run().expect("within CONGEST budget");
+    assert!(report.metrics.max_message_bits <= PINNED_C * log2_ceil);
+}

@@ -1,0 +1,131 @@
+//! Named graph families — the unit of iteration for experiment grids.
+//!
+//! A [`GraphFamily`] pairs a generator with the parameter conventions the
+//! experiments use (ER at average degree 8, RGG at expected degree ~10,
+//! …), so a grid of `{algorithm × family × n × seed}` can be described by
+//! plain enumerable data and every instance regenerated from `(family,
+//! n, seed)` alone.
+
+use crate::{generators, Graph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The workload families used across experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphFamily {
+    /// Erdős–Rényi with average degree 8.
+    Er,
+    /// Random geometric graph with expected average degree ~10.
+    Rgg,
+    /// Barabási–Albert with attachment 3.
+    Ba,
+    /// 2D grid (√n × √n).
+    Grid,
+    /// Uniform random tree.
+    Tree,
+    /// Dense Erdős–Rényi with average degree √n (where Luby's Θ(log n)
+    /// bites at laptop scale).
+    Dense,
+    /// Cycle C_n (the worst case for sequential-greedy round counts).
+    Cycle,
+}
+
+impl GraphFamily {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphFamily::Er => "ER(d=8)",
+            GraphFamily::Rgg => "RGG",
+            GraphFamily::Ba => "BA(m=3)",
+            GraphFamily::Grid => "Grid",
+            GraphFamily::Tree => "Tree",
+            GraphFamily::Dense => "Dense(√n)",
+            GraphFamily::Cycle => "Cycle",
+        }
+    }
+
+    /// All families, in comparison-table order.
+    pub fn all() -> [GraphFamily; 7] {
+        [
+            GraphFamily::Er,
+            GraphFamily::Rgg,
+            GraphFamily::Ba,
+            GraphFamily::Grid,
+            GraphFamily::Tree,
+            GraphFamily::Dense,
+            GraphFamily::Cycle,
+        ]
+    }
+
+    /// Parses a CLI-style family key (`er`, `rgg`, `ba`, `grid`, `tree`,
+    /// `dense`, `cycle`; case-insensitive).
+    pub fn parse(s: &str) -> Option<GraphFamily> {
+        match s.to_ascii_lowercase().as_str() {
+            "er" => Some(GraphFamily::Er),
+            "rgg" => Some(GraphFamily::Rgg),
+            "ba" => Some(GraphFamily::Ba),
+            "grid" => Some(GraphFamily::Grid),
+            "tree" => Some(GraphFamily::Tree),
+            "dense" => Some(GraphFamily::Dense),
+            "cycle" => Some(GraphFamily::Cycle),
+            _ => None,
+        }
+    }
+
+    /// CLI key accepted by [`parse`](GraphFamily::parse).
+    pub fn key(self) -> &'static str {
+        match self {
+            GraphFamily::Er => "er",
+            GraphFamily::Rgg => "rgg",
+            GraphFamily::Ba => "ba",
+            GraphFamily::Grid => "grid",
+            GraphFamily::Tree => "tree",
+            GraphFamily::Dense => "dense",
+            GraphFamily::Cycle => "cycle",
+        }
+    }
+
+    /// Generates an `n`-node instance.
+    pub fn generate(self, n: usize, seed: u64) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match self {
+            GraphFamily::Er => generators::gnp_avg_degree(n, 8.0, &mut rng),
+            GraphFamily::Rgg => {
+                // radius for expected degree ~10: pi r^2 n = 10.
+                let r = (10.0 / (std::f64::consts::PI * n as f64)).sqrt();
+                generators::random_geometric(n, r, &mut rng)
+            }
+            GraphFamily::Ba => generators::barabasi_albert(n, 3, &mut rng),
+            GraphFamily::Grid => {
+                let side = (n as f64).sqrt().round() as usize;
+                generators::grid(side.max(2), side.max(2))
+            }
+            GraphFamily::Tree => generators::random_tree(n, &mut rng),
+            GraphFamily::Dense => generators::gnp_avg_degree(n, (n as f64).sqrt(), &mut rng),
+            GraphFamily::Cycle => generators::cycle(n.max(3)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for family in GraphFamily::all() {
+            let a = family.generate(200, 7);
+            let b = family.generate(200, 7);
+            assert_eq!(a.n(), b.n(), "{}", family.name());
+            assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for family in GraphFamily::all() {
+            assert_eq!(GraphFamily::parse(family.key()), Some(family));
+        }
+        assert_eq!(GraphFamily::parse("nope"), None);
+    }
+}

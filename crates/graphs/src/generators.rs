@@ -160,10 +160,16 @@ pub fn barabasi_albert(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
         endpoints.extend_from_slice(&[0, v]);
     }
     for v in (m as NodeId + 1)..n as NodeId {
-        let mut picked = std::collections::HashSet::with_capacity(m * 2);
+        // Deduplicate in draw order: the endpoint pool grows in the order
+        // targets are attached, so iterating a `HashSet` here would make
+        // the graph depend on hash-seed iteration order and break
+        // seed-reproducibility across processes.
+        let mut picked: Vec<NodeId> = Vec::with_capacity(m);
         while picked.len() < m {
             let t = endpoints[rng.gen_range(0..endpoints.len())];
-            picked.insert(t);
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
         }
         for &t in &picked {
             edges.push((v, t));

@@ -17,6 +17,9 @@
 //!   cliques, stars, grids, tori, hypercubes, …).
 //! * [`props`] — graph measurements (degrees, connected components,
 //!   degeneracy) used by the experiment harness.
+//! * [`families`] — named generator presets ([`GraphFamily`]) so
+//!   experiment grids can iterate workloads as plain data and regenerate
+//!   any instance from `(family, n, seed)`.
 //!
 //! # Example
 //!
@@ -36,10 +39,12 @@
 //! }
 //! ```
 
+pub mod families;
 pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod products;
 pub mod props;
 
+pub use families::GraphFamily;
 pub use graph::{Graph, GraphError, NodeId, Port};

@@ -1,0 +1,165 @@
+//! Deterministic batched execution across OS threads.
+//!
+//! The awake-complexity claims of the paper are *statistical*: they only
+//! show up over grids of {algorithm × graph family × n × seed}. This
+//! module provides the generic fan-out those grids run on: a fixed job
+//! list is distributed over scoped worker threads
+//! ([`std::thread::scope`] — no external thread-pool dependency), each
+//! worker owns long-lived per-worker state (typically a
+//! [`SimScratch`](crate::SimScratch) so mailboxes, RNG tables, and wake
+//! buckets are reused across runs), and results come back **in job
+//! order**, independent of how the OS scheduled the workers.
+//!
+//! Determinism contract: if `run` is a pure function of its job (as every
+//! seeded [`Simulator`](crate::Simulator) run is), the returned vector is
+//! byte-identical for every thread count, including 1.
+//!
+//! ```
+//! use sleeping_congest::batch::run_batch;
+//!
+//! let jobs: Vec<u64> = (0..100).collect();
+//! let two = run_batch(&jobs, 2, |_worker| 0u64, |acc, _i, &job| {
+//!     *acc += job; // per-worker state persists across that worker's jobs
+//!     job * job
+//! });
+//! let eight = run_batch(&jobs, 8, |_worker| 0u64, |_, _, &job| job * job);
+//! assert_eq!(two, eight);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Resolves a user-facing thread-count knob: `0` means "auto" (all
+/// available hardware threads), anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Runs every job in `jobs` and returns the results in job order.
+///
+/// * `threads` — worker count (clamped to `[1, jobs.len()]`); results do
+///   **not** depend on it.
+/// * `make_state(worker_index)` — builds one worker's private state,
+///   called inside that worker's thread. Use it for scratch buffers that
+///   should be reused across runs.
+/// * `run(state, job_index, job)` — executes one job.
+///
+/// Jobs are pulled from a shared atomic counter (work stealing), so a
+/// slow job never stalls the rest of the grid behind it. Each worker
+/// collects `(index, result)` pairs; after all workers join, the pairs
+/// are merged and sorted by index, which is what makes the output
+/// independent of scheduling.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the remaining workers finish
+/// their current job first).
+pub fn run_batch<T, R, S, FS, F>(jobs: &[T], threads: usize, make_state: FS, run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    FS: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, jobs.len().max(1));
+    if threads == 1 {
+        let mut state = make_state(0);
+        return jobs.iter().enumerate().map(|(i, job)| run(&mut state, i, job)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let next = &next;
+                let make_state = &make_state;
+                let run = &run;
+                scope.spawn(move || {
+                    let mut state = make_state(worker);
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        out.push((i, run(&mut state, i, &jobs[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(bucket) => buckets.push(bucket),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+
+    let mut indexed: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = run_batch(&jobs, threads, |_| (), |(), i, &job| {
+                assert_eq!(i, job);
+                job * 3
+            });
+            assert_eq!(got, jobs.iter().map(|j| j * 3).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn per_worker_state_persists_within_a_worker() {
+        // Every worker counts the jobs it ran; the counts must sum to the
+        // job total even though the split is scheduler-dependent.
+        use std::sync::atomic::AtomicUsize;
+        let totals = AtomicUsize::new(0);
+        let jobs = vec![(); 100];
+        struct Counter<'a> {
+            seen: usize,
+            totals: &'a AtomicUsize,
+        }
+        impl Drop for Counter<'_> {
+            fn drop(&mut self) {
+                self.totals.fetch_add(self.seen, Ordering::Relaxed);
+            }
+        }
+        run_batch(
+            &jobs,
+            4,
+            |_| Counter { seen: 0, totals: &totals },
+            |c, _, ()| c.seen += 1,
+        );
+        assert_eq!(totals.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_and_tiny_job_lists() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(run_batch(&empty, 8, |_| (), |(), _, &b| b).is_empty());
+        assert_eq!(run_batch(&[9u8], 8, |_| (), |(), _, &b| b), vec![9]);
+    }
+
+    #[test]
+    fn zero_threads_treated_as_one() {
+        assert_eq!(run_batch(&[1, 2, 3], 0, |_| (), |(), _, &x| x * 2), vec![2, 4, 6]);
+    }
+}

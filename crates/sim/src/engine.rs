@@ -5,9 +5,15 @@ use crate::protocol::{Action, NodeCtx, Outbox, Protocol};
 use crate::rng::node_rng;
 use crate::Round;
 use graphgen::{Graph, NodeId, Port};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use rand::rngs::SmallRng;
+use std::collections::BTreeMap;
 use std::fmt;
+
+/// Sleeping until this round means sleeping *forever*: the node is parked
+/// and never rescheduled. If every scheduled node terminates while parked
+/// nodes remain, the run aborts with [`SimError::Deadlock`] instead of
+/// fast-forwarding to a round that will never arrive.
+pub const SLEEP_FOREVER: Round = Round::MAX;
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone)]
@@ -63,7 +69,7 @@ pub enum SimError {
     /// simulated (runaway protocol).
     ActiveRoundLimit(u64),
     /// Every scheduled node terminated but some nodes slept forever
-    /// without terminating.
+    /// (via [`SLEEP_FOREVER`]) without terminating.
     Deadlock { sleeping_forever: usize },
     /// A node emitted a message above [`SimConfig::bit_limit`].
     MessageTooLarge { node: NodeId, round: Round, bits: usize, limit: usize },
@@ -95,6 +101,174 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Width of the calendar's near window: wake-ups within this many rounds
+/// of the current minimum live in per-round ring buckets indexed by a
+/// single `u64` occupancy bitmask.
+const NEAR: u64 = 64;
+
+/// Calendar/bucket wake queue over rounds.
+///
+/// Each non-terminated, non-parked node has exactly one pending wake-up.
+/// Wake-ups within [`NEAR`] rounds of the current base live in a ring of
+/// per-round buckets whose occupancy is a `u64` bitmask, so advancing
+/// past any stretch of empty (all-asleep) rounds inside the window is a
+/// single `trailing_zeros` — O(1). Wake-ups beyond the window go to a
+/// `BTreeMap` overflow keyed by round and are promoted into the ring as
+/// the base advances; a jump across millions of silent rounds is one
+/// `BTreeMap` lookup, independent of the gap length.
+#[derive(Debug)]
+struct WakeQueue {
+    /// All pending wake-ups are at rounds `>= base`.
+    base: Round,
+    /// Bit `i` set ⇔ the bucket for round `base + i` is non-empty.
+    mask: u64,
+    /// Ring buckets; round `r`'s bucket is `near[r % NEAR]`.
+    near: Vec<Vec<NodeId>>,
+    /// Wake-ups at rounds `>= base + NEAR`.
+    far: BTreeMap<Round, Vec<NodeId>>,
+    /// Recycled bucket allocations for `far` entries.
+    spare: Vec<Vec<NodeId>>,
+    /// Total pending wake-ups.
+    len: usize,
+}
+
+impl Default for WakeQueue {
+    fn default() -> Self {
+        let mut near = Vec::with_capacity(NEAR as usize);
+        near.resize_with(NEAR as usize, Vec::new);
+        WakeQueue { base: 0, mask: 0, near, far: BTreeMap::new(), spare: Vec::new(), len: 0 }
+    }
+}
+
+impl WakeQueue {
+    /// Empties the queue, keeping bucket allocations for reuse.
+    fn clear(&mut self) {
+        self.base = 0;
+        self.mask = 0;
+        for b in &mut self.near {
+            b.clear();
+        }
+        while let Some((_, mut v)) = self.far.pop_first() {
+            v.clear();
+            self.spare.push(v);
+        }
+        self.len = 0;
+    }
+
+    /// Schedules node `v` to wake at round `t` (`t >= base`).
+    fn push(&mut self, t: Round, v: NodeId) {
+        debug_assert!(t >= self.base, "wake-up scheduled in the past");
+        if t - self.base < NEAR {
+            self.near[(t % NEAR) as usize].push(v);
+            self.mask |= 1 << (t - self.base);
+        } else {
+            self.far
+                .entry(t)
+                .or_insert_with(|| self.spare.pop().unwrap_or_default())
+                .push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Moves the window base forward to `r`, promoting overflow entries
+    /// that now fall inside the window.
+    fn advance_to(&mut self, r: Round) {
+        let d = r - self.base;
+        self.mask = if d >= NEAR { 0 } else { self.mask >> d };
+        self.base = r;
+        while let Some((&t, _)) = self.far.first_key_value() {
+            if t - r >= NEAR {
+                break;
+            }
+            let (t, mut nodes) = self.far.pop_first().expect("checked non-empty");
+            let bucket = &mut self.near[(t % NEAR) as usize];
+            debug_assert!(bucket.is_empty(), "promoting into an occupied bucket");
+            std::mem::swap(bucket, &mut nodes);
+            self.spare.push(nodes);
+            self.mask |= 1 << (t - r);
+        }
+    }
+
+    /// Pops the earliest pending round, filling `out` with every node
+    /// scheduled for it (in scheduling order; callers sort). Returns
+    /// `None` when no wake-ups remain.
+    fn pop_round(&mut self, out: &mut Vec<NodeId>) -> Option<Round> {
+        out.clear();
+        if self.len == 0 {
+            return None;
+        }
+        if self.mask == 0 {
+            let (&t, _) = self.far.first_key_value().expect("pending wake-ups must be far");
+            self.advance_to(t);
+        }
+        let r = self.base + u64::from(self.mask.trailing_zeros());
+        self.advance_to(r);
+        out.append(&mut self.near[(r % NEAR) as usize]);
+        self.mask &= !1;
+        self.len -= out.len();
+        Some(r)
+    }
+}
+
+/// Reusable per-run working memory: the wake queue, per-node RNGs,
+/// mailboxes, and awake stamps.
+///
+/// A fresh [`Simulator::run`] allocates all of this from scratch; callers
+/// running many simulations (seed grids, Monte Carlo sweeps) should keep
+/// one `SimScratch` per worker and use
+/// [`Simulator::run_with_scratch`] so buckets and mailboxes keep their
+/// capacity across runs. The type parameter is the protocol's message
+/// type ([`Protocol::Msg`]).
+///
+/// A scratch is reset at the start of every run, so reusing one never
+/// changes results: a run remains a pure function of
+/// `(graph, protocols, SimConfig)`.
+#[derive(Debug)]
+pub struct SimScratch<M> {
+    rngs: Vec<SmallRng>,
+    queue: WakeQueue,
+    batch: Vec<NodeId>,
+    awake_stamp: Vec<Round>,
+    inboxes: Vec<Vec<(Port, M)>>,
+}
+
+impl<M> Default for SimScratch<M> {
+    fn default() -> Self {
+        SimScratch {
+            rngs: Vec::new(),
+            queue: WakeQueue::default(),
+            batch: Vec::new(),
+            awake_stamp: Vec::new(),
+            inboxes: Vec::new(),
+        }
+    }
+}
+
+impl<M> SimScratch<M> {
+    /// A scratch with no buffers allocated yet.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    /// Prepares the scratch for a run over `n` nodes with the given seed.
+    fn reset(&mut self, n: usize, seed: u64) {
+        self.rngs.clear();
+        self.rngs.extend((0..n as u32).map(|v| node_rng(seed, v)));
+        self.queue.clear();
+        for v in 0..n as NodeId {
+            self.queue.push(0, v);
+        }
+        self.batch.clear();
+        self.awake_stamp.clear();
+        self.awake_stamp.resize(n, 0);
+        self.inboxes.truncate(n);
+        for b in &mut self.inboxes {
+            b.clear();
+        }
+        self.inboxes.resize_with(n, Vec::new);
+    }
+}
+
 /// A configured simulation, ready to [`run`](Simulator::run).
 pub struct Simulator<P: Protocol> {
     graph: Graph,
@@ -112,37 +286,45 @@ impl<P: Protocol> Simulator<P> {
         Simulator { graph, nodes: protocols, config }
     }
 
-    /// Runs the simulation to completion (all nodes terminated).
+    /// Runs the simulation to completion (all nodes terminated),
+    /// allocating fresh working memory.
     ///
     /// # Errors
     ///
-    /// See [`SimError`]. In particular a protocol that lets some nodes
-    /// sleep forever yields [`SimError::Deadlock`] rather than hanging.
-    pub fn run(mut self) -> Result<RunReport<P::Output>, SimError> {
+    /// See [`SimError`]. In particular a protocol that parks nodes with
+    /// [`SLEEP_FOREVER`] while the rest terminate yields
+    /// [`SimError::Deadlock`] rather than hanging.
+    pub fn run(self) -> Result<RunReport<P::Output>, SimError> {
+        let mut scratch = SimScratch::new();
+        self.run_with_scratch(&mut scratch)
+    }
+
+    /// Runs the simulation using caller-provided working memory.
+    ///
+    /// Results are identical to [`run`](Simulator::run); the scratch only
+    /// recycles allocations between runs. Intended for batched execution
+    /// where one scratch per worker thread is reused across a whole grid
+    /// of runs.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_with_scratch(
+        mut self,
+        scratch: &mut SimScratch<P::Msg>,
+    ) -> Result<RunReport<P::Output>, SimError> {
         let n = self.graph.n();
         if self.nodes.len() != n {
             return Err(SimError::NodeCountMismatch { nodes: n, protocols: self.nodes.len() });
         }
         let n_upper = self.config.n_upper.unwrap_or(n);
         let mut metrics = Metrics::new(n, self.config.record_wake_history);
-        let mut rngs: Vec<_> = (0..n as u32).map(|v| node_rng(self.config.seed, v)).collect();
-
-        // Each non-terminated node has exactly one entry in the heap: its
-        // next wake-up round.
-        let mut heap: BinaryHeap<Reverse<(Round, NodeId)>> = BinaryHeap::with_capacity(n);
-        for v in 0..n as NodeId {
-            heap.push(Reverse((0, v)));
-        }
-        let mut terminated = vec![false; n];
+        scratch.reset(n, self.config.seed);
+        let SimScratch { rngs, queue, batch, awake_stamp, inboxes } = scratch;
         let mut live = n;
 
-        // Scratch space reused across rounds.
-        let mut batch: Vec<NodeId> = Vec::new();
-        let mut awake_stamp: Vec<u64> = vec![0; n];
-        let mut inboxes: Vec<Vec<(Port, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-
         while live > 0 {
-            let Some(&Reverse((round, _))) = heap.peek() else {
+            let Some(round) = queue.pop_round(batch) else {
                 return Err(SimError::Deadlock { sleeping_forever: live });
             };
             if round > self.config.max_rounds {
@@ -153,22 +335,14 @@ impl<P: Protocol> Simulator<P> {
                 return Err(SimError::ActiveRoundLimit(metrics.active_rounds));
             }
 
-            batch.clear();
-            while let Some(&Reverse((r, v))) = heap.peek() {
-                if r != round {
-                    break;
-                }
-                heap.pop();
-                batch.push(v);
-            }
             batch.sort_unstable();
             let stamp = round + 1; // nonzero marker for "awake this round"
-            for &v in &batch {
+            for &v in batch.iter() {
                 awake_stamp[v as usize] = stamp;
             }
 
             // Send step (in node-id order for determinism).
-            for &v in &batch {
+            for &v in batch.iter() {
                 let mut ctx = NodeCtx {
                     node: v,
                     degree: self.graph.degree(v),
@@ -209,7 +383,7 @@ impl<P: Protocol> Simulator<P> {
             }
 
             // Receive step.
-            for &v in &batch {
+            for &v in batch.iter() {
                 inboxes[v as usize].sort_unstable_by_key(|&(p, _)| p);
                 let action = {
                     let mut ctx = NodeCtx {
@@ -227,15 +401,19 @@ impl<P: Protocol> Simulator<P> {
                     h[v as usize].push(round);
                 }
                 match action {
-                    Action::Continue => heap.push(Reverse((round + 1, v))),
+                    Action::Continue => queue.push(round + 1, v),
                     Action::SleepUntil(t) => {
                         if t <= round {
                             return Err(SimError::BadSleep { node: v, round, until: t });
                         }
-                        heap.push(Reverse((t, v)));
+                        if t != SLEEP_FOREVER {
+                            queue.push(t, v);
+                        }
+                        // SLEEP_FOREVER parks the node: it stays live but
+                        // is never rescheduled, so a drained queue with
+                        // parked nodes left is a deadlock.
                     }
                     Action::Terminate => {
-                        terminated[v as usize] = true;
                         metrics.terminated_at[v as usize] = round;
                         live -= 1;
                     }
@@ -511,5 +689,91 @@ mod tests {
         assert_eq!(a[1].1.len(), 2);
         // Distinct nodes draw distinct randomness (overwhelmingly likely).
         assert_ne!(a[0].0, a[1].0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible() {
+        // Re-running through one scratch (dirty from a prior, *different*
+        // run) must reproduce the fresh-allocation results bit for bit.
+        let mut scratch = SimScratch::new();
+        let big = generators::gnp(50, 0.2, &mut {
+            use rand::SeedableRng;
+            rand::rngs::SmallRng::seed_from_u64(3)
+        });
+        let nodes = (0..big.n()).map(|v| Sleeper { wake_at: 2 + v as Round, phase: 0, heard: 0 }).collect();
+        Simulator::new(big, nodes, SimConfig::seeded(8)).run_with_scratch(&mut scratch).unwrap();
+
+        let g = generators::path(3);
+        let mk = || (0..3).map(|_| Sleeper { wake_at: 5, phase: 0, heard: 0 }).collect();
+        let fresh = Simulator::new(g.clone(), mk(), SimConfig::default()).run().unwrap();
+        let reused = Simulator::new(g, mk(), SimConfig::default())
+            .run_with_scratch(&mut scratch)
+            .unwrap();
+        assert_eq!(fresh.outputs, reused.outputs);
+        assert_eq!(fresh.metrics.awake_rounds, reused.metrics.awake_rounds);
+        assert_eq!(fresh.metrics.active_rounds, reused.metrics.active_rounds);
+        assert_eq!(fresh.metrics.messages_lost, reused.metrics.messages_lost);
+    }
+
+    #[test]
+    fn wake_queue_skips_and_orders() {
+        // Direct unit test of the calendar queue: mixed near/far pushes
+        // drain in round order with same-round nodes batched together.
+        let mut q = WakeQueue::default();
+        q.push(0, 0);
+        q.push(0, 1);
+        q.push(5, 2);
+        q.push(1_000_000, 3);
+        q.push(70, 4);
+        q.push(1_000_000, 5);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_round(&mut out), Some(0));
+        assert_eq!(out, vec![0, 1]);
+        // Push into the near window relative to the new base.
+        q.push(5, 6);
+        assert_eq!(q.pop_round(&mut out), Some(5));
+        {
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![2, 6]);
+        }
+        assert_eq!(q.pop_round(&mut out), Some(70));
+        assert_eq!(out, vec![4]);
+        assert_eq!(q.pop_round(&mut out), Some(1_000_000));
+        {
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![3, 5]);
+        }
+        assert_eq!(q.pop_round(&mut out), None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sleep_forever_deadlocks_once_schedule_drains() {
+        /// Node 0 terminates immediately; node 1 parks forever.
+        struct Parker {
+            parks: bool,
+        }
+        impl Protocol for Parker {
+            type Msg = ();
+            type Output = ();
+            fn send(&mut self, _: &mut NodeCtx) -> Outbox<()> {
+                Outbox::Silent
+            }
+            fn receive(&mut self, _: &mut NodeCtx, _: &[(Port, ())]) -> Action {
+                if self.parks {
+                    Action::SleepUntil(SLEEP_FOREVER)
+                } else {
+                    Action::Terminate
+                }
+            }
+            fn output(&self) {}
+        }
+
+        let g = generators::path(2);
+        let nodes = vec![Parker { parks: false }, Parker { parks: true }];
+        let err = Simulator::new(g, nodes, SimConfig::default()).run().unwrap_err();
+        assert_eq!(err, SimError::Deadlock { sleeping_forever: 1 });
     }
 }

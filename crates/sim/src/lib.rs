@@ -21,11 +21,20 @@
 //! The algorithms built on this model have round complexities like
 //! `Θ(log⁷ n · log log n)` while keeping every node awake only
 //! `O(log log n)` rounds. The engine therefore never iterates over rounds
-//! in which *every* node sleeps: it keeps a priority queue of scheduled
-//! wake-ups and jumps directly from one *active* round to the next. The
-//! semantics are identical to a round-by-round execution (sleeping rounds
-//! are observationally empty), but a run costs time proportional to the
-//! total number of *awake node-rounds*, not to the round complexity.
+//! in which *every* node sleeps: it keeps a calendar/bucket queue of
+//! scheduled wake-ups (a 64-round bitmask window over ring buckets, with
+//! a sorted overflow map for far-future wake-ups) and jumps directly from
+//! one *active* round to the next — skipping an empty all-asleep round
+//! range costs O(1) inside the window and one ordered-map lookup beyond
+//! it. The semantics are identical to a round-by-round execution
+//! (sleeping rounds are observationally empty), but a run costs time
+//! proportional to the total number of *awake node-rounds*, not to the
+//! round complexity.
+//!
+//! For running *grids* of simulations (seed sweeps, scaling studies) see
+//! [`batch`] and [`SimScratch`]: per-worker scratch memory is reused
+//! across runs and jobs fan out over OS threads with results in
+//! deterministic job order.
 //!
 //! # Example
 //!
@@ -62,13 +71,15 @@
 //! # Ok::<(), sleeping_congest::SimError>(())
 //! ```
 
+pub mod batch;
 pub mod engine;
 pub mod message;
 pub mod metrics;
 pub mod protocol;
 pub mod rng;
 
-pub use engine::{SimConfig, SimError, Simulator};
+pub use batch::{available_threads, resolve_threads, run_batch};
+pub use engine::{SimConfig, SimError, SimScratch, Simulator, SLEEP_FOREVER};
 pub use message::{bits_for_value, MessageSize};
 pub use metrics::{Metrics, RunReport};
 pub use protocol::{Action, NodeCtx, Outbox, Protocol, Standalone, SubAction, SubProtocol};

@@ -53,7 +53,10 @@ pub enum Action {
     /// Stay awake: participate in the next round too.
     Continue,
     /// Sleep until the given round (exclusive of the current one; must be
-    /// strictly greater than the current round).
+    /// strictly greater than the current round). The sentinel value
+    /// [`crate::SLEEP_FOREVER`] (`Round::MAX`) parks the node forever:
+    /// it is never rescheduled, and if all other nodes terminate the run
+    /// aborts with [`crate::SimError::Deadlock`].
     SleepUntil(Round),
     /// Terminate the local algorithm. The node stops participating; its
     /// output is collected at the end of the run.

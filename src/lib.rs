@@ -5,10 +5,14 @@
 //! This facade crate re-exports the workspace members:
 //!
 //! * [`sim`] (`sleeping-congest`) — event-driven SLEEPING-CONGEST
-//!   simulator: synchronous rounds, awake/asleep scheduling, message loss
-//!   to sleeping nodes, CONGEST bit accounting, awake/round metrics.
-//! * [`graphs`] (`graphgen`) — port-numbered CSR graphs and workload
-//!   generators.
+//!   simulator: synchronous rounds, awake/asleep scheduling via a
+//!   calendar/bucket wake queue that skips all-asleep round ranges,
+//!   message loss to sleeping nodes, CONGEST bit accounting, awake/round
+//!   metrics, and batched multi-thread execution with scratch reuse
+//!   (`sim::batch`, `sim::SimScratch`).
+//! * [`graphs`] (`graphgen`) — port-numbered CSR graphs, workload
+//!   generators, and named generator families for grid iteration
+//!   (`graphs::GraphFamily`).
 //! * [`vtree`] — virtual binary tree communication sets (paper §5.1).
 //! * [`ldt`] — labeled distance trees: transmission schedules,
 //!   construction (two strategies), broadcast and ranking (§5.2, App. A).
@@ -16,7 +20,8 @@
 //!   `LDT-MIS`, **`Awake-MIS`** (Theorem 13 / Corollary 14) and the
 //!   Luby / naive-greedy baselines plus verifiers.
 //! * [`analysis`] — statistics, growth-law fitting, tables, the energy
-//!   model, and unified runners used by the experiment harness.
+//!   model, unified runners, and the batched seed-grid experiment
+//!   harness (`analysis::grid`) behind `BENCH_grid.json`.
 //!
 //! # Quickstart
 //!
