@@ -1,31 +1,37 @@
 //! Batched seed-grid experiment harness.
 //!
 //! A [`GridSpec`] describes a cartesian grid of
-//! `{algorithm × graph family × n × seed}`; [`run_grid`] fans the grid
-//! across OS threads via [`sleeping_congest::batch`], reusing one
-//! [`AlgoScratch`] per worker so mailboxes, RNG tables, and wake buckets
-//! are shared across runs. Results come back as per-run [`GridPoint`]s
-//! (in grid order, independent of the thread count) plus per-cell
-//! aggregates ([`GridCell`], one per `{algorithm × family × n}` with
-//! summary statistics over seeds), and serialize to the machine-readable
-//! `BENCH_grid.json` payload.
+//! `{algorithm × graph family × n × seed}` where the algorithm axis is a
+//! list of registry-resolved [`RunnerHandle`]s; [`run_grid`] fans the
+//! grid across OS threads via [`sleeping_congest::batch`], reusing one
+//! type-erased [`ScratchArena`] per worker so mailboxes, RNG tables, and
+//! wake buckets are shared across runs of every protocol family. Results
+//! come back as per-run [`GridPoint`]s (in grid order, independent of
+//! the thread count) plus per-cell aggregates ([`GridCell`], one per
+//! `{algorithm × family × n}` with summary statistics over seeds), and
+//! serialize to the machine-readable `BENCH_grid.json` payload.
 //!
 //! Determinism contract: every run is a pure function of
-//! `(family, n, seed, algorithm)`, so [`GridResult::payload_json`] is
-//! byte-identical across thread counts. Wall-clock and thread-count
-//! metadata live only in the separate [`GridMeta`] object appended by
-//! [`GridResult::to_json`].
+//! `(family, n, seed, algorithm spec)`, so [`GridResult::payload_json`]
+//! is byte-identical across thread counts. Wall-clock and thread-count
+//! metadata live only in the separate [`GridMeta`] object and the
+//! per-point `timing` section appended by [`GridResult::to_json`] —
+//! never in the payload.
 
-use crate::runners::{run_algorithm_with_scratch, AlgoScratch, Algorithm};
+use crate::runners::AlgoScratch;
+use crate::spec::RunnerHandle;
 use crate::stats::Summary;
 use graphgen::GraphFamily;
 use sleeping_congest::batch::{resolve_threads, run_batch};
+use std::time::Instant;
 
 /// A cartesian experiment grid.
 #[derive(Debug, Clone)]
 pub struct GridSpec {
-    /// Algorithms to run (outermost grid axis).
-    pub algorithms: Vec<Algorithm>,
+    /// Algorithms to run (outermost grid axis), as registry-resolved
+    /// runner handles — any spec the registry accepts, including
+    /// parameterized variants like `awake?round_efficient=true`.
+    pub algorithms: Vec<RunnerHandle>,
     /// Graph families.
     pub families: Vec<GraphFamily>,
     /// Node counts.
@@ -43,13 +49,14 @@ impl GridSpec {
     /// The grid flattened to jobs, in deterministic grid order
     /// (algorithm-major, seed-minor).
     pub fn jobs(&self) -> Vec<GridJob> {
-        let mut jobs =
-            Vec::with_capacity(self.algorithms.len() * self.families.len() * self.sizes.len() * self.seeds.len());
-        for &algorithm in &self.algorithms {
+        let mut jobs = Vec::with_capacity(
+            self.algorithms.len() * self.families.len() * self.sizes.len() * self.seeds.len(),
+        );
+        for algorithm in &self.algorithms {
             for &family in &self.families {
                 for &n in &self.sizes {
                     for &seed in &self.seeds {
-                        jobs.push(GridJob { algorithm, family, n, seed });
+                        jobs.push(GridJob { algorithm: algorithm.clone(), family, n, seed });
                     }
                 }
             }
@@ -59,11 +66,11 @@ impl GridSpec {
 }
 
 /// One coordinate of the grid: a single `(algorithm, family, n, seed)`
-/// run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// run. The algorithm is a shared handle, so cloning a job is cheap.
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridJob {
     /// Algorithm to run.
-    pub algorithm: Algorithm,
+    pub algorithm: RunnerHandle,
     /// Graph family generating the instance.
     pub family: GraphFamily,
     /// Node count.
@@ -101,13 +108,17 @@ pub struct GridPoint {
     pub failures: usize,
     /// Engine-level error, if the run aborted (correct is false then).
     pub sim_error: Option<String>,
+    /// Wall-clock time of this point (generation + run), in
+    /// nanoseconds. Machine-dependent, so it is serialized in the
+    /// `timing` sibling section, **never** in the deterministic payload.
+    pub elapsed_ns: u64,
 }
 
 /// Aggregates over the seed axis for one `{algorithm × family × n}`.
 #[derive(Debug, Clone)]
 pub struct GridCell {
     /// Algorithm of this cell.
-    pub algorithm: Algorithm,
+    pub algorithm: RunnerHandle,
     /// Graph family of this cell.
     pub family: GraphFamily,
     /// Node count of this cell.
@@ -149,11 +160,12 @@ pub struct GridMeta {
 
 /// Runs one grid job on a caller-provided scratch.
 pub fn run_point(job: &GridJob, scratch: &mut AlgoScratch) -> GridPoint {
+    let start = Instant::now();
     let g = job.family.generate(job.n, job.seed);
     let nodes = g.n();
-    match run_algorithm_with_scratch(job.algorithm, &g, job.seed, scratch) {
+    let point = match job.algorithm.run_with_scratch(&g, job.seed, scratch) {
         Ok(r) => GridPoint {
-            job: *job,
+            job: job.clone(),
             nodes,
             awake_max: r.awake_max,
             awake_avg: r.awake_avg,
@@ -165,9 +177,10 @@ pub fn run_point(job: &GridJob, scratch: &mut AlgoScratch) -> GridPoint {
             correct: r.correct,
             failures: r.failures,
             sim_error: None,
+            elapsed_ns: 0,
         },
         Err(e) => GridPoint {
-            job: *job,
+            job: job.clone(),
             nodes,
             awake_max: 0,
             awake_avg: 0.0,
@@ -179,13 +192,16 @@ pub fn run_point(job: &GridJob, scratch: &mut AlgoScratch) -> GridPoint {
             correct: false,
             failures: 0,
             sim_error: Some(e.to_string()),
+            elapsed_ns: 0,
         },
-    }
+    };
+    GridPoint { elapsed_ns: start.elapsed().as_nanos() as u64, ..point }
 }
 
 /// Runs the whole grid, fanning jobs over `spec.threads` workers with
 /// per-worker scratch reuse. The returned points and cells are in grid
-/// order and bit-identical for every thread count.
+/// order and — apart from the wall-clock `elapsed_ns` field — bit-
+/// identical for every thread count.
 pub fn run_grid(spec: &GridSpec) -> GridResult {
     let jobs = spec.jobs();
     let threads = resolve_threads(spec.threads);
@@ -204,12 +220,12 @@ fn aggregate(spec: &GridSpec, points: &[GridPoint]) -> Vec<GridCell> {
     points
         .chunks(runs)
         .map(|chunk| {
-            let head = chunk[0].job;
+            let head = &chunk[0].job;
             let awake_max: Vec<u64> = chunk.iter().map(|p| p.awake_max).collect();
             let awake_avg: Vec<f64> = chunk.iter().map(|p| p.awake_avg).collect();
             let rounds: Vec<u64> = chunk.iter().map(|p| p.rounds).collect();
             GridCell {
-                algorithm: head.algorithm,
+                algorithm: head.algorithm.clone(),
                 family: head.family,
                 n: head.n,
                 runs,
@@ -224,7 +240,19 @@ fn aggregate(spec: &GridSpec, points: &[GridPoint]) -> Vec<GridCell> {
 }
 
 fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn summary_json(s: &Summary) -> String {
@@ -241,7 +269,7 @@ impl GridPoint {
              \"awake_max\":{},\"awake_avg\":{},\"rounds\":{},\"active_rounds\":{},\
              \"messages\":{},\"max_message_bits\":{},\"mis_size\":{},\
              \"correct\":{},\"failures\":{}",
-            self.job.algorithm.key(),
+            json_escape(self.job.algorithm.key()),
             self.job.family.key(),
             self.job.n,
             self.job.seed,
@@ -270,7 +298,7 @@ impl GridCell {
             "{{\"algorithm\":\"{}\",\"family\":\"{}\",\"n\":{},\"runs\":{},\
              \"awake_max\":{},\"awake_avg\":{},\"rounds\":{},\
              \"max_message_bits\":{},\"all_correct\":{}}}",
-            self.algorithm.key(),
+            json_escape(self.algorithm.key()),
             self.family.key(),
             self.n,
             self.runs,
@@ -290,8 +318,9 @@ impl GridResult {
         self.json_with_meta(None)
     }
 
-    /// The full JSON document: the payload plus a `meta` object carrying
-    /// wall-clock fields (excluded from determinism comparisons).
+    /// The full JSON document: the payload plus a `meta` object and a
+    /// per-point `timing` section carrying wall-clock fields (both
+    /// excluded from determinism comparisons).
     pub fn to_json(&self, meta: &GridMeta) -> String {
         self.json_with_meta(Some(meta))
     }
@@ -303,9 +332,18 @@ impl GridResult {
                 "  \"meta\": {{\"threads\": {}, \"wall_ms\": {}}},\n",
                 m.threads, m.wall_ms
             ));
+            // Per-point wall-clock timing, in grid (= points) order.
+            // Lives beside the payload, not in it, for the same reason
+            // as `meta`: payloads must compare byte-identical.
+            let ns: Vec<String> = self.points.iter().map(|p| p.elapsed_ns.to_string()).collect();
+            out.push_str(&format!("  \"timing\": {{\"elapsed_ns\": [{}]}},\n", ns.join(", ")));
         }
-        let algorithms: Vec<String> =
-            self.spec.algorithms.iter().map(|a| format!("\"{}\"", a.key())).collect();
+        let algorithms: Vec<String> = self
+            .spec
+            .algorithms
+            .iter()
+            .map(|a| format!("\"{}\"", json_escape(a.key())))
+            .collect();
         let families: Vec<String> =
             self.spec.families.iter().map(|f| format!("\"{}\"", f.key())).collect();
         let sizes: Vec<String> = self.spec.sizes.iter().map(|n| n.to_string()).collect();
@@ -331,10 +369,11 @@ impl GridResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::default_registry;
 
     fn tiny_spec(threads: usize) -> GridSpec {
         GridSpec {
-            algorithms: vec![Algorithm::Luby, Algorithm::VtMis],
+            algorithms: default_registry().resolve_list("luby,vt").unwrap(),
             families: vec![GraphFamily::Er, GraphFamily::Cycle],
             sizes: vec![32, 64],
             seeds: vec![1, 2, 3],
@@ -358,6 +397,7 @@ mod tests {
         assert!(result.cells.iter().all(|c| c.all_correct), "all cells must verify");
         for (job, point) in jobs.iter().zip(&result.points) {
             assert_eq!(*job, point.job, "points must come back in grid order");
+            assert!(point.elapsed_ns > 0, "every point must be timed");
         }
     }
 
@@ -371,19 +411,43 @@ mod tests {
         assert!(a.contains("\"cells\""));
         assert!(a.contains("\"points\""));
         assert!(!a.contains("wall_ms"), "payload must not carry wall-clock fields");
+        assert!(!a.contains("elapsed_ns"), "payload must not carry per-point timing");
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
     }
 
     #[test]
-    fn meta_lives_only_in_full_document() {
+    fn meta_and_timing_live_only_in_full_document() {
         let spec = tiny_spec(1);
         let result = run_grid(&spec);
         let full = result.to_json(&GridMeta { threads: 3, wall_ms: 17 });
         assert!(full.contains("\"meta\": {\"threads\": 3, \"wall_ms\": 17}"));
-        // Stripping the meta line reproduces the payload exactly.
-        let stripped: String = full.lines().filter(|l| !l.contains("\"meta\"")).collect::<Vec<_>>().join("\n") + "\n";
+        assert!(full.contains("\"timing\": {\"elapsed_ns\": ["));
+        // Stripping the meta and timing lines reproduces the payload
+        // exactly.
+        let stripped: String = full
+            .lines()
+            .filter(|l| !l.contains("\"meta\"") && !l.contains("\"timing\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
         assert_eq!(stripped, result.payload_json());
+    }
+
+    #[test]
+    fn parameterized_spec_runs_end_to_end() {
+        // A spec override must flow through the grid with its canonical
+        // key in the payload — no dispatch edits anywhere.
+        let spec = GridSpec {
+            algorithms: default_registry().resolve_list("vt?id_upper=4096").unwrap(),
+            families: vec![GraphFamily::Cycle],
+            sizes: vec![24],
+            seeds: vec![1, 2],
+            threads: 1,
+        };
+        let result = run_grid(&spec);
+        assert!(result.cells[0].all_correct);
+        assert!(result.payload_json().contains("\"vt?id_upper=4096\""));
     }
 }

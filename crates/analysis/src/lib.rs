@@ -1,9 +1,12 @@
 //! Statistics, growth-rate fitting, table rendering, the energy model,
-//! and unified algorithm runners for the `awake-mis` experiment harness.
+//! and the algorithm registry for the `awake-mis` experiment harness.
 //!
-//! Every experiment in `EXPERIMENTS.md` is built from these pieces: the
-//! [`runners`] module executes an algorithm on a graph and returns a
-//! normalized [`runners::AlgoResult`]; [`grid`] fans a cartesian
+//! Every experiment in `EXPERIMENTS.md` is built from these pieces:
+//! [`spec`] turns textual algorithm specs (`awake?round_efficient=true`)
+//! into executable [`spec::RunnerHandle`]s through an extensible
+//! [`spec::Registry`] (built-ins pre-registered, user algorithms
+//! addable); [`runners`] holds the built-in runner implementations and
+//! the normalized [`runners::AlgoResult`]; [`grid`] fans a cartesian
 //! `{algorithm × family × n × seed}` grid across OS threads with
 //! per-worker scratch reuse and emits the `BENCH_grid.json` payload;
 //! [`stats`] summarizes repeated runs; [`fit`] decides which growth law
@@ -16,6 +19,7 @@ pub mod fit;
 pub mod grid;
 pub mod runners;
 pub mod shattering;
+pub mod spec;
 pub mod stats;
 pub mod table;
 pub mod timeline;
@@ -24,6 +28,7 @@ pub use energy::EnergyModel;
 pub use fit::{fit_linear, growth_exponent, Fit};
 pub use grid::{run_grid, GridCell, GridJob, GridMeta, GridPoint, GridResult, GridSpec};
 pub use runners::{AlgoResult, AlgoScratch, Algorithm};
+pub use spec::{default_registry, AlgorithmSpec, DynRunner, Registry, RunnerHandle, SpecError};
 pub use stats::Summary;
 pub use table::Table;
 pub use timeline::render_timeline;

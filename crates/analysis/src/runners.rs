@@ -1,19 +1,38 @@
-//! Unified algorithm runners: one call = one algorithm on one graph,
-//! returning normalized measurements.
+//! Built-in algorithm runners and the legacy enum shim.
+//!
+//! The executable form of every algorithm in the paper's comparison
+//! table lives here as a [`DynRunner`](crate::spec::DynRunner)
+//! implementation, registered with the
+//! [`Registry`](crate::spec::Registry) under its CLI key (see
+//! [`register_builtins`]). Parameterized variants are specs, not new
+//! code: `awake?round_efficient=true`, `ldt?strategy=round`,
+//! `vt?id_upper=1000000` all resolve to configured instances of the
+//! runners below.
+//!
+//! The [`Algorithm`] enum and the [`run_algorithm`] /
+//! [`run_algorithm_with_scratch`] free functions are **deprecated
+//! shims** kept for one release so downstream code migrates gradually;
+//! they delegate to the default registry and return identical results.
 
-use awake_mis_core::awake_mis::AwakeMisMsg;
-use awake_mis_core::ldt_mis::{LdtMis, LdtMisMsg, LdtMisParams};
-use awake_mis_core::luby::LubyMsg;
+use crate::spec::{AlgorithmSpec, DynRunner, Registry, RunnerHandle, SpecError};
+use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams};
 use awake_mis_core::{
-    AwakeMis, AwakeMisConfig, LdtStrategy, Luby, MisMsg, MisState, NaiveGreedy, VtMis,
+    AwakeMis, AwakeMisConfig, LdtStrategy, Luby, MisState, NaiveGreedy, VtMis,
 };
 use graphgen::Graph;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sleeping_congest::{Metrics, SimConfig, SimError, SimScratch, Simulator, Standalone};
+use sleeping_congest::{Metrics, SimConfig, SimError, Simulator, Standalone};
 
-/// The MIS algorithms the harness can run.
+/// The built-in MIS algorithms.
+///
+/// **Deprecated shim**: this closed enum predates the
+/// [`spec`](crate::spec) registry and is kept for one release so
+/// downstream tests migrate gradually. New code should resolve a
+/// [`RunnerHandle`] from a [`Registry`] instead — that path also covers
+/// parameterized variants (`awake?delta_factor=9`) this enum cannot
+/// name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// `Awake-MIS` (Theorem 13).
@@ -70,7 +89,8 @@ impl Algorithm {
         }
     }
 
-    /// CLI key accepted by [`parse`](Algorithm::parse).
+    /// CLI key accepted by [`parse`](Algorithm::parse) and by the
+    /// registry.
     pub fn key(self) -> &'static str {
         match self {
             Algorithm::AwakeMis => "awake",
@@ -81,35 +101,31 @@ impl Algorithm {
             Algorithm::LdtMis => "ldt",
         }
     }
-}
 
-/// Reusable simulator scratch for every algorithm the harness runs.
-///
-/// One `AlgoScratch` per worker thread lets a whole grid of runs share
-/// mailbox / RNG-table / wake-bucket allocations (see
-/// [`SimScratch`]). Message types differ per algorithm, so the scratch
-/// keeps one typed arena per protocol family.
-#[derive(Debug, Default)]
-pub struct AlgoScratch {
-    awake: SimScratch<AwakeMisMsg>,
-    luby: SimScratch<LubyMsg>,
-    /// Shared by `VT-MIS` and `Naive-Greedy` (both exchange [`MisMsg`]).
-    mis: SimScratch<MisMsg>,
-    ldt: SimScratch<LdtMisMsg>,
-}
-
-impl AlgoScratch {
-    /// A scratch with no buffers allocated yet.
-    pub fn new() -> AlgoScratch {
-        AlgoScratch::default()
+    /// The registry runner this enum case corresponds to.
+    pub fn runner(self) -> RunnerHandle {
+        crate::spec::default_registry()
+            .resolve(self.key())
+            .expect("built-in keys always resolve")
     }
 }
+
+/// Reusable simulator working memory for batched runs.
+///
+/// **Deprecated alias** of [`sleeping_congest::ScratchArena`]: scratch
+/// is now type-erased at the sim layer so heterogeneous runners can
+/// share one per-worker arena. The old name keeps legacy call sites
+/// compiling for one release.
+pub type AlgoScratch = sleeping_congest::ScratchArena;
 
 /// Normalized result of one run.
 #[derive(Debug, Clone)]
 pub struct AlgoResult {
-    /// Which algorithm ran.
-    pub algorithm: Algorithm,
+    /// Display name of the algorithm that ran (paper terminology).
+    pub algorithm: String,
+    /// Canonical spec key of the algorithm that ran (`"awake"`,
+    /// `"ldt?strategy=round"`, …).
+    pub key: String,
     /// Worst-case awake complexity (`max_v A_v`).
     pub awake_max: u64,
     /// Node-averaged awake complexity.
@@ -132,6 +148,38 @@ pub struct AlgoResult {
     pub states: Vec<MisState>,
 }
 
+impl AlgoResult {
+    /// Builds a normalized result from a finished run: verifies the
+    /// states against `g`, counts the MIS, and copies the headline
+    /// numbers out of `metrics`. This is the constructor custom
+    /// [`DynRunner`]s should use.
+    pub fn from_states(
+        name: impl Into<String>,
+        key: impl Into<String>,
+        g: &Graph,
+        states: Vec<MisState>,
+        failures: usize,
+        metrics: Metrics,
+    ) -> AlgoResult {
+        let correct = failures == 0 && awake_mis_core::check_mis(g, &states).is_ok();
+        let mis_size = states.iter().filter(|&&s| s == MisState::InMis).count();
+        AlgoResult {
+            algorithm: name.into(),
+            key: key.into(),
+            awake_max: metrics.awake_complexity(),
+            awake_avg: metrics.awake_average(),
+            rounds: metrics.round_complexity(),
+            messages: metrics.messages_sent,
+            max_message_bits: metrics.max_message_bits,
+            mis_size,
+            correct,
+            failures,
+            metrics,
+            states,
+        }
+    }
+}
+
 /// Distinct random IDs in `[1, upper]`.
 fn draw_distinct_ids(n: usize, upper: u64, rng: &mut impl Rng) -> Vec<u64> {
     let mut seen = std::collections::HashSet::with_capacity(n * 2);
@@ -145,32 +193,342 @@ fn draw_distinct_ids(n: usize, upper: u64, rng: &mut impl Rng) -> Vec<u64> {
     ids
 }
 
-fn finish(
-    algorithm: Algorithm,
-    g: &Graph,
-    states: Vec<MisState>,
-    failures: usize,
-    metrics: Metrics,
-) -> AlgoResult {
-    let correct = failures == 0 && awake_mis_core::check_mis(g, &states).is_ok();
-    let mis_size = states.iter().filter(|&&s| s == MisState::InMis).count();
-    AlgoResult {
-        algorithm,
-        awake_max: metrics.awake_complexity(),
-        awake_avg: metrics.awake_average(),
-        rounds: metrics.round_complexity(),
-        messages: metrics.messages_sent,
-        max_message_bits: metrics.max_message_bits,
-        mis_size,
-        correct,
-        failures,
-        metrics,
-        states,
+// ---------------------------------------------------------------------------
+// Built-in runners
+// ---------------------------------------------------------------------------
+
+/// Reads an optional `strategy=awake|round` parameter.
+fn read_strategy(
+    p: &mut crate::spec::ParamReader<'_>,
+) -> Result<Option<LdtStrategy>, SpecError> {
+    match p.str("strategy") {
+        None => Ok(None),
+        Some(s) => match s.to_ascii_lowercase().as_str() {
+            "awake" => Ok(Some(LdtStrategy::Awake)),
+            "round" => Ok(Some(LdtStrategy::Round)),
+            other => Err(SpecError::BadValue {
+                param: "strategy".to_string(),
+                value: other.to_string(),
+                expected: "awake or round".to_string(),
+            }),
+        },
     }
 }
 
+/// `Awake-MIS` family: Theorem 13 by default, Corollary 14 via
+/// `strategy=round` / `round_efficient=true`, plus every
+/// [`AwakeMisConfig`] knob as a spec parameter.
+struct AwakeRunner {
+    name: &'static str,
+    key: String,
+    cfg: AwakeMisConfig,
+}
+
+impl AwakeRunner {
+    fn from_spec(spec: &AlgorithmSpec, round_default: bool) -> Result<RunnerHandle, SpecError> {
+        let mut cfg = if round_default {
+            AwakeMisConfig::round_efficient()
+        } else {
+            AwakeMisConfig::default()
+        };
+        let mut p = spec.reader();
+        let strategy = read_strategy(&mut p)?;
+        let round_efficient = p.bool("round_efficient")?;
+        // `round_efficient` is sugar for `strategy`; asking for both is
+        // ambiguous, so it is rejected rather than resolved by order.
+        match (strategy, round_efficient) {
+            (Some(_), Some(_)) => {
+                return Err(SpecError::BadValue {
+                    param: "round_efficient".to_string(),
+                    value: spec.canonical(),
+                    expected: "either strategy= or round_efficient=, not both".to_string(),
+                })
+            }
+            (Some(s), None) => cfg.strategy = s,
+            (None, Some(b)) => {
+                cfg.strategy = if b { LdtStrategy::Round } else { LdtStrategy::Awake }
+            }
+            (None, None) => {}
+        }
+        if let Some(v) = p.f64("delta_factor")? {
+            cfg.delta_factor = v;
+        }
+        if let Some(v) = p.f64("comp_factor")? {
+            cfg.comp_factor = v;
+        }
+        if let Some(v) = p.f64("ell_density")? {
+            cfg.ell_density = v;
+        }
+        if let Some(b) = p.bool("always_awake_comm")? {
+            cfg.always_awake_comm = b;
+        }
+        if let Some(b) = p.bool("uniform_batches")? {
+            cfg.uniform_batches = b;
+        }
+        p.finish()?;
+        let name = match cfg.strategy {
+            LdtStrategy::Awake => "Awake-MIS",
+            LdtStrategy::Round => "Awake-MIS-Round",
+        };
+        Ok(RunnerHandle::new(AwakeRunner { name, key: spec.canonical(), cfg }))
+    }
+}
+
+impl DynRunner for AwakeRunner {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn run_on(
+        &self,
+        g: &Graph,
+        seed: u64,
+        scratch: &mut AlgoScratch,
+    ) -> Result<AlgoResult, SimError> {
+        let nodes = (0..g.n()).map(|_| AwakeMis::new(self.cfg)).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        let failures = report.outputs.iter().filter(|o| o.failed).count();
+        let states = report.outputs.iter().map(|o| o.state).collect();
+        Ok(AlgoResult::from_states(self.name, &self.key, g, states, failures, report.metrics))
+    }
+}
+
+/// Luby's classical algorithm (always awake); takes no parameters.
+struct LubyRunner {
+    key: String,
+}
+
+impl LubyRunner {
+    fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
+        spec.reader().finish()?;
+        Ok(RunnerHandle::new(LubyRunner { key: spec.canonical() }))
+    }
+}
+
+impl DynRunner for LubyRunner {
+    fn name(&self) -> &str {
+        "Luby"
+    }
+
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn run_on(
+        &self,
+        g: &Graph,
+        seed: u64,
+        scratch: &mut AlgoScratch,
+    ) -> Result<AlgoResult, SimError> {
+        let nodes = (0..g.n()).map(|_| Luby::new()).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        Ok(AlgoResult::from_states("Luby", &self.key, g, report.outputs, 0, report.metrics))
+    }
+}
+
+/// `VT-MIS`: random ID permutation over `[1, n]` by default; the
+/// `id_upper=U` parameter sweeps the ID space instead (distinct random
+/// IDs in `[1, max(U, n)]`, so awake complexity scales with `log U`).
+struct VtRunner {
+    key: String,
+    id_upper: Option<u64>,
+}
+
+impl VtRunner {
+    fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
+        let mut p = spec.reader();
+        let id_upper = p.u64("id_upper")?;
+        p.finish()?;
+        Ok(RunnerHandle::new(VtRunner { key: spec.canonical(), id_upper }))
+    }
+}
+
+impl DynRunner for VtRunner {
+    fn name(&self) -> &str {
+        "VT-MIS"
+    }
+
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn run_on(
+        &self,
+        g: &Graph,
+        seed: u64,
+        scratch: &mut AlgoScratch,
+    ) -> Result<AlgoResult, SimError> {
+        let n = g.n();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+        let (ids, i_upper) = match self.id_upper {
+            None => {
+                let mut ids: Vec<u64> = (1..=n as u64).collect();
+                ids.shuffle(&mut rng);
+                (ids, n as u64)
+            }
+            Some(u) => {
+                let upper = u.max(n as u64);
+                (draw_distinct_ids(n, upper, &mut rng), upper)
+            }
+        };
+        let nodes =
+            (0..n).map(|v| Standalone::new(VtMis::new(ids[v], i_upper, None))).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        Ok(AlgoResult::from_states("VT-MIS", &self.key, g, report.outputs, 0, report.metrics))
+    }
+}
+
+/// Naive distributed greedy baseline; takes no parameters.
+struct NaiveRunner {
+    key: String,
+}
+
+impl NaiveRunner {
+    fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
+        spec.reader().finish()?;
+        Ok(RunnerHandle::new(NaiveRunner { key: spec.canonical() }))
+    }
+}
+
+impl DynRunner for NaiveRunner {
+    fn name(&self) -> &str {
+        "Naive-Greedy"
+    }
+
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn run_on(
+        &self,
+        g: &Graph,
+        seed: u64,
+        scratch: &mut AlgoScratch,
+    ) -> Result<AlgoResult, SimError> {
+        let n = g.n();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+        let mut ids: Vec<u64> = (1..=n as u64).collect();
+        ids.shuffle(&mut rng);
+        let nodes = (0..n).map(|v| NaiveGreedy::new(ids[v], n as u64)).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        Ok(AlgoResult::from_states(
+            "Naive-Greedy",
+            &self.key,
+            g,
+            report.outputs,
+            0,
+            report.metrics,
+        ))
+    }
+}
+
+/// `LDT-MIS` on the whole graph; `strategy=awake|round` picks the LDT
+/// construction (Lemma 6/7 vs Lemma 15).
+struct LdtRunner {
+    key: String,
+    strategy: LdtStrategy,
+}
+
+impl LdtRunner {
+    fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
+        let mut p = spec.reader();
+        let strategy = read_strategy(&mut p)?.unwrap_or(LdtStrategy::Awake);
+        p.finish()?;
+        Ok(RunnerHandle::new(LdtRunner { key: spec.canonical(), strategy }))
+    }
+}
+
+impl DynRunner for LdtRunner {
+    fn name(&self) -> &str {
+        "LDT-MIS"
+    }
+
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn run_on(
+        &self,
+        g: &Graph,
+        seed: u64,
+        scratch: &mut AlgoScratch,
+    ) -> Result<AlgoResult, SimError> {
+        let n = g.n();
+        let id_upper = (n.max(4) as u64).pow(3).max(1 << 24);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+        let ids = draw_distinct_ids(n, id_upper, &mut rng);
+        let nodes = (0..n)
+            .map(|v| {
+                Standalone::new(LdtMis::new(LdtMisParams {
+                    my_id: ids[v],
+                    id_upper,
+                    k: n.max(1) as u32,
+                    strategy: self.strategy,
+                }))
+            })
+            .collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        let failures = report.outputs.iter().filter(|o| o.failed).count();
+        let states = report.outputs.iter().map(|o| o.state).collect();
+        Ok(AlgoResult::from_states("LDT-MIS", &self.key, g, states, failures, report.metrics))
+    }
+}
+
+/// Registers every built-in algorithm family. Called by
+/// [`Registry::builtin`].
+pub(crate) fn register_builtins(reg: &mut Registry) {
+    reg.register_aliased(
+        &["awake", "awake-mis"],
+        "Awake-MIS (Theorem 13): O(log log n) awake. Params: strategy=awake|round, \
+         round_efficient, delta_factor, comp_factor, ell_density, always_awake_comm, \
+         uniform_batches",
+        |spec| AwakeRunner::from_spec(spec, false),
+    )
+    .expect("builtin keys are distinct");
+    reg.register_aliased(
+        &["awake-round", "awake-mis-round"],
+        "Awake-MIS with round-efficient LDTs (Corollary 14). Same params as awake",
+        |spec| AwakeRunner::from_spec(spec, true),
+    )
+    .expect("builtin keys are distinct");
+    reg.register_aliased(
+        &["ldt", "ldt-mis"],
+        "LDT-MIS on the whole graph (Lemma 11). Params: strategy=awake|round",
+        LdtRunner::from_spec,
+    )
+    .expect("builtin keys are distinct");
+    reg.register_aliased(
+        &["vt", "vt-mis"],
+        "VT-MIS (Lemma 10): O(log I) awake. Params: id_upper=U (ID-space sweep)",
+        VtRunner::from_spec,
+    )
+    .expect("builtin keys are distinct");
+    reg.register_aliased(
+        &["naive", "naive-greedy"],
+        "Naive distributed greedy baseline (always awake, Θ(I) rounds). No params",
+        NaiveRunner::from_spec,
+    )
+    .expect("builtin keys are distinct");
+    reg.register_aliased(&["luby"], "Luby's algorithm (always awake, Θ(log n)). No params", |spec| {
+        LubyRunner::from_spec(spec)
+    })
+    .expect("builtin keys are distinct");
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated shims
+// ---------------------------------------------------------------------------
+
 /// Runs `algorithm` on `g` with the given seed, allocating fresh
 /// simulator working memory.
+///
+/// **Deprecated shim** over the registry: identical to
+/// `algorithm.runner().run(g, seed)`. Prefer resolving a
+/// [`RunnerHandle`] from a [`Registry`].
 ///
 /// # Errors
 ///
@@ -178,12 +536,13 @@ fn finish(
 /// algorithmic Monte Carlo failures are reported in
 /// [`AlgoResult::failures`], not as errors.
 pub fn run_algorithm(algorithm: Algorithm, g: &Graph, seed: u64) -> Result<AlgoResult, SimError> {
-    run_algorithm_with_scratch(algorithm, g, seed, &mut AlgoScratch::new())
+    algorithm.runner().run(g, seed)
 }
 
 /// Runs `algorithm` on `g` with the given seed, reusing `scratch`'s
-/// buffers. Results are identical to [`run_algorithm`]; this variant
-/// exists so grid workers amortize allocations across many runs.
+/// buffers. Results are identical to [`run_algorithm`].
+///
+/// **Deprecated shim** over the registry, like [`run_algorithm`].
 ///
 /// # Errors
 ///
@@ -194,68 +553,13 @@ pub fn run_algorithm_with_scratch(
     seed: u64,
     scratch: &mut AlgoScratch,
 ) -> Result<AlgoResult, SimError> {
-    let n = g.n();
-    let cfg = SimConfig::seeded(seed);
-    match algorithm {
-        Algorithm::AwakeMis | Algorithm::AwakeMisRound => {
-            let acfg = if algorithm == Algorithm::AwakeMis {
-                AwakeMisConfig::default()
-            } else {
-                AwakeMisConfig::round_efficient()
-            };
-            let nodes = (0..n).map(|_| AwakeMis::new(acfg)).collect();
-            let report = Simulator::new(g.clone(), nodes, cfg).run_with_scratch(&mut scratch.awake)?;
-            let failures = report.outputs.iter().filter(|o| o.failed).count();
-            let states = report.outputs.iter().map(|o| o.state).collect();
-            Ok(finish(algorithm, g, states, failures, report.metrics))
-        }
-        Algorithm::Luby => {
-            let nodes = (0..n).map(|_| Luby::new()).collect();
-            let report = Simulator::new(g.clone(), nodes, cfg).run_with_scratch(&mut scratch.luby)?;
-            Ok(finish(algorithm, g, report.outputs, 0, report.metrics))
-        }
-        Algorithm::VtMis => {
-            let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
-            let mut ids: Vec<u64> = (1..=n as u64).collect();
-            ids.shuffle(&mut rng);
-            let nodes =
-                (0..n).map(|v| Standalone::new(VtMis::new(ids[v], n as u64, None))).collect();
-            let report = Simulator::new(g.clone(), nodes, cfg).run_with_scratch(&mut scratch.mis)?;
-            Ok(finish(algorithm, g, report.outputs, 0, report.metrics))
-        }
-        Algorithm::NaiveGreedy => {
-            let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
-            let mut ids: Vec<u64> = (1..=n as u64).collect();
-            ids.shuffle(&mut rng);
-            let nodes = (0..n).map(|v| NaiveGreedy::new(ids[v], n as u64)).collect();
-            let report = Simulator::new(g.clone(), nodes, cfg).run_with_scratch(&mut scratch.mis)?;
-            Ok(finish(algorithm, g, report.outputs, 0, report.metrics))
-        }
-        Algorithm::LdtMis => {
-            let id_upper = (n.max(4) as u64).pow(3).max(1 << 24);
-            let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
-            let ids = draw_distinct_ids(n, id_upper, &mut rng);
-            let nodes = (0..n)
-                .map(|v| {
-                    Standalone::new(LdtMis::new(LdtMisParams {
-                        my_id: ids[v],
-                        id_upper,
-                        k: n.max(1) as u32,
-                        strategy: LdtStrategy::Awake,
-                    }))
-                })
-                .collect();
-            let report = Simulator::new(g.clone(), nodes, cfg).run_with_scratch(&mut scratch.ldt)?;
-            let failures = report.outputs.iter().filter(|o| o.failed).count();
-            let states = report.outputs.iter().map(|o| o.state).collect();
-            Ok(finish(algorithm, g, states, failures, report.metrics))
-        }
-    }
+    algorithm.runner().run_with_scratch(g, seed, scratch)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::default_registry;
     use graphgen::generators;
 
     #[test]
@@ -267,6 +571,8 @@ mod tests {
             assert!(r.mis_size > 0);
             assert!(r.awake_max > 0);
             assert!(r.awake_avg <= r.awake_max as f64);
+            assert_eq!(r.algorithm, alg.name());
+            assert_eq!(r.key, alg.key());
         }
     }
 
@@ -295,6 +601,9 @@ mod tests {
         for alg in Algorithm::all() {
             assert_eq!(Algorithm::parse(alg.key()), Some(alg));
             assert_eq!(Algorithm::parse(alg.name()), Some(alg));
+            // The registry resolves the same keys and display names.
+            assert_eq!(default_registry().resolve(alg.key()).unwrap().name(), alg.name());
+            assert_eq!(default_registry().resolve(alg.name()).unwrap().name(), alg.name());
         }
         assert_eq!(Algorithm::parse("quantum"), None);
     }
@@ -309,5 +618,45 @@ mod tests {
         assert!(vt.awake_max * 4 < naive.awake_max);
         let am = run_algorithm(Algorithm::AwakeMis, &g, 3).unwrap();
         assert!(am.awake_max * 100 < am.rounds);
+    }
+
+    #[test]
+    fn param_overrides_change_behavior() {
+        let g = generators::gnp(64, 0.1, &mut SmallRng::seed_from_u64(4));
+        let reg = default_registry();
+        // round_efficient=true must reproduce the awake-round builtin.
+        let round = reg.resolve("awake?round_efficient=true").unwrap();
+        let legacy = reg.resolve("awake-round").unwrap();
+        let a = round.run(&g, 9).unwrap();
+        let b = legacy.run(&g, 9).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.awake_max, b.awake_max);
+        assert_eq!(a.algorithm, "Awake-MIS-Round");
+        assert_eq!(a.key, "awake?round_efficient=true");
+        // An ID-space sweep changes VT-MIS's awake complexity scale.
+        let vt_small = reg.resolve("vt").unwrap().run(&g, 9).unwrap();
+        let vt_wide = reg.resolve("vt?id_upper=1048576").unwrap().run(&g, 9).unwrap();
+        assert!(vt_wide.correct && vt_small.correct);
+        assert!(
+            vt_wide.rounds > vt_small.rounds,
+            "a 2^20 ID space must stretch VT-MIS's schedule ({} vs {})",
+            vt_wide.rounds,
+            vt_small.rounds
+        );
+    }
+
+    #[test]
+    fn contradictory_strategy_params_are_rejected() {
+        let reg = default_registry();
+        let err = reg.resolve("awake?strategy=awake&round_efficient=true").unwrap_err();
+        assert!(matches!(err, SpecError::BadValue { ref param, .. } if param == "round_efficient"));
+        // Each spelling alone still works.
+        assert!(reg.resolve("awake?strategy=round").is_ok());
+        assert!(reg.resolve("awake?round_efficient=false").is_ok());
+        assert!(reg.resolve("ldt?strategy=round").is_ok());
+        assert!(matches!(
+            reg.resolve("ldt?strategy=sideways"),
+            Err(SpecError::BadValue { .. })
+        ));
     }
 }

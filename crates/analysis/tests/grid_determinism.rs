@@ -4,12 +4,12 @@
 //! excluded by construction).
 
 use analysis::grid::{run_grid, GridMeta, GridSpec};
-use analysis::runners::Algorithm;
+use analysis::spec::default_registry;
 use graphgen::GraphFamily;
 
 fn spec(threads: usize) -> GridSpec {
     GridSpec {
-        algorithms: vec![Algorithm::AwakeMis, Algorithm::Luby, Algorithm::VtMis],
+        algorithms: default_registry().resolve_list("awake,luby,vt").unwrap(),
         families: vec![GraphFamily::Er, GraphFamily::Tree],
         sizes: vec![48, 96],
         seeds: vec![1, 2, 3, 4],
@@ -39,9 +39,14 @@ fn meta_carries_the_wall_clock_fields_only() {
     assert!(!payload.contains("wall_ms"));
     assert!(!payload.contains("threads"));
     assert!(full.contains("\"wall_ms\": 12345"));
-    // Dropping the meta line recovers the payload byte for byte — i.e.
-    // "identical modulo wall-clock fields" is checkable mechanically.
-    let stripped =
-        full.lines().filter(|l| !l.contains("\"meta\"")).collect::<Vec<_>>().join("\n") + "\n";
+    // Dropping the meta and timing lines recovers the payload byte for
+    // byte — i.e. "identical modulo wall-clock fields" is checkable
+    // mechanically.
+    let stripped = full
+        .lines()
+        .filter(|l| !l.contains("\"meta\"") && !l.contains("\"timing\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
     assert_eq!(stripped, payload);
 }

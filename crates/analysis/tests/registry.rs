@@ -1,0 +1,113 @@
+//! Registry redesign safety nets.
+//!
+//! 1. Differential: for every built-in algorithm, the registry-resolved
+//!    runner and the legacy `Algorithm` enum path must produce identical
+//!    results across graph families and seeds.
+//! 2. Golden payload: a small all-algorithms grid must reproduce, byte
+//!    for byte, the payload captured from the pre-registry harness
+//!    (`tests/golden/grid_small.json`) — the registry is a pure
+//!    refactoring of the dispatch layer, not a behavior change.
+//! 3. Registration hygiene: duplicate CLI keys are rejected; custom
+//!    entries resolve and run end-to-end.
+
+use analysis::grid::{run_grid, GridSpec};
+use analysis::runners::{run_algorithm, AlgoResult, Algorithm};
+use analysis::spec::{default_registry, Registry, RunnerHandle, SpecError};
+use graphgen::GraphFamily;
+
+fn assert_same(alg: Algorithm, enum_path: &AlgoResult, registry_path: &AlgoResult) {
+    let label = alg.name();
+    assert_eq!(enum_path.states, registry_path.states, "{label}: states diverged");
+    assert_eq!(enum_path.awake_max, registry_path.awake_max, "{label}: awake_max");
+    assert_eq!(enum_path.awake_avg, registry_path.awake_avg, "{label}: awake_avg");
+    assert_eq!(enum_path.rounds, registry_path.rounds, "{label}: rounds");
+    assert_eq!(enum_path.messages, registry_path.messages, "{label}: messages");
+    assert_eq!(
+        enum_path.max_message_bits, registry_path.max_message_bits,
+        "{label}: max_message_bits"
+    );
+    assert_eq!(enum_path.mis_size, registry_path.mis_size, "{label}: mis_size");
+    assert_eq!(enum_path.correct, registry_path.correct, "{label}: correct");
+    assert_eq!(enum_path.failures, registry_path.failures, "{label}: failures");
+    assert_eq!(
+        enum_path.metrics.active_rounds, registry_path.metrics.active_rounds,
+        "{label}: active_rounds"
+    );
+    assert_eq!(enum_path.algorithm, registry_path.algorithm, "{label}: display name");
+}
+
+#[test]
+fn registry_matches_legacy_enum_for_all_builtins() {
+    let reg = default_registry();
+    for family in [GraphFamily::Er, GraphFamily::Cycle, GraphFamily::Tree] {
+        for n in [33usize, 72] {
+            for seed in [2u64, 19] {
+                let g = family.generate(n, seed);
+                for alg in Algorithm::all() {
+                    let legacy = run_algorithm(alg, &g, seed).expect("legacy path");
+                    let runner = reg.resolve(alg.key()).expect("builtin resolves");
+                    let modern = runner.run(&g, seed).expect("registry path");
+                    assert_same(alg, &legacy, &modern);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn small_grid_payload_matches_pre_registry_golden() {
+    let golden = include_str!("golden/grid_small.json");
+    let spec = GridSpec {
+        algorithms: default_registry()
+            .resolve_list("awake,awake-round,ldt,vt,naive,luby")
+            .unwrap(),
+        families: vec![GraphFamily::Er, GraphFamily::Cycle],
+        sizes: vec![32, 64],
+        seeds: vec![1, 2, 3],
+        threads: 0,
+    };
+    let payload = run_grid(&spec).payload_json();
+    assert_eq!(
+        payload, golden,
+        "registry-dispatched grid diverged from the pre-registry harness"
+    );
+}
+
+#[test]
+fn duplicate_cli_key_registration_errors() {
+    let mut reg = Registry::builtin();
+    // Primary key clash.
+    let err = reg.register("vt", "clone", |_| unreachable!("builder must not run")).unwrap_err();
+    assert_eq!(err, SpecError::DuplicateKey { key: "vt".to_string() });
+    // Alias clash, case-insensitively.
+    let err = reg.register("VT-MIS", "clone", |_| unreachable!()).unwrap_err();
+    assert_eq!(err, SpecError::DuplicateKey { key: "vt-mis".to_string() });
+    // Clash among the new entry's own keys counts too once registered.
+    reg.register("fresh", "ok", |s| default_registry().resolve_spec(s)).unwrap();
+    let err = reg.register("fresh", "again", |_| unreachable!()).unwrap_err();
+    assert_eq!(err, SpecError::DuplicateKey { key: "fresh".to_string() });
+}
+
+#[test]
+fn custom_registration_runs_end_to_end() {
+    // A user algorithm: VT-MIS over a widened ID space, registered under
+    // its own key and swept through the grid harness without touching
+    // any dispatch code.
+    let mut reg = Registry::builtin();
+    reg.register("vt-wide", "VT-MIS with a 2^16 ID space", |spec| {
+        spec.reader().finish()?;
+        default_registry().resolve("vt?id_upper=65536")
+    })
+    .unwrap();
+    let handle: RunnerHandle = reg.resolve("vt-wide").unwrap();
+    let result = run_grid(&GridSpec {
+        algorithms: vec![handle],
+        families: vec![GraphFamily::Cycle],
+        sizes: vec![24],
+        seeds: vec![5],
+        threads: 1,
+    });
+    assert!(result.cells[0].all_correct);
+    // The handle's key (what it was resolved to) names the grid row.
+    assert!(result.payload_json().contains("\"vt?id_upper=65536\""));
+}

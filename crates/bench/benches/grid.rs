@@ -11,7 +11,7 @@
 //! acceptance bar cares about (≥ 3× on a ≥ 4-core machine).
 
 use analysis::grid::{run_grid, GridSpec};
-use analysis::runners::{run_algorithm, Algorithm};
+use analysis::spec::default_registry;
 use bench::Family;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sleeping_congest::batch::available_threads;
@@ -21,7 +21,7 @@ const SWEEP_SEEDS: u64 = 4;
 
 fn spec_for(n: usize) -> GridSpec {
     GridSpec {
-        algorithms: vec![Algorithm::AwakeMis],
+        algorithms: default_registry().resolve_list("awake").expect("builtin"),
         families: vec![Family::Er],
         sizes: vec![n],
         seeds: (1..=SWEEP_SEEDS).collect(),
@@ -31,10 +31,11 @@ fn spec_for(n: usize) -> GridSpec {
 
 /// The pre-harness baseline: serial runs, fresh allocations every time.
 fn serial_sweep(n: usize) -> u64 {
+    let runner = default_registry().resolve("awake").expect("builtin");
     let mut acc = 0;
     for seed in 1..=SWEEP_SEEDS {
         let g = Family::Er.generate(n, seed);
-        let r = run_algorithm(Algorithm::AwakeMis, &g, seed).unwrap();
+        let r = runner.run(&g, seed).unwrap();
         acc += r.awake_max;
     }
     acc

@@ -1,0 +1,218 @@
+//! `bench-diff` — compare two `BENCH_grid.json` files and flag
+//! regressions.
+//!
+//! Prints, per `(algorithm, family, n)` cell present in both files, the
+//! delta in mean worst-case awake rounds and in CONGEST bits (largest
+//! message), then exits nonzero when the new file regresses beyond the
+//! thresholds. This is the perf-trajectory gate: commit a baseline grid,
+//! regenerate after a change, diff.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench-diff -- \
+//!     OLD.json NEW.json [--threshold PCT] [--bits-slack N] [--exact]
+//! ```
+//!
+//! * `--threshold PCT` — allowed relative increase in mean awake rounds
+//!   per cell before it counts as a regression (default 5).
+//! * `--bits-slack N` — allowed absolute increase in max message bits
+//!   per cell (default 0: any CONGEST growth is a regression).
+//! * `--exact` — additionally require the two deterministic payloads to
+//!   agree exactly: same spec echo, same cells, same points
+//!   (`meta`/`timing` are ignored). This is how CI pins the default
+//!   registry's byte-compatibility against the committed grid.
+//!
+//! Baseline cells absent from the new file always count as failures
+//! (lost coverage must not pass as "0 regressions"); cells only in the
+//! new file are reported but don't fail the run.
+//!
+//! Exit codes: `0` no regression, `1` regression or `--exact` mismatch,
+//! `2` usage or parse error.
+
+use analysis::Table;
+use bench::json::{self, Value};
+use std::collections::{HashMap, HashSet};
+use std::process::ExitCode;
+
+fn fail_usage(msg: &str) -> ExitCode {
+    eprintln!("bench-diff: {msg}");
+    eprintln!(
+        "usage: bench-diff OLD.json NEW.json [--threshold PCT] [--bits-slack N] [--exact]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    if doc.get("schema").and_then(Value::as_str) != Some("awake-mis/bench-grid/v1") {
+        return Err(format!("{path}: not an awake-mis/bench-grid/v1 document"));
+    }
+    Ok(doc)
+}
+
+/// Mean of a numeric field over a cell's points.
+fn mean(points: &[&Value], field: &str) -> f64 {
+    let sum: f64 = points.iter().filter_map(|p| p.get(field).and_then(Value::as_f64)).sum();
+    sum / points.len().max(1) as f64
+}
+
+/// Max of a numeric field over a cell's points.
+fn max(points: &[&Value], field: &str) -> f64 {
+    points
+        .iter()
+        .filter_map(|p| p.get(field).and_then(Value::as_f64))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// True when every point in the cell verified correct and none carries
+/// an engine error. Broken cells must never be scored by their
+/// (zeroed) measurements.
+fn all_correct(points: &[&Value]) -> bool {
+    points.iter().all(|p| {
+        p.get("correct").and_then(Value::as_bool) == Some(true) && p.get("sim_error").is_none()
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = 5.0f64;
+    let mut bits_slack = 0.0f64;
+    let mut exact = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" | "--bits-slack" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<f64>().ok()) else {
+                    return fail_usage(&format!("{flag} takes a number"));
+                };
+                if flag == "--threshold" {
+                    threshold = v;
+                } else {
+                    bits_slack = v;
+                }
+            }
+            "--exact" => exact = true,
+            other if other.starts_with("--") => {
+                return fail_usage(&format!("unknown flag {other:?}"));
+            }
+            path => paths.push(path),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths[..] else {
+        return fail_usage("expected exactly two files");
+    };
+
+    let (old_doc, new_doc) = match (load(old_path), load(new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail_usage(&e),
+    };
+
+    let old_points = old_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
+    let new_points = new_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
+    let key_fields = ["algorithm", "family", "n"];
+    let old_cells = json::index_by(old_points, &key_fields);
+    let new_cells: Vec<(Vec<String>, Vec<&Value>)> = json::index_by(new_points, &key_fields);
+    let new_by_key: HashMap<&[String], &Vec<&Value>> =
+        new_cells.iter().map(|(k, v)| (k.as_slice(), v)).collect();
+
+    let mut t = Table::new(vec![
+        "algorithm", "family", "n", "awake old", "awake new", "Δ awake", "Δ%", "bits old",
+        "bits new", "verdict",
+    ]);
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (key, old_pts) in &old_cells {
+        let Some(new_pts) = new_by_key.get(key.as_slice()) else {
+            continue;
+        };
+        compared += 1;
+        let (a_old, a_new) = (mean(old_pts, "awake_max"), mean(new_pts, "awake_max"));
+        let (b_old, b_new) =
+            (max(old_pts, "max_message_bits"), max(new_pts, "max_message_bits"));
+        let delta = a_new - a_old;
+        let pct = if a_old > 0.0 { 100.0 * delta / a_old } else { 0.0 };
+        let awake_bad = pct > threshold;
+        let bits_bad = b_new > b_old + bits_slack;
+        // Correctness dominates the numbers: a cell whose new runs fail
+        // (sim_error zeroes the measurements) must not read as an
+        // "improvement"; an errored baseline makes deltas meaningless.
+        let verdict = if !all_correct(new_pts) {
+            regressions += 1;
+            "BROKEN"
+        } else if !all_correct(old_pts) {
+            "fixed (baseline was broken)"
+        } else if awake_bad || bits_bad {
+            regressions += 1;
+            "REGRESSED"
+        } else if delta < 0.0 || b_new < b_old {
+            "improved"
+        } else {
+            "ok"
+        };
+        t.row(vec![
+            key[0].clone(),
+            key[1].clone(),
+            key[2].clone(),
+            format!("{a_old:.2}"),
+            format!("{a_new:.2}"),
+            format!("{delta:+.2}"),
+            format!("{pct:+.1}%"),
+            format!("{b_old:.0}"),
+            format!("{b_new:.0}"),
+            verdict.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let old_keys: HashSet<&[String]> = old_cells.iter().map(|(k, _)| k.as_slice()).collect();
+    let only_old: Vec<&Vec<String>> = old_cells
+        .iter()
+        .map(|(k, _)| k)
+        .filter(|k| !new_by_key.contains_key(k.as_slice()))
+        .collect();
+    let only_new: Vec<&Vec<String>> = new_cells
+        .iter()
+        .map(|(k, _)| k)
+        .filter(|k| !old_keys.contains(k.as_slice()))
+        .collect();
+    // Baseline cells the new run no longer covers are a failure, not a
+    // footnote: a renamed key or dropped axis must not slip through as
+    // "0 regressions over 0 cells".
+    for k in &only_old {
+        println!("MISSING: cell {} only in {old_path}", k.join("/"));
+    }
+    for k in &only_new {
+        println!("cell {} only in {new_path} (new coverage, not a failure)", k.join("/"));
+    }
+
+    let mut failed = regressions > 0 || !only_old.is_empty();
+    if exact {
+        // The deterministic payload is everything but meta/timing.
+        for section in ["spec", "cells", "points"] {
+            if old_doc.get(section) != new_doc.get(section) {
+                println!("--exact: section {section:?} differs");
+                failed = true;
+            }
+        }
+        if !failed {
+            println!("--exact: payloads identical");
+        }
+    }
+
+    println!(
+        "\ncompared {compared} cells: {regressions} regressions, {} baseline cells missing \
+         (threshold {threshold}%, bits slack {bits_slack})",
+        only_old.len()
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

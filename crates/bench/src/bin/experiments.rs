@@ -8,8 +8,8 @@
 
 use analysis::fit::{compare_growth_laws, growth_exponent};
 use analysis::grid::{run_grid, GridSpec};
-use analysis::runners::{run_algorithm, Algorithm};
 use analysis::shattering::{residual_profile, shatter_once};
+use analysis::spec::{default_registry, RunnerHandle};
 use analysis::{EnergyModel, Summary, Table};
 use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams};
 use awake_mis_core::{AwakeMis, AwakeMisConfig, LdtStrategy, MisState};
@@ -100,7 +100,7 @@ fn header(id: &str, claim: &str) {
 struct SweepPoint {
     family: Family,
     n: usize,
-    alg: Algorithm,
+    alg: RunnerHandle,
     awake_max: Summary,
     awake_avg: Summary,
     rounds: Summary,
@@ -110,7 +110,7 @@ struct SweepPoint {
 /// E1/E2 sweep, batched over all hardware threads via the grid harness
 /// (per-worker scratch reuse; results identical to serial execution).
 fn run_sweep() -> Vec<SweepPoint> {
-    let algorithms = vec![Algorithm::AwakeMis, Algorithm::Luby];
+    let algorithms = default_registry().resolve_list("awake,luby").expect("builtin specs");
     let main = run_grid(&GridSpec {
         algorithms: algorithms.clone(),
         families: vec![Family::Er, Family::Rgg, Family::Ba],
@@ -132,7 +132,7 @@ fn run_sweep() -> Vec<SweepPoint> {
         .map(|c| SweepPoint {
             family: c.family,
             n: c.n,
-            alg: c.algorithm,
+            alg: c.algorithm.clone(),
             awake_max: c.awake_max,
             awake_avg: c.awake_avg,
             rounds: c.rounds,
@@ -171,7 +171,7 @@ fn e1(sweep: &[SweepPoint]) {
         ("max(med)", Box::new(|p: &SweepPoint| p.awake_max.median) as Box<dyn Fn(&SweepPoint) -> f64>),
         ("avg", Box::new(|p: &SweepPoint| p.awake_avg.mean)),
     ] {
-        for alg in [Algorithm::AwakeMis, Algorithm::Luby] {
+        for alg in default_registry().resolve_list("awake,luby").expect("builtin specs") {
             let pts: Vec<(f64, f64)> = sweep
                 .iter()
                 .filter(|p| p.family == Family::Er && p.alg == alg)
@@ -207,7 +207,7 @@ fn e2(sweep: &[SweepPoint]) {
         "Awake-MIS round complexity is polylog(n) — enormous vs awake, but n^o(1)",
     );
     let mut t = Table::new(vec!["family", "n", "rounds (mean)", "rounds/log2(n)^4", "awake max"]);
-    for p in sweep.iter().filter(|p| p.alg == Algorithm::AwakeMis) {
+    for p in sweep.iter().filter(|p| p.alg.key() == "awake") {
         let l = (p.n as f64).log2();
         t.row(vec![
             p.family.name().to_string(),
@@ -220,7 +220,7 @@ fn e2(sweep: &[SweepPoint]) {
     print!("{}", t.render());
     let pts: Vec<(f64, f64)> = sweep
         .iter()
-        .filter(|p| p.family == Family::Er && p.alg == Algorithm::AwakeMis)
+        .filter(|p| p.family == Family::Er && p.alg.key() == "awake")
         .map(|p| ((p.n as f64).log2(), p.rounds.mean))
         .collect();
     let e = growth_exponent(
@@ -234,12 +234,22 @@ fn e2(sweep: &[SweepPoint]) {
     println!();
 }
 
-/// E3 — Corollary 14 variant.
+/// E3 — Corollary 14 variant. Rides the registry + grid harness: the
+/// round-efficient variant is just the spec `awake?round_efficient=true`.
 fn e3() {
     header(
         "E3 (Corollary 14)",
         "Round-efficient variant: awake complexity gains a log* factor (higher than Theorem 13's)",
     );
+    let grid = run_grid(&GridSpec {
+        algorithms: default_registry()
+            .resolve_list("awake,awake?round_efficient=true")
+            .expect("builtin specs"),
+        families: vec![Family::Er],
+        sizes: vec![1024, 4096, 16384],
+        seeds: SEEDS.to_vec(),
+        threads: 0,
+    });
     let mut t = Table::new(vec![
         "n",
         "T13 awake",
@@ -248,29 +258,19 @@ fn e3() {
         "C14 rounds",
         "ok",
     ]);
-    for &n in &[1024usize, 4096, 16384] {
-        let mut a13 = Vec::new();
-        let mut a14 = Vec::new();
-        let mut r13 = Vec::new();
-        let mut r14 = Vec::new();
-        let mut correct = true;
-        for &seed in &SEEDS {
-            let g = Family::Er.generate(n, seed);
-            let x = run_algorithm(Algorithm::AwakeMis, &g, seed).unwrap();
-            let y = run_algorithm(Algorithm::AwakeMisRound, &g, seed).unwrap();
-            correct &= x.correct && y.correct;
-            a13.push(x.awake_max);
-            a14.push(y.awake_max);
-            r13.push(x.rounds);
-            r14.push(y.rounds);
-        }
+    // Cells are algorithm-major: first all Theorem-13 sizes, then all
+    // Corollary-14 sizes.
+    let per_alg = grid.spec.sizes.len();
+    for (i, &n) in grid.spec.sizes.iter().enumerate() {
+        let t13 = &grid.cells[i];
+        let c14 = &grid.cells[per_alg + i];
         t.row(vec![
             n.to_string(),
-            format!("{:.0}", Summary::of_u64(&a13).mean),
-            format!("{:.0}", Summary::of_u64(&a14).mean),
-            format!("{:.2e}", Summary::of_u64(&r13).mean),
-            format!("{:.2e}", Summary::of_u64(&r14).mean),
-            if correct { "yes".into() } else { "NO".to_string() },
+            format!("{:.0}", t13.awake_max.mean),
+            format!("{:.0}", c14.awake_max.mean),
+            format!("{:.2e}", t13.rounds.mean),
+            format!("{:.2e}", c14.rounds.mean),
+            if t13.all_correct && c14.all_correct { "yes".into() } else { "NO".to_string() },
         ]);
     }
     print!("{}", t.render());
@@ -379,10 +379,13 @@ fn e6() {
         "VT-MIS rounds",
         "lfmis?",
     ]);
+    let reg = default_registry();
+    let (vt_runner, nv_runner) =
+        (reg.resolve("vt").expect("builtin"), reg.resolve("naive").expect("builtin"));
     for &n in &[64usize, 256, 1024, 4096] {
         let g = generators::cycle(n);
-        let vt = run_algorithm(Algorithm::VtMis, &g, 7).unwrap();
-        let nv = run_algorithm(Algorithm::NaiveGreedy, &g, 7).unwrap();
+        let vt = vt_runner.run(&g, 7).unwrap();
+        let nv = nv_runner.run(&g, 7).unwrap();
         t.row(vec![
             n.to_string(),
             vt.awake_max.to_string(),
@@ -409,9 +412,10 @@ fn e7() {
         "c2·n'·log n'/log I term",
         "ok",
     ]);
+    let ldt_runner = default_registry().resolve("ldt").expect("builtin");
     for &n in &[16usize, 64, 256, 1024] {
         let g = generators::cycle(n);
-        let r = run_algorithm(Algorithm::LdtMis, &g, 9).unwrap();
+        let r = ldt_runner.run(&g, 9).unwrap();
         let log2n = (n as f64).log2();
         let log2i = 3.0 * (n as f64).log2();
         t.row(vec![
@@ -512,29 +516,40 @@ fn e9() {
     println!();
 }
 
-/// E10 — the headline comparison table.
+/// E10 — the headline comparison table. Rides the registry + grid
+/// harness: one `GridSpec` over every registered builtin, all hardware
+/// threads, instead of a hand-rolled double loop of serial runs.
 fn e10() {
     header(
         "E10 (headline, §1.4)",
         "All algorithms on a fixed suite (n = 2048): Awake-MIS wins awake complexity; always-awake algorithms win rounds",
     );
-    let n = 2048;
+    let grid = run_grid(&GridSpec {
+        algorithms: default_registry()
+            .resolve_list("awake,awake-round,ldt,vt,naive,luby")
+            .expect("builtin specs"),
+        families: vec![Family::Er, Family::Rgg, Family::Ba, Family::Grid, Family::Tree],
+        sizes: vec![2048],
+        seeds: vec![42],
+        threads: 0,
+    });
     let mut t = Table::new(vec![
         "family", "algorithm", "awake max", "awake avg", "rounds", "messages", "MIS size", "ok",
     ]);
-    for family in [Family::Er, Family::Rgg, Family::Ba, Family::Grid, Family::Tree] {
-        let g = family.generate(n, 42);
-        for alg in Algorithm::all() {
-            let r = run_algorithm(alg, &g, 42).unwrap();
+    // Present family-major (paper layout); points are algorithm-major.
+    let n_fam = grid.spec.families.len();
+    for (f_idx, family) in grid.spec.families.iter().enumerate() {
+        for (a_idx, alg) in grid.spec.algorithms.iter().enumerate() {
+            let p = &grid.points[a_idx * n_fam + f_idx];
             t.row(vec![
                 family.name().to_string(),
                 alg.name().to_string(),
-                r.awake_max.to_string(),
-                format!("{:.1}", r.awake_avg),
-                r.rounds.to_string(),
-                r.messages.to_string(),
-                r.mis_size.to_string(),
-                r.correct.to_string(),
+                p.awake_max.to_string(),
+                format!("{:.1}", p.awake_avg),
+                p.rounds.to_string(),
+                p.messages.to_string(),
+                p.mis_size.to_string(),
+                p.correct.to_string(),
             ]);
         }
     }
@@ -623,23 +638,31 @@ fn e12() {
     println!();
 }
 
-/// E13 — CONGEST compliance: message sizes.
+/// E13 — CONGEST compliance: message sizes. Rides the registry + grid
+/// harness (one cell per builtin at a single `{family, n, seed}`).
 fn e13() {
     header(
         "E13 (CONGEST, §1.3)",
         "Every message fits in O(log n) bits (IDs live in [1, N³])",
     );
     let n = 4096;
-    let g = Family::Er.generate(n, 5);
+    let grid = run_grid(&GridSpec {
+        algorithms: default_registry()
+            .resolve_list("awake,awake-round,ldt,vt,naive,luby")
+            .expect("builtin specs"),
+        families: vec![Family::Er],
+        sizes: vec![n],
+        seeds: vec![5],
+        threads: 0,
+    });
     let mut t = Table::new(vec!["algorithm", "max message bits", "2-id budget"]);
     // Messages carry at most two IDs from [1, max(N^3, 2^24)] plus tags.
     let id_bits = (3 * ((n as f64).log2().ceil() as usize)).max(24);
     let budget = 2 * id_bits + 16;
-    for alg in Algorithm::all() {
-        let r = run_algorithm(alg, &g, 5).unwrap();
+    for cell in &grid.cells {
         t.row(vec![
-            alg.name().to_string(),
-            r.max_message_bits.to_string(),
+            cell.algorithm.name().to_string(),
+            cell.max_message_bits.to_string(),
             budget.to_string(),
         ]);
     }
@@ -665,8 +688,8 @@ fn e14() {
         "incl. 5 µW sleep draw (mJ)",
         "latency (rounds)",
     ]);
-    for alg in [Algorithm::AwakeMis, Algorithm::Luby] {
-        let r = run_algorithm(alg, &g, 6).unwrap();
+    for alg in default_registry().resolve_list("awake,luby").expect("builtin specs") {
+        let r = alg.run(&g, 6).unwrap();
         let awake_only = model.awake_energy_mj(r.awake_max);
         let with_sleep =
             model.max_node_energy_mj(&r.metrics.awake_rounds, &r.metrics.terminated_at);

@@ -2,29 +2,24 @@
 //! (both endpoints of the only edge must land in the same batch for the
 //! failure machinery to even be exercised).
 //!
-//! The 50k independent runs fan out over all hardware threads with
-//! per-worker scratch reuse; the failure count is deterministic (each
-//! run depends only on its seed).
-use awake_mis_core::awake_mis::AwakeMisMsg;
-use awake_mis_core::{AwakeMis, AwakeMisConfig};
+//! The 50k independent runs go through the registry-resolved `awake`
+//! runner and fan out over all hardware threads with per-worker scratch
+//! reuse; the failure count is deterministic (each run depends only on
+//! its seed).
+use analysis::spec::default_registry;
 use sleeping_congest::batch::{available_threads, run_batch};
-use sleeping_congest::{SimConfig, SimScratch, Simulator};
+use sleeping_congest::ScratchArena;
 
 fn main() {
     let g = graphgen::Graph::from_edges(5, &[(0, 1)]).unwrap();
+    let runner = default_registry().resolve("awake").expect("builtin");
     const RUNS: u64 = 50_000;
     let seeds: Vec<u64> = (0..RUNS).collect();
     let failed = run_batch(
         &seeds,
         available_threads(),
-        |_| SimScratch::<AwakeMisMsg>::new(),
-        |scratch, _, &seed| {
-            let nodes = (0..5).map(|_| AwakeMis::new(AwakeMisConfig::default())).collect();
-            let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed))
-                .run_with_scratch(scratch)
-                .unwrap();
-            rep.outputs.iter().any(|o| o.failed)
-        },
+        |_| ScratchArena::new(),
+        |scratch, _, &seed| runner.run_with_scratch(&g, seed, scratch).unwrap().failures > 0,
     );
     let fails = failed.iter().filter(|&&f| f).count();
     println!("failure rate on the adversarial pair graph: {fails}/{RUNS}");

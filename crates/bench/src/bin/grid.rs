@@ -9,15 +9,20 @@
 //! cargo run --release -p bench --bin grid -- \
 //!     [--algos awake,luby] [--families er,rgg,ba,grid,tree] \
 //!     [--sizes 1000,10000,100000] [--seeds 8] [--threads 0] \
-//!     [--out BENCH_grid.json]
+//!     [--out BENCH_grid.json] [--list-algos]
 //! ```
 //!
-//! `--seeds K` runs seeds `1..=K`; `--threads 0` (default) uses every
-//! hardware thread. The JSON payload (everything except the `meta`
-//! object) is byte-identical for any thread count.
+//! The `--algos` list takes registry specs, so parameterized variants
+//! run without any code change: `--algos 'awake?round_efficient=true'`,
+//! `--algos 'ldt?strategy=round,vt?id_upper=1000000'` (quote the `?` for
+//! your shell). `--list-algos` prints every registered key with its
+//! accepted parameters. `--seeds K` runs seeds `1..=K`; `--threads 0`
+//! (default) uses every hardware thread. The JSON payload (everything
+//! except the `meta` object and the `timing` section) is byte-identical
+//! for any thread count.
 
 use analysis::grid::{run_grid, GridMeta, GridSpec};
-use analysis::runners::Algorithm;
+use analysis::spec::default_registry;
 use analysis::Table;
 use bench::Family;
 use sleeping_congest::batch::resolve_threads;
@@ -31,7 +36,8 @@ fn parse_list<T>(arg: &str, parse: impl Fn(&str) -> Option<T>, what: &str) -> Ve
 }
 
 fn main() {
-    let mut algorithms = vec![Algorithm::AwakeMis, Algorithm::Luby];
+    let registry = default_registry();
+    let mut algorithms = registry.resolve_list("awake,luby").expect("default algos");
     let mut families = vec![Family::Er, Family::Rgg, Family::Ba, Family::Grid, Family::Tree];
     let mut sizes = vec![1_000usize, 10_000, 100_000];
     let mut seed_count = 8u64;
@@ -46,7 +52,11 @@ fn main() {
             args.get(*i).unwrap_or_else(|| panic!("{} needs a value", args[*i - 1]))
         };
         match args[i].as_str() {
-            "--algos" => algorithms = parse_list(value(&mut i), Algorithm::parse, "algorithm"),
+            "--algos" => {
+                algorithms = registry
+                    .resolve_list(value(&mut i))
+                    .unwrap_or_else(|e| panic!("--algos: {e}"));
+            }
             "--families" => families = parse_list(value(&mut i), Family::parse, "family"),
             "--sizes" => {
                 sizes = parse_list(value(&mut i), |s| s.parse().ok(), "size");
@@ -54,6 +64,13 @@ fn main() {
             "--seeds" => seed_count = value(&mut i).parse().expect("--seeds takes a count"),
             "--threads" => threads = value(&mut i).parse().expect("--threads takes a count"),
             "--out" => out_path = value(&mut i).to_string(),
+            "--list-algos" => {
+                println!("registered algorithm specs (grammar: key?param=value&…):\n");
+                for (key, about) in registry.entries() {
+                    println!("  {key:<12} {about}");
+                }
+                return;
+            }
             other => panic!("unknown argument {other:?} (see the doc comment for usage)"),
         }
         i += 1;

@@ -3,5 +3,9 @@
 //! The workload families moved down into [`graphgen::families`] so that
 //! experiment grids can iterate generators at the graphs layer; `Family`
 //! is re-exported here for the binaries and for backward compatibility.
+//! [`json`] is the registry-free JSON reader behind the `bench-diff`
+//! regression tool.
+
+pub mod json;
 
 pub use graphgen::families::GraphFamily as Family;

@@ -299,6 +299,28 @@ impl<P: Protocol> Simulator<P> {
         self.run_with_scratch(&mut scratch)
     }
 
+    /// Runs the simulation drawing working memory from a type-erased
+    /// [`ScratchArena`](crate::ScratchArena).
+    ///
+    /// Equivalent to [`run_with_scratch`](Simulator::run_with_scratch)
+    /// on `arena.of::<P::Msg>()`; exists so code that dispatches over
+    /// *heterogeneous* protocols (different message types) can thread a
+    /// single arena through an object-safe interface.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_in(
+        self,
+        arena: &mut crate::ScratchArena,
+    ) -> Result<RunReport<P::Output>, SimError>
+    where
+        P::Msg: Send + 'static,
+    {
+        let scratch = arena.of::<P::Msg>();
+        self.run_with_scratch(scratch)
+    }
+
     /// Runs the simulation using caller-provided working memory.
     ///
     /// Results are identical to [`run`](Simulator::run); the scratch only

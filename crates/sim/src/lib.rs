@@ -71,6 +71,7 @@
 //! # Ok::<(), sleeping_congest::SimError>(())
 //! ```
 
+pub mod arena;
 pub mod batch;
 pub mod engine;
 pub mod message;
@@ -78,6 +79,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod rng;
 
+pub use arena::ScratchArena;
 pub use batch::{available_threads, resolve_threads, run_batch};
 pub use engine::{SimConfig, SimError, SimScratch, Simulator, SLEEP_FOREVER};
 pub use message::{bits_for_value, MessageSize};

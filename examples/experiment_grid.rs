@@ -7,7 +7,7 @@
 //! ```
 
 use awake_mis::analysis::grid::{run_grid, GridSpec};
-use awake_mis::analysis::runners::Algorithm;
+use awake_mis::analysis::spec::default_registry;
 use awake_mis::graphs::GraphFamily;
 use awake_mis::sim::batch::available_threads;
 
@@ -15,8 +15,10 @@ fn main() {
     // {algorithm × family × n × seed}: 2 × 2 × 2 × 4 = 32 runs, fanned
     // over every hardware thread with per-worker scratch reuse. The
     // points and cells come back in grid order regardless of threads.
+    // The algorithm axis is registry specs — swap in a parameterized
+    // variant (e.g. "awake?round_efficient=true") without code changes.
     let spec = GridSpec {
-        algorithms: vec![Algorithm::AwakeMis, Algorithm::Luby],
+        algorithms: default_registry().resolve_list("awake,luby").expect("builtin specs"),
         families: vec![GraphFamily::Er, GraphFamily::Tree],
         sizes: vec![512, 2048],
         seeds: vec![1, 2, 3, 4],

@@ -11,7 +11,7 @@
 //! cargo run --release --example sensor_network
 //! ```
 
-use awake_mis::analysis::runners::{run_algorithm, Algorithm};
+use awake_mis::analysis::spec::default_registry;
 use awake_mis::analysis::{EnergyModel, Table};
 use awake_mis::graphs::{generators, props};
 use rand::SeedableRng;
@@ -46,8 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "latency (rounds)",
         "valid",
     ]);
-    for alg in [Algorithm::AwakeMis, Algorithm::AwakeMisRound, Algorithm::Luby] {
-        let r = run_algorithm(alg, &g, 7)?;
+    for alg in default_registry().resolve_list("awake,awake-round,luby")? {
+        let r = alg.run(&g, 7)?;
         let awake_only = model.awake_energy_mj(r.awake_max);
         let with_sleep =
             model.max_node_energy_mj(&r.metrics.awake_rounds, &r.metrics.terminated_at);

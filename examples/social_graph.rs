@@ -12,7 +12,7 @@
 //! cargo run --release --example social_graph
 //! ```
 
-use awake_mis::analysis::runners::{run_algorithm, Algorithm};
+use awake_mis::analysis::spec::default_registry;
 use awake_mis::analysis::Table;
 use awake_mis::graphs::{generators, props};
 use rand::SeedableRng;
@@ -40,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "messages",
         "valid",
     ]);
-    for alg in [Algorithm::AwakeMis, Algorithm::Luby, Algorithm::VtMis] {
-        let r = run_algorithm(alg, &g, 123)?;
+    for alg in default_registry().resolve_list("awake,luby,vt")? {
+        let r = alg.run(&g, 123)?;
         table.row(vec![
             alg.name().to_string(),
             r.mis_size.to_string(),

@@ -8,8 +8,7 @@
 //! cargo run --release --example tradeoff
 //! ```
 
-use awake_mis::analysis::runners::{run_algorithm, Algorithm};
-use awake_mis::analysis::Table;
+use awake_mis::prelude::{default_registry, Table};
 use awake_mis::graphs::generators;
 use rand::SeedableRng;
 
@@ -25,16 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "rounds",
         "awake·rounds intuition",
     ]);
-    for alg in Algorithm::all() {
-        let r = run_algorithm(alg, &g, 31)?;
-        let note = match alg {
-            Algorithm::Luby => "few rounds, all of them awake",
-            Algorithm::NaiveGreedy => "Θ(I) both — the strawman",
-            Algorithm::VtMis => "Θ(I) rounds, O(log I) awake",
-            Algorithm::LdtMis => "one global component: broadcast-bound",
-            Algorithm::AwakeMis => "Theorem 13: O(log log n) awake",
-            Algorithm::AwakeMisRound => "Corollary 14: +log* awake",
-        };
+    // Registry specs in comparison-table order, each with its headline.
+    let spectrum = [
+        ("awake", "Theorem 13: O(log log n) awake"),
+        ("awake?round_efficient=true", "Corollary 14: +log* awake"),
+        ("ldt", "one global component: broadcast-bound"),
+        ("vt", "Θ(I) rounds, O(log I) awake"),
+        ("naive", "Θ(I) both — the strawman"),
+        ("luby", "few rounds, all of them awake"),
+    ];
+    for (spec, note) in spectrum {
+        let alg = default_registry().resolve(spec)?;
+        let r = alg.run(&g, 31)?;
         table.row(vec![
             alg.name().to_string(),
             r.awake_max.to_string(),

@@ -20,8 +20,11 @@
 //!   `LDT-MIS`, **`Awake-MIS`** (Theorem 13 / Corollary 14) and the
 //!   Luby / naive-greedy baselines plus verifiers.
 //! * [`analysis`] — statistics, growth-law fitting, tables, the energy
-//!   model, unified runners, and the batched seed-grid experiment
-//!   harness (`analysis::grid`) behind `BENCH_grid.json`.
+//!   model, the extensible algorithm registry (`analysis::spec`), and
+//!   the batched seed-grid experiment harness (`analysis::grid`) behind
+//!   `BENCH_grid.json`.
+//!
+//! For the common experiment workflow there is also a [`prelude`].
 //!
 //! # Quickstart
 //!
@@ -51,3 +54,30 @@ pub use graphgen as graphs;
 pub use ldt;
 pub use sleeping_congest as sim;
 pub use vtree;
+
+/// One-import surface for the common experiment workflow: resolve
+/// algorithm specs from the registry, run them (standalone or as a
+/// grid), verify and tabulate.
+///
+/// ```
+/// use awake_mis::prelude::*;
+///
+/// let runner = default_registry().resolve("vt?id_upper=4096")?;
+/// let g = generators::cycle(24);
+/// let result = runner.run(&g, 7)?;
+/// assert!(result.correct);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub mod prelude {
+    pub use crate::analysis::grid::{run_grid, GridMeta, GridResult, GridSpec};
+    pub use crate::analysis::runners::AlgoResult;
+    pub use crate::analysis::spec::{
+        default_registry, AlgorithmSpec, DynRunner, Registry, RunnerHandle, SpecError,
+    };
+    pub use crate::analysis::{Summary, Table};
+    pub use crate::core::{check_maximal, check_mis, MisState};
+    pub use crate::graphs::{generators, Graph, GraphFamily};
+    pub use crate::sim::{
+        Action, NodeCtx, Outbox, Protocol, ScratchArena, SimConfig, SimError, Simulator,
+    };
+}
