@@ -18,11 +18,11 @@
 //! per-point `timing` section appended by [`GridResult::to_json`] —
 //! never in the payload.
 
-use crate::runners::AlgoScratch;
 use crate::spec::RunnerHandle;
 use crate::stats::Summary;
 use graphgen::GraphFamily;
 use sleeping_congest::batch::{resolve_threads, run_batch};
+use sleeping_congest::{AwakeDistribution, ScratchArena};
 use std::time::Instant;
 
 /// A cartesian experiment grid.
@@ -92,6 +92,11 @@ pub struct GridPoint {
     pub awake_max: u64,
     /// Node-averaged awake complexity.
     pub awake_avg: f64,
+    /// Full distribution statistics over the per-node awake counts
+    /// (mean = `awake_avg`, max = `awake_max`, plus median, p95, Gini,
+    /// skew). This is what makes worst-case and node-averaged
+    /// algorithms comparable cell by cell.
+    pub awake_dist: AwakeDistribution,
     /// Round complexity (sleeping + awake).
     pub rounds: u64,
     /// Rounds the engine actually simulated (≥ 1 node awake).
@@ -129,6 +134,10 @@ pub struct GridCell {
     pub awake_max: Summary,
     /// Summary of node-averaged awake complexity over seeds.
     pub awake_avg: Summary,
+    /// Summary of the per-run 95th-percentile awake rounds over seeds.
+    pub awake_p95: Summary,
+    /// Summary of the per-run awake-load Gini coefficient over seeds.
+    pub awake_gini: Summary,
     /// Summary of round complexity over seeds.
     pub rounds: Summary,
     /// Largest message observed across seeds, in bits.
@@ -159,7 +168,7 @@ pub struct GridMeta {
 }
 
 /// Runs one grid job on a caller-provided scratch.
-pub fn run_point(job: &GridJob, scratch: &mut AlgoScratch) -> GridPoint {
+pub fn run_point(job: &GridJob, scratch: &mut ScratchArena) -> GridPoint {
     let start = Instant::now();
     let g = job.family.generate(job.n, job.seed);
     let nodes = g.n();
@@ -169,6 +178,7 @@ pub fn run_point(job: &GridJob, scratch: &mut AlgoScratch) -> GridPoint {
             nodes,
             awake_max: r.awake_max,
             awake_avg: r.awake_avg,
+            awake_dist: r.metrics.awake_distribution(),
             rounds: r.rounds,
             active_rounds: r.metrics.active_rounds,
             messages: r.messages,
@@ -184,6 +194,7 @@ pub fn run_point(job: &GridJob, scratch: &mut AlgoScratch) -> GridPoint {
             nodes,
             awake_max: 0,
             awake_avg: 0.0,
+            awake_dist: AwakeDistribution::default(),
             rounds: 0,
             active_rounds: 0,
             messages: 0,
@@ -205,7 +216,7 @@ pub fn run_point(job: &GridJob, scratch: &mut AlgoScratch) -> GridPoint {
 pub fn run_grid(spec: &GridSpec) -> GridResult {
     let jobs = spec.jobs();
     let threads = resolve_threads(spec.threads);
-    let points = run_batch(&jobs, threads, |_| AlgoScratch::new(), |scratch, _i, job| {
+    let points = run_batch(&jobs, threads, |_| ScratchArena::new(), |scratch, _i, job| {
         run_point(job, scratch)
     });
     let cells = aggregate(spec, &points);
@@ -223,6 +234,8 @@ fn aggregate(spec: &GridSpec, points: &[GridPoint]) -> Vec<GridCell> {
             let head = &chunk[0].job;
             let awake_max: Vec<u64> = chunk.iter().map(|p| p.awake_max).collect();
             let awake_avg: Vec<f64> = chunk.iter().map(|p| p.awake_avg).collect();
+            let awake_p95: Vec<f64> = chunk.iter().map(|p| p.awake_dist.p95).collect();
+            let awake_gini: Vec<f64> = chunk.iter().map(|p| p.awake_dist.gini).collect();
             let rounds: Vec<u64> = chunk.iter().map(|p| p.rounds).collect();
             GridCell {
                 algorithm: head.algorithm.clone(),
@@ -231,6 +244,8 @@ fn aggregate(spec: &GridSpec, points: &[GridPoint]) -> Vec<GridCell> {
                 runs,
                 awake_max: Summary::of_u64(&awake_max),
                 awake_avg: Summary::of(&awake_avg),
+                awake_p95: Summary::of(&awake_p95),
+                awake_gini: Summary::of(&awake_gini),
                 rounds: Summary::of_u64(&rounds),
                 max_message_bits: chunk.iter().map(|p| p.max_message_bits).max().unwrap_or(0),
                 all_correct: chunk.iter().all(|p| p.correct),
@@ -262,12 +277,19 @@ fn summary_json(s: &Summary) -> String {
     )
 }
 
+fn dist_json(d: &AwakeDistribution) -> String {
+    format!(
+        "{{\"mean\":{},\"median\":{},\"p95\":{},\"max\":{},\"gini\":{},\"skew\":{}}}",
+        d.mean, d.median, d.p95, d.max, d.gini, d.skew
+    )
+}
+
 impl GridPoint {
     fn json(&self) -> String {
         let mut out = format!(
             "{{\"algorithm\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\"nodes\":{},\
-             \"awake_max\":{},\"awake_avg\":{},\"rounds\":{},\"active_rounds\":{},\
-             \"messages\":{},\"max_message_bits\":{},\"mis_size\":{},\
+             \"awake_max\":{},\"awake_avg\":{},\"awake_dist\":{},\"rounds\":{},\
+             \"active_rounds\":{},\"messages\":{},\"max_message_bits\":{},\"mis_size\":{},\
              \"correct\":{},\"failures\":{}",
             json_escape(self.job.algorithm.key()),
             self.job.family.key(),
@@ -276,6 +298,7 @@ impl GridPoint {
             self.nodes,
             self.awake_max,
             self.awake_avg,
+            dist_json(&self.awake_dist),
             self.rounds,
             self.active_rounds,
             self.messages,
@@ -296,14 +319,16 @@ impl GridCell {
     fn json(&self) -> String {
         format!(
             "{{\"algorithm\":\"{}\",\"family\":\"{}\",\"n\":{},\"runs\":{},\
-             \"awake_max\":{},\"awake_avg\":{},\"rounds\":{},\
-             \"max_message_bits\":{},\"all_correct\":{}}}",
+             \"awake_max\":{},\"awake_avg\":{},\"awake_p95\":{},\"awake_gini\":{},\
+             \"rounds\":{},\"max_message_bits\":{},\"all_correct\":{}}}",
             json_escape(self.algorithm.key()),
             self.family.key(),
             self.n,
             self.runs,
             summary_json(&self.awake_max),
             summary_json(&self.awake_avg),
+            summary_json(&self.awake_p95),
+            summary_json(&self.awake_gini),
             summary_json(&self.rounds),
             self.max_message_bits,
             self.all_correct,
@@ -326,7 +351,7 @@ impl GridResult {
     }
 
     fn json_with_meta(&self, meta: Option<&GridMeta>) -> String {
-        let mut out = String::from("{\n  \"schema\": \"awake-mis/bench-grid/v1\",\n");
+        let mut out = String::from("{\n  \"schema\": \"awake-mis/bench-grid/v2\",\n");
         if let Some(m) = meta {
             out.push_str(&format!(
                 "  \"meta\": {{\"threads\": {}, \"wall_ms\": {}}},\n",
@@ -407,9 +432,12 @@ mod tests {
         let a = run_grid(&spec).payload_json();
         let b = run_grid(&spec).payload_json();
         assert_eq!(a, b, "payload must be reproducible");
-        assert!(a.contains("\"schema\": \"awake-mis/bench-grid/v1\""));
+        assert!(a.contains("\"schema\": \"awake-mis/bench-grid/v2\""));
         assert!(a.contains("\"cells\""));
         assert!(a.contains("\"points\""));
+        assert!(a.contains("\"awake_dist\":{\"mean\":"), "points carry the distribution");
+        assert!(a.contains("\"awake_p95\":{\"mean\":"), "cells summarize p95");
+        assert!(a.contains("\"awake_gini\":{\"mean\":"), "cells summarize gini");
         assert!(!a.contains("wall_ms"), "payload must not carry wall-clock fields");
         assert!(!a.contains("elapsed_ns"), "payload must not carry per-point timing");
         // Balanced braces/brackets as a cheap well-formedness check.
@@ -433,6 +461,36 @@ mod tests {
             .join("\n")
             + "\n";
         assert_eq!(stripped, result.payload_json());
+    }
+
+    #[test]
+    fn node_averaged_algorithms_flow_through_the_grid() {
+        // The two average-awake entrants ride the same axes as the
+        // worst-case algorithms, with no dispatch edits anywhere.
+        let spec = GridSpec {
+            algorithms: default_registry().resolve_list("na,gp-avg,luby").unwrap(),
+            families: vec![GraphFamily::Er],
+            sizes: vec![48],
+            seeds: vec![1, 2],
+            threads: 1,
+        };
+        let result = run_grid(&spec);
+        assert!(result.cells.iter().all(|c| c.all_correct));
+        for cell in &result.cells {
+            assert!(cell.awake_gini.mean >= 0.0 && cell.awake_gini.mean < 1.0);
+            assert!(cell.awake_p95.mean <= cell.awake_max.mean + 1e-9);
+        }
+        // The dropout algorithms concentrate awake load on a few nodes:
+        // their Gini must exceed always-awake Luby's.
+        let (na, luby) = (&result.cells[0], &result.cells[2]);
+        assert_eq!(na.algorithm.key(), "na");
+        assert_eq!(luby.algorithm.key(), "luby");
+        assert!(
+            na.awake_gini.mean > luby.awake_gini.mean,
+            "dropout skew: na {} vs luby {}",
+            na.awake_gini.mean,
+            luby.awake_gini.mean
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod timeline;
 pub use energy::EnergyModel;
 pub use fit::{fit_linear, growth_exponent, Fit};
 pub use grid::{run_grid, GridCell, GridJob, GridMeta, GridPoint, GridResult, GridSpec};
-pub use runners::{AlgoResult, AlgoScratch, Algorithm};
+pub use runners::AlgoResult;
 pub use spec::{default_registry, AlgorithmSpec, DynRunner, Registry, RunnerHandle, SpecError};
 pub use stats::Summary;
 pub use table::Table;

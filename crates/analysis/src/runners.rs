@@ -1,122 +1,35 @@
-//! Built-in algorithm runners and the legacy enum shim.
+//! Built-in algorithm runners.
 //!
-//! The executable form of every algorithm in the paper's comparison
-//! table lives here as a [`DynRunner`](crate::spec::DynRunner)
-//! implementation, registered with the
-//! [`Registry`](crate::spec::Registry) under its CLI key (see
-//! [`register_builtins`]). Parameterized variants are specs, not new
-//! code: `awake?round_efficient=true`, `ldt?strategy=round`,
-//! `vt?id_upper=1000000` all resolve to configured instances of the
+//! The executable form of every algorithm in the comparison table lives
+//! here as a [`DynRunner`](crate::spec::DynRunner) implementation,
+//! registered with the [`Registry`](crate::spec::Registry) under its
+//! CLI key (see [`register_builtins`]). Parameterized variants are
+//! specs, not new code: `awake?round_efficient=true`,
+//! `ldt?strategy=round`, `vt?id_upper=1000000`, `na?stride=8`,
+//! `gp-avg?balance=0` all resolve to configured instances of the
 //! runners below.
 //!
-//! The [`Algorithm`] enum and the [`run_algorithm`] /
-//! [`run_algorithm_with_scratch`] free functions are **deprecated
-//! shims** kept for one release so downstream code migrates gradually;
-//! they delegate to the default registry and return identical results.
+//! Two measures of awake complexity are covered: the paper's worst case
+//! (`awake`, `awake-round`, `ldt`, `vt`, `naive`, `luby`) and the
+//! *node-averaged* measure of the related sleeping-model work (`na`,
+//! `gp-avg`) — see [`awake_mis_core::na_mis`] and
+//! [`awake_mis_core::avg_mis`].
+//!
+//! The `Algorithm` enum and the `run_algorithm(_with_scratch)` shims
+//! that used to live here were deprecated in favor of the registry and
+//! have been removed; resolve a [`RunnerHandle`] instead.
 
 use crate::spec::{AlgorithmSpec, DynRunner, Registry, RunnerHandle, SpecError};
 use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams};
 use awake_mis_core::{
-    AwakeMis, AwakeMisConfig, LdtStrategy, Luby, MisState, NaiveGreedy, VtMis,
+    AvgMis, AvgMisConfig, AwakeMis, AwakeMisConfig, LdtStrategy, Luby, MisState, NaMis,
+    NaMisConfig, NaiveGreedy, VtMis,
 };
 use graphgen::Graph;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sleeping_congest::{Metrics, SimConfig, SimError, Simulator, Standalone};
-
-/// The built-in MIS algorithms.
-///
-/// **Deprecated shim**: this closed enum predates the
-/// [`spec`](crate::spec) registry and is kept for one release so
-/// downstream tests migrate gradually. New code should resolve a
-/// [`RunnerHandle`] from a [`Registry`] instead — that path also covers
-/// parameterized variants (`awake?delta_factor=9`) this enum cannot
-/// name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algorithm {
-    /// `Awake-MIS` (Theorem 13).
-    AwakeMis,
-    /// `Awake-MIS` with round-efficient LDTs (Corollary 14).
-    AwakeMisRound,
-    /// Luby's algorithm (always awake).
-    Luby,
-    /// `VT-MIS` with a random ID permutation.
-    VtMis,
-    /// Naive distributed greedy (always awake, `I` rounds).
-    NaiveGreedy,
-    /// `LDT-MIS` on the whole graph (one component = one pipeline).
-    LdtMis,
-}
-
-impl Algorithm {
-    /// Display name matching the paper's terminology.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::AwakeMis => "Awake-MIS",
-            Algorithm::AwakeMisRound => "Awake-MIS-Round",
-            Algorithm::Luby => "Luby",
-            Algorithm::VtMis => "VT-MIS",
-            Algorithm::NaiveGreedy => "Naive-Greedy",
-            Algorithm::LdtMis => "LDT-MIS",
-        }
-    }
-
-    /// All algorithms, in comparison-table order.
-    pub fn all() -> [Algorithm; 6] {
-        [
-            Algorithm::AwakeMis,
-            Algorithm::AwakeMisRound,
-            Algorithm::LdtMis,
-            Algorithm::VtMis,
-            Algorithm::NaiveGreedy,
-            Algorithm::Luby,
-        ]
-    }
-
-    /// Parses a CLI-style algorithm key (`awake`, `awake-round`, `ldt`,
-    /// `vt`, `naive`, `luby`; the display names are accepted too,
-    /// case-insensitively).
-    pub fn parse(s: &str) -> Option<Algorithm> {
-        match s.to_ascii_lowercase().as_str() {
-            "awake" | "awake-mis" => Some(Algorithm::AwakeMis),
-            "awake-round" | "awake-mis-round" => Some(Algorithm::AwakeMisRound),
-            "ldt" | "ldt-mis" => Some(Algorithm::LdtMis),
-            "vt" | "vt-mis" => Some(Algorithm::VtMis),
-            "naive" | "naive-greedy" => Some(Algorithm::NaiveGreedy),
-            "luby" => Some(Algorithm::Luby),
-            _ => None,
-        }
-    }
-
-    /// CLI key accepted by [`parse`](Algorithm::parse) and by the
-    /// registry.
-    pub fn key(self) -> &'static str {
-        match self {
-            Algorithm::AwakeMis => "awake",
-            Algorithm::AwakeMisRound => "awake-round",
-            Algorithm::Luby => "luby",
-            Algorithm::VtMis => "vt",
-            Algorithm::NaiveGreedy => "naive",
-            Algorithm::LdtMis => "ldt",
-        }
-    }
-
-    /// The registry runner this enum case corresponds to.
-    pub fn runner(self) -> RunnerHandle {
-        crate::spec::default_registry()
-            .resolve(self.key())
-            .expect("built-in keys always resolve")
-    }
-}
-
-/// Reusable simulator working memory for batched runs.
-///
-/// **Deprecated alias** of [`sleeping_congest::ScratchArena`]: scratch
-/// is now type-erased at the sim layer so heterogeneous runners can
-/// share one per-worker arena. The old name keeps legacy call sites
-/// compiling for one release.
-pub type AlgoScratch = sleeping_congest::ScratchArena;
+use sleeping_congest::{Metrics, ScratchArena, SimConfig, SimError, Simulator, Standalone};
 
 /// Normalized result of one run.
 #[derive(Debug, Clone)]
@@ -142,7 +55,8 @@ pub struct AlgoResult {
     pub correct: bool,
     /// Number of nodes that reported a Monte Carlo failure.
     pub failures: usize,
-    /// Full engine metrics.
+    /// Full engine metrics (per-node awake counts live here; see
+    /// [`Metrics::awake_distribution`]).
     pub metrics: Metrics,
     /// Per-node final states (for re-verification by callers).
     pub states: Vec<MisState>,
@@ -287,7 +201,7 @@ impl DynRunner for AwakeRunner {
         &self,
         g: &Graph,
         seed: u64,
-        scratch: &mut AlgoScratch,
+        scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| AwakeMis::new(self.cfg)).collect();
         let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
@@ -322,11 +236,106 @@ impl DynRunner for LubyRunner {
         &self,
         g: &Graph,
         seed: u64,
-        scratch: &mut AlgoScratch,
+        scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| Luby::new()).collect();
         let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
         Ok(AlgoResult::from_states("Luby", &self.key, g, report.outputs, 0, report.metrics))
+    }
+}
+
+/// `NA-MIS` (Chatterjee–Gmyr–Pandurangan, arXiv:2006.07449): `O(1)`
+/// *node-averaged* awake complexity via immediate dropout. Parameters:
+/// `stride=R` spaces the compete/resolve phases `R` rounds apart
+/// (default 2 = back to back) without changing any awake count.
+struct NaRunner {
+    key: String,
+    cfg: NaMisConfig,
+}
+
+impl NaRunner {
+    fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
+        let mut cfg = NaMisConfig::default();
+        let mut p = spec.reader();
+        if let Some(v) = p.u64("stride")? {
+            if v < 2 {
+                return Err(SpecError::BadValue {
+                    param: "stride".to_string(),
+                    value: v.to_string(),
+                    expected: "an integer ≥ 2 (a phase spans two rounds)".to_string(),
+                });
+            }
+            cfg.stride = v;
+        }
+        p.finish()?;
+        Ok(RunnerHandle::new(NaRunner { key: spec.canonical(), cfg }))
+    }
+}
+
+impl DynRunner for NaRunner {
+    fn name(&self) -> &str {
+        "NA-MIS"
+    }
+
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn run_on(
+        &self,
+        g: &Graph,
+        seed: u64,
+        scratch: &mut ScratchArena,
+    ) -> Result<AlgoResult, SimError> {
+        let nodes = (0..g.n()).map(|_| NaMis::new(self.cfg)).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        Ok(AlgoResult::from_states("NA-MIS", &self.key, g, report.outputs, 0, report.metrics))
+    }
+}
+
+/// `GP-Avg-MIS` (Ghaffari–Portmann, arXiv:2305.06120): dropout phases
+/// followed by a deterministically-capped ranked schedule. The
+/// `balance=K` parameter (default 3) sets the number of dropout phases
+/// — the dial between node-averaged and worst-case awake cost.
+struct AvgRunner {
+    key: String,
+    cfg: AvgMisConfig,
+}
+
+impl AvgRunner {
+    fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
+        let mut cfg = AvgMisConfig::default();
+        let mut p = spec.reader();
+        if let Some(v) = p.u64("balance")? {
+            cfg.balance = v;
+        }
+        p.finish()?;
+        Ok(RunnerHandle::new(AvgRunner { key: spec.canonical(), cfg }))
+    }
+}
+
+impl DynRunner for AvgRunner {
+    fn name(&self) -> &str {
+        "GP-Avg-MIS"
+    }
+
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn run_on(
+        &self,
+        g: &Graph,
+        seed: u64,
+        scratch: &mut ScratchArena,
+    ) -> Result<AlgoResult, SimError> {
+        let nodes = (0..g.n()).map(|_| AvgMis::new(self.cfg)).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        // An adjacent rank collision is a Monte Carlo failure (module
+        // docs of `awake_mis_core::avg_mis`), reported like Awake-MIS's.
+        let failures = report.outputs.iter().filter(|o| o.failed).count();
+        let states = report.outputs.iter().map(|o| o.state).collect();
+        Ok(AlgoResult::from_states("GP-Avg-MIS", &self.key, g, states, failures, report.metrics))
     }
 }
 
@@ -360,7 +369,7 @@ impl DynRunner for VtRunner {
         &self,
         g: &Graph,
         seed: u64,
-        scratch: &mut AlgoScratch,
+        scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError> {
         let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
@@ -407,7 +416,7 @@ impl DynRunner for NaiveRunner {
         &self,
         g: &Graph,
         seed: u64,
-        scratch: &mut AlgoScratch,
+        scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError> {
         let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
@@ -455,7 +464,7 @@ impl DynRunner for LdtRunner {
         &self,
         g: &Graph,
         seed: u64,
-        scratch: &mut AlgoScratch,
+        scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError> {
         let n = g.n();
         let id_upper = (n.max(4) as u64).pow(3).max(1 << 24);
@@ -517,43 +526,20 @@ pub(crate) fn register_builtins(reg: &mut Registry) {
         LubyRunner::from_spec(spec)
     })
     .expect("builtin keys are distinct");
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated shims
-// ---------------------------------------------------------------------------
-
-/// Runs `algorithm` on `g` with the given seed, allocating fresh
-/// simulator working memory.
-///
-/// **Deprecated shim** over the registry: identical to
-/// `algorithm.runner().run(g, seed)`. Prefer resolving a
-/// [`RunnerHandle`] from a [`Registry`].
-///
-/// # Errors
-///
-/// Propagates simulator errors (round-limit overflows and the like);
-/// algorithmic Monte Carlo failures are reported in
-/// [`AlgoResult::failures`], not as errors.
-pub fn run_algorithm(algorithm: Algorithm, g: &Graph, seed: u64) -> Result<AlgoResult, SimError> {
-    algorithm.runner().run(g, seed)
-}
-
-/// Runs `algorithm` on `g` with the given seed, reusing `scratch`'s
-/// buffers. Results are identical to [`run_algorithm`].
-///
-/// **Deprecated shim** over the registry, like [`run_algorithm`].
-///
-/// # Errors
-///
-/// Same as [`run_algorithm`].
-pub fn run_algorithm_with_scratch(
-    algorithm: Algorithm,
-    g: &Graph,
-    seed: u64,
-    scratch: &mut AlgoScratch,
-) -> Result<AlgoResult, SimError> {
-    algorithm.runner().run_with_scratch(g, seed, scratch)
+    reg.register_aliased(
+        &["na", "na-mis"],
+        "NA-MIS (CGP 2020): O(1) node-averaged awake via dropout phases. Params: stride=R \
+         (rounds between phases, default 2)",
+        NaRunner::from_spec,
+    )
+    .expect("builtin keys are distinct");
+    reg.register_aliased(
+        &["gp-avg", "gp-avg-mis"],
+        "GP-Avg-MIS (GP 2023): dropout + capped ranked finish. Params: balance=K \
+         (dropout phases before the ranked stage, default 3)",
+        AvgRunner::from_spec,
+    )
+    .expect("builtin keys are distinct");
 }
 
 #[cfg(test)]
@@ -563,16 +549,29 @@ mod tests {
     use graphgen::generators;
 
     #[test]
-    fn every_algorithm_runs_and_verifies() {
+    fn every_builtin_runs_and_verifies() {
         let g = generators::gnp(60, 0.1, &mut SmallRng::seed_from_u64(1));
-        for alg in Algorithm::all() {
-            let r = run_algorithm(alg, &g, 5).expect("run");
-            assert!(r.correct, "{} produced an invalid MIS", alg.name());
+        let reg = default_registry();
+        let keys: Vec<String> = reg.keys().map(str::to_string).collect();
+        assert_eq!(
+            keys,
+            ["awake", "awake-round", "ldt", "vt", "naive", "luby", "na", "gp-avg"],
+            "comparison-table order"
+        );
+        for key in &keys {
+            let runner = reg.resolve(key).expect("builtin resolves");
+            let r = runner.run(&g, 5).expect("run");
+            assert!(r.correct, "{} produced an invalid MIS", runner.name());
             assert!(r.mis_size > 0);
             assert!(r.awake_max > 0);
             assert!(r.awake_avg <= r.awake_max as f64);
-            assert_eq!(r.algorithm, alg.name());
-            assert_eq!(r.key, alg.key());
+            assert_eq!(r.algorithm, runner.name());
+            assert_eq!(r.key, *key);
+            // The distribution view agrees with the headline numbers.
+            let d = r.metrics.awake_distribution();
+            assert_eq!(d.max, r.awake_max, "{key}: distribution max");
+            assert!((d.mean - r.awake_avg).abs() < 1e-12, "{key}: distribution mean");
+            assert!(d.median <= d.p95 && d.p95 <= d.max as f64, "{key}: quantile order");
         }
     }
 
@@ -580,14 +579,16 @@ mod tests {
     fn scratch_reuse_matches_fresh_runs() {
         // One dirty scratch reused across all algorithms and two graphs
         // must reproduce the fresh-allocation results exactly.
-        let mut scratch = AlgoScratch::new();
+        let mut scratch = ScratchArena::new();
+        let reg = default_registry();
         for (n, p, seed) in [(40usize, 0.15, 3u64), (70, 0.08, 9)] {
             let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(seed));
-            for alg in Algorithm::all() {
-                let fresh = run_algorithm(alg, &g, seed).expect("fresh");
+            for key in reg.keys() {
+                let runner = reg.resolve(key).expect("builtin resolves");
+                let fresh = runner.run(&g, seed).expect("fresh");
                 let reused =
-                    run_algorithm_with_scratch(alg, &g, seed, &mut scratch).expect("reused");
-                assert_eq!(fresh.states, reused.states, "{} diverged", alg.name());
+                    runner.run_with_scratch(&g, seed, &mut scratch).expect("reused");
+                assert_eq!(fresh.states, reused.states, "{key} diverged");
                 assert_eq!(fresh.awake_max, reused.awake_max);
                 assert_eq!(fresh.rounds, reused.rounds);
                 assert_eq!(fresh.messages, reused.messages);
@@ -597,15 +598,22 @@ mod tests {
     }
 
     #[test]
-    fn parse_round_trips() {
-        for alg in Algorithm::all() {
-            assert_eq!(Algorithm::parse(alg.key()), Some(alg));
-            assert_eq!(Algorithm::parse(alg.name()), Some(alg));
-            // The registry resolves the same keys and display names.
-            assert_eq!(default_registry().resolve(alg.key()).unwrap().name(), alg.name());
-            assert_eq!(default_registry().resolve(alg.name()).unwrap().name(), alg.name());
+    fn display_names_resolve_as_aliases() {
+        let reg = default_registry();
+        for (key, name) in [
+            ("awake", "Awake-MIS"),
+            ("awake-round", "Awake-MIS-Round"),
+            ("ldt", "LDT-MIS"),
+            ("vt", "VT-MIS"),
+            ("naive", "Naive-Greedy"),
+            ("luby", "Luby"),
+            ("na", "NA-MIS"),
+            ("gp-avg", "GP-Avg-MIS"),
+        ] {
+            assert_eq!(reg.resolve(key).unwrap().name(), name);
+            assert_eq!(reg.resolve(name).unwrap().name(), name, "display-name alias {name}");
         }
-        assert_eq!(Algorithm::parse("quantum"), None);
+        assert!(reg.resolve("quantum").is_err());
     }
 
     #[test]
@@ -613,11 +621,16 @@ mod tests {
         // The headline ordering at moderate n: VT-MIS ≤ O(log n) <
         // Naive = n awake; Awake-MIS ≪ its own round complexity.
         let g = generators::gnp(128, 0.08, &mut SmallRng::seed_from_u64(2));
-        let vt = run_algorithm(Algorithm::VtMis, &g, 3).unwrap();
-        let naive = run_algorithm(Algorithm::NaiveGreedy, &g, 3).unwrap();
+        let reg = default_registry();
+        let vt = reg.resolve("vt").unwrap().run(&g, 3).unwrap();
+        let naive = reg.resolve("naive").unwrap().run(&g, 3).unwrap();
         assert!(vt.awake_max * 4 < naive.awake_max);
-        let am = run_algorithm(Algorithm::AwakeMis, &g, 3).unwrap();
+        let am = reg.resolve("awake").unwrap().run(&g, 3).unwrap();
         assert!(am.awake_max * 100 < am.rounds);
+        // The node-averaged entrant: its *average* beats its own worst
+        // case by a wide margin (the whole point of the measure).
+        let na = reg.resolve("na").unwrap().run(&g, 3).unwrap();
+        assert!(na.awake_avg * 2.0 < na.awake_max as f64);
     }
 
     #[test]
@@ -646,6 +659,49 @@ mod tests {
     }
 
     #[test]
+    fn na_stride_spaces_the_schedule_without_touching_awake() {
+        let g = generators::gnp(72, 0.1, &mut SmallRng::seed_from_u64(6));
+        let reg = default_registry();
+        let dense = reg.resolve("na").unwrap().run(&g, 11).unwrap();
+        let spaced = reg.resolve("na?stride=32").unwrap().run(&g, 11).unwrap();
+        assert!(dense.correct && spaced.correct);
+        assert_eq!(dense.states, spaced.states);
+        assert_eq!(dense.awake_max, spaced.awake_max);
+        assert_eq!(dense.awake_avg, spaced.awake_avg);
+        assert!(spaced.rounds > 8 * dense.rounds, "{} vs {}", spaced.rounds, dense.rounds);
+        assert_eq!(spaced.key, "na?stride=32");
+        // A one-round stride cannot hold a two-round phase.
+        assert!(matches!(
+            reg.resolve("na?stride=1"),
+            Err(SpecError::BadValue { ref param, .. }) if param == "stride"
+        ));
+    }
+
+    #[test]
+    fn gp_balance_dials_average_against_worst_case() {
+        let g = generators::gnp_avg_degree(256, 8.0, &mut SmallRng::seed_from_u64(8));
+        let reg = default_registry();
+        let mean_over_seeds = |spec: &str| -> (f64, f64) {
+            let runner = reg.resolve(spec).unwrap();
+            let mut avg = 0.0;
+            let mut max = 0.0;
+            for seed in 0..6u64 {
+                let r = runner.run(&g, seed).unwrap();
+                assert!(r.correct, "{spec} seed {seed}");
+                avg += r.awake_avg;
+                max += r.awake_max as f64;
+            }
+            (avg / 6.0, max / 6.0)
+        };
+        let (avg0, _) = mean_over_seeds("gp-avg?balance=0");
+        let (avg6, _) = mean_over_seeds("gp-avg?balance=6");
+        assert!(
+            avg6 < avg0 / 2.0,
+            "balance=6 must at least halve the node average: {avg6} vs {avg0}"
+        );
+    }
+
+    #[test]
     fn contradictory_strategy_params_are_rejected() {
         let reg = default_registry();
         let err = reg.resolve("awake?strategy=awake&round_efficient=true").unwrap_err();
@@ -658,5 +714,8 @@ mod tests {
             reg.resolve("ldt?strategy=sideways"),
             Err(SpecError::BadValue { .. })
         ));
+        // The new families are strict about their parameters too.
+        assert!(matches!(reg.resolve("na?balance=3"), Err(SpecError::UnknownParam { .. })));
+        assert!(matches!(reg.resolve("gp-avg?stride=4"), Err(SpecError::UnknownParam { .. })));
     }
 }

@@ -466,7 +466,7 @@ struct RegistryEntry {
 
 /// Maps CLI keys to runner builders.
 ///
-/// [`Registry::builtin`] pre-registers the six algorithms of the paper's
+/// [`Registry::builtin`] pre-registers the eight algorithms of the
 /// comparison table; [`register`](Registry::register) adds user entries.
 /// Resolution order and entry listing are deterministic (registration
 /// order). See the module docs for a full registration example.
@@ -483,7 +483,7 @@ impl Registry {
 
     /// A registry with every built-in algorithm pre-registered under its
     /// CLI key (`awake`, `awake-round`, `ldt`, `vt`, `naive`, `luby`,
-    /// plus the paper-style display names as aliases).
+    /// `na`, `gp-avg`, plus the paper-style display names as aliases).
     pub fn builtin() -> Registry {
         let mut reg = Registry::empty();
         crate::runners::register_builtins(&mut reg);
@@ -593,9 +593,8 @@ impl fmt::Debug for Registry {
 
 /// The process-wide default registry (built-ins only), built once.
 ///
-/// Binaries and the legacy [`Algorithm`](crate::runners::Algorithm) shim
-/// resolve through this; code that wants custom entries builds its own
-/// [`Registry`] (start from [`Registry::builtin`]).
+/// Binaries resolve through this; code that wants custom entries builds
+/// its own [`Registry`] (start from [`Registry::builtin`]).
 pub fn default_registry() -> &'static Registry {
     static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
     REGISTRY.get_or_init(Registry::builtin)

@@ -1,0 +1,93 @@
+//! The node-averaged awake claim, measured.
+//!
+//! Chatterjee–Gmyr–Pandurangan's `NA-MIS` promises `O(1)` *node-
+//! averaged* awake complexity: the seed-averaged mean awake rounds must
+//! stay bounded by a constant while `n` grows. This mirrors the
+//! worst-case growth test in `crates/core/tests/awake_mis.rs`
+//! (`awake_complexity_growth_is_flat`) — same families, same
+//! seed-averaging discipline — but pins the *other* awake measure, and
+//! contrasts it against `Awake-MIS`, whose worst case provably grows
+//! (`Θ(log log n)` is small but not flat).
+
+use analysis::spec::default_registry;
+use analysis::RunnerHandle;
+use graphgen::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SIZES: [usize; 3] = [64, 256, 1024];
+const GRAPH_SEEDS: [u64; 3] = [500, 501, 502];
+const RUN_SEEDS: std::ops::Range<u64> = 4..12;
+
+/// Seed-averaged measurement of `metric` at each size in [`SIZES`].
+fn seed_averaged(runner: &RunnerHandle, metric: impl Fn(&analysis::AlgoResult) -> f64) -> Vec<f64> {
+    SIZES
+        .iter()
+        .map(|&n| {
+            let mut total = 0.0;
+            let mut runs = 0u32;
+            for gseed in GRAPH_SEEDS {
+                let mut rng = SmallRng::seed_from_u64(gseed);
+                let g = generators::gnp_avg_degree(n, 8.0, &mut rng);
+                for seed in RUN_SEEDS {
+                    let r = runner.run(&g, seed).expect("run");
+                    assert!(r.correct, "{} n={n} seed={seed}: invalid MIS", runner.key());
+                    total += metric(&r);
+                    runs += 1;
+                }
+            }
+            total / f64::from(runs)
+        })
+        .collect()
+}
+
+#[test]
+fn na_mean_awake_stays_constant_while_awake_mis_worst_case_grows() {
+    let reg = default_registry();
+    let na = seed_averaged(&reg.resolve("na").unwrap(), |r| r.awake_avg);
+    let awake = seed_averaged(&reg.resolve("awake").unwrap(), |r| r.awake_max as f64);
+    println!("na awake_avg by n:      {na:?}");
+    println!("awake awake_max by n:   {awake:?}");
+
+    // The node average is bounded by a constant at every tested size…
+    for (n, avg) in SIZES.iter().zip(&na) {
+        assert!(*avg < 8.0, "n={n}: NA-MIS node average {avg} not O(1)-sized");
+    }
+    // …and flat across a 16x growth in n (generous 15% drift allowance;
+    // the point is the *shape*, Θ(1) vs any growing function).
+    assert!(
+        na[2] <= na[0] * 1.15,
+        "NA-MIS node average grew with n: {na:?} (not O(1)-shaped)"
+    );
+
+    // Awake-MIS's worst case is NOT flat over the same grid — log log n
+    // growth is slow but visible at 16x.
+    assert!(
+        awake[2] > awake[0] * 1.1,
+        "expected Awake-MIS worst case to grow measurably: {awake:?}"
+    );
+}
+
+#[test]
+fn gp_avg_sits_between_the_two_measures() {
+    // The balance knob's contract at a fixed size: the default gp-avg
+    // average is below the pure ranked schedule's (balance=0), and its
+    // worst case respects the deterministic cap documented in
+    // `awake_mis_core::avg_mis`.
+    let reg = default_registry();
+    let mut rng = SmallRng::seed_from_u64(77);
+    let g = generators::gnp_avg_degree(512, 8.0, &mut rng);
+    let mut avg_default = 0.0;
+    let mut avg_ranked = 0.0;
+    for seed in 0..6u64 {
+        let d = reg.resolve("gp-avg").unwrap().run(&g, seed).unwrap();
+        let p = reg.resolve("gp-avg?balance=0").unwrap().run(&g, seed).unwrap();
+        assert!(d.correct && p.correct, "seed {seed}");
+        avg_default += d.awake_avg / 6.0;
+        avg_ranked += p.awake_avg / 6.0;
+    }
+    assert!(
+        avg_default < avg_ranked,
+        "dropout phases must lower the node average: {avg_default} vs {avg_ranked}"
+    );
+}

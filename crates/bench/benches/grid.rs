@@ -1,10 +1,10 @@
 //! Single-run vs batched grid throughput.
 //!
-//! `serial` runs a seed sweep the pre-harness way: one `run_algorithm`
-//! at a time, fresh simulator allocations per run, one thread.
-//! `batched` runs the same sweep through the grid harness: all hardware
-//! threads, per-worker scratch reuse (`AlgoScratch`). The two produce
-//! identical measurements; only the wall clock differs.
+//! `serial` runs a seed sweep the pre-harness way: one runner call at a
+//! time, fresh simulator allocations per run, one thread. `batched`
+//! runs the same sweep through the grid harness: all hardware threads,
+//! per-worker scratch reuse (`ScratchArena`). The two produce identical
+//! measurements; only the wall clock differs.
 //!
 //! After the Criterion groups, a throughput report times the full sweep
 //! both ways at n = 10⁴ and prints the speedup ratio — the number the

@@ -2,10 +2,11 @@
 //! regressions.
 //!
 //! Prints, per `(algorithm, family, n)` cell present in both files, the
-//! delta in mean worst-case awake rounds and in CONGEST bits (largest
-//! message), then exits nonzero when the new file regresses beyond the
-//! thresholds. This is the perf-trajectory gate: commit a baseline grid,
-//! regenerate after a change, diff.
+//! delta in mean worst-case awake rounds, in mean *node-averaged* awake
+//! rounds, in the mean per-run p95 of the awake distribution, and in
+//! CONGEST bits (largest message), then exits nonzero when the new file
+//! regresses beyond the thresholds. This is the perf-trajectory gate:
+//! commit a baseline grid, regenerate after a change, diff.
 //!
 //! Usage:
 //!
@@ -14,8 +15,9 @@
 //!     OLD.json NEW.json [--threshold PCT] [--bits-slack N] [--exact]
 //! ```
 //!
-//! * `--threshold PCT` — allowed relative increase in mean awake rounds
-//!   per cell before it counts as a regression (default 5).
+//! * `--threshold PCT` — allowed relative increase per cell in each of
+//!   the three awake measures (worst-case mean, node-averaged mean,
+//!   p95 mean) before it counts as a regression (default 5).
 //! * `--bits-slack N` — allowed absolute increase in max message bits
 //!   per cell (default 0: any CONGEST growth is a regression).
 //! * `--exact` — additionally require the two deterministic payloads to
@@ -26,6 +28,11 @@
 //! Baseline cells absent from the new file always count as failures
 //! (lost coverage must not pass as "0 regressions"); cells only in the
 //! new file are reported but don't fail the run.
+//!
+//! Both `awake-mis/bench-grid/v2` documents and legacy `v1` documents
+//! (which predate the per-point `awake_dist` object) are accepted; the
+//! node-averaged and p95 columns show `-` where a side lacks the data,
+//! and those comparisons are skipped for that cell.
 //!
 //! Exit codes: `0` no regression, `1` regression or `--exact` mismatch,
 //! `2` usage or parse error.
@@ -46,8 +53,9 @@ fn fail_usage(msg: &str) -> ExitCode {
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    if doc.get("schema").and_then(Value::as_str) != Some("awake-mis/bench-grid/v1") {
-        return Err(format!("{path}: not an awake-mis/bench-grid/v1 document"));
+    let schema = doc.get("schema").and_then(Value::as_str);
+    if !matches!(schema, Some("awake-mis/bench-grid/v2" | "awake-mis/bench-grid/v1")) {
+        return Err(format!("{path}: not an awake-mis/bench-grid/v1|v2 document"));
     }
     Ok(doc)
 }
@@ -56,6 +64,34 @@ fn load(path: &str) -> Result<Value, String> {
 fn mean(points: &[&Value], field: &str) -> f64 {
     let sum: f64 = points.iter().filter_map(|p| p.get(field).and_then(Value::as_f64)).sum();
     sum / points.len().max(1) as f64
+}
+
+/// Mean of a field nested in each point's `awake_dist` object; `None`
+/// when no point carries it (a legacy v1 document).
+fn mean_dist(points: &[&Value], field: &str) -> Option<f64> {
+    let values: Vec<f64> = points
+        .iter()
+        .filter_map(|p| p.get("awake_dist").and_then(|d| d.get(field)).and_then(Value::as_f64))
+        .collect();
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Formats an optional measurement for the table.
+fn opt_cell(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| format!("{x:.2}"))
+}
+
+/// Relative regression check on an optionally-present measure: only a
+/// pair of present values can regress.
+fn regressed(old: Option<f64>, new: Option<f64>, threshold: f64) -> bool {
+    match (old, new) {
+        (Some(o), Some(n)) if o > 0.0 => 100.0 * (n - o) / o > threshold,
+        _ => false,
+    }
 }
 
 /// Max of a numeric field over a cell's points.
@@ -122,8 +158,8 @@ fn main() -> ExitCode {
         new_cells.iter().map(|(k, v)| (k.as_slice(), v)).collect();
 
     let mut t = Table::new(vec![
-        "algorithm", "family", "n", "awake old", "awake new", "Δ awake", "Δ%", "bits old",
-        "bits new", "verdict",
+        "algorithm", "family", "n", "awake old", "awake new", "Δ%", "avg old", "avg new",
+        "p95 old", "p95 new", "bits old", "bits new", "verdict",
     ]);
     let mut regressions = 0usize;
     let mut compared = 0usize;
@@ -133,11 +169,15 @@ fn main() -> ExitCode {
         };
         compared += 1;
         let (a_old, a_new) = (mean(old_pts, "awake_max"), mean(new_pts, "awake_max"));
+        let (v_old, v_new) = (mean(old_pts, "awake_avg"), mean(new_pts, "awake_avg"));
+        let (p_old, p_new) = (mean_dist(old_pts, "p95"), mean_dist(new_pts, "p95"));
         let (b_old, b_new) =
             (max(old_pts, "max_message_bits"), max(new_pts, "max_message_bits"));
         let delta = a_new - a_old;
         let pct = if a_old > 0.0 { 100.0 * delta / a_old } else { 0.0 };
-        let awake_bad = pct > threshold;
+        let awake_bad = pct > threshold
+            || regressed(Some(v_old), Some(v_new), threshold)
+            || regressed(p_old, p_new, threshold);
         let bits_bad = b_new > b_old + bits_slack;
         // Correctness dominates the numbers: a cell whose new runs fail
         // (sim_error zeroes the measurements) must not read as an
@@ -150,7 +190,7 @@ fn main() -> ExitCode {
         } else if awake_bad || bits_bad {
             regressions += 1;
             "REGRESSED"
-        } else if delta < 0.0 || b_new < b_old {
+        } else if delta < 0.0 || v_new < v_old || b_new < b_old {
             "improved"
         } else {
             "ok"
@@ -161,8 +201,11 @@ fn main() -> ExitCode {
             key[2].clone(),
             format!("{a_old:.2}"),
             format!("{a_new:.2}"),
-            format!("{delta:+.2}"),
             format!("{pct:+.1}%"),
+            format!("{v_old:.2}"),
+            format!("{v_new:.2}"),
+            opt_cell(p_old),
+            opt_cell(p_new),
             format!("{b_old:.0}"),
             format!("{b_new:.0}"),
             verdict.to_string(),

@@ -21,6 +21,7 @@ use ldt::ops::{LdtBroadcast, LdtRanking};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use sleeping_congest::batch::run_batch;
 use sleeping_congest::{SimConfig, Simulator, Standalone};
 
 const SEEDS: [u64; 3] = [11, 22, 33];
@@ -279,33 +280,52 @@ fn e3() {
     println!("its awake cost is correctly higher (the deterministic construction pays the log* factor).\n");
 }
 
-/// E4 — Lemma 2: residual sparsity of randomized greedy.
+/// E4 — Lemma 2: residual sparsity of randomized greedy. Rides the
+/// harness axes: instances come from the named [`Family`] generators
+/// (the `Dense` family is ER at average degree √n = 64 for n = 4096 —
+/// the old hand-rolled fixture — and `Er` is the d = 8 workhorse), the
+/// seed axis fans out via `sleeping_congest::batch::run_batch` exactly
+/// like a grid, and cells aggregate with [`Summary`]. There is no MIS
+/// *runner* here — the measured object is a structural lemma, not an
+/// algorithm — so the registry axis is empty and the experiment rides
+/// the family × seed plane of the harness instead of `RunnerHandle`s.
 fn e4() {
     header(
         "E4 (Lemma 2)",
-        "After t of t'=2t nodes, residual max degree ≤ (t'/t)·ln(n/ε) — measured vs bound",
+        "After t of t'=2t nodes, residual max degree ≤ (t'/t)·ln(n/ε) — measured vs bound, seed-aggregated",
     );
     let n = 4096;
-    let mut t = Table::new(vec!["graph", "t", "t'", "residual max deg", "Lemma 2 bound"]);
-    for (name, g) in [
-        ("ER(n=4096, d=64)", {
-            let mut rng = SmallRng::seed_from_u64(1);
-            generators::gnp_avg_degree(n, 64.0, &mut rng)
-        }),
-        ("regular(n=4096, d=32)", {
-            let mut rng = SmallRng::seed_from_u64(2);
-            generators::random_regular(n, 32, &mut rng)
-        }),
-    ] {
-        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-        order.shuffle(&mut SmallRng::seed_from_u64(3));
-        let ts: Vec<usize> = (5..=11).map(|e| 1 << e).collect();
-        for p in residual_profile(&g, &order, &ts, 2.0) {
+    let ts: Vec<usize> = (5..=11).map(|e| 1 << e).collect();
+    let families = [Family::Dense, Family::Er];
+    // One job per {family × seed}, batched like grid points; each job
+    // returns the whole residual profile of its instance.
+    let jobs: Vec<(Family, u64)> =
+        families.iter().flat_map(|&f| SEEDS.iter().map(move |&s| (f, s))).collect();
+    let profiles = run_batch(&jobs, 0, |_| (), |(), _i, &(family, seed)| {
+        let g = family.generate(n, seed);
+        let mut order: Vec<NodeId> = (0..g.n() as NodeId).collect();
+        order.shuffle(&mut SmallRng::seed_from_u64(seed ^ 0x5eed));
+        let ratio2 = residual_profile(&g, &order, &ts, 2.0);
+        let horizon: Vec<usize> = ts
+            .iter()
+            .map(|&tt| awake_mis_core::greedy::residual_degree(&g, &order, tt, g.n()).1)
+            .collect();
+        (ratio2, horizon)
+    });
+
+    let per_family = SEEDS.len();
+    let mut t = Table::new(vec!["family", "t", "t'", "residual max deg (mean±std)", "Lemma 2 bound"]);
+    for (f_idx, family) in families.iter().enumerate() {
+        let chunk = &profiles[f_idx * per_family..(f_idx + 1) * per_family];
+        for (row, _) in chunk[0].0.iter().enumerate() {
+            let degs: Vec<u64> = chunk.iter().map(|(r2, _)| r2[row].max_degree as u64).collect();
+            let s = Summary::of_u64(&degs);
+            let p = &chunk[0].0[row];
             t.row(vec![
-                name.to_string(),
+                family.name().to_string(),
                 p.t.to_string(),
                 p.t_prime.to_string(),
-                p.max_degree.to_string(),
+                format!("{:.1} ± {:.1}", s.mean, s.std),
                 format!("{:.1}", p.bound),
             ]);
         }
@@ -313,20 +333,19 @@ fn e4() {
     print!("{}", t.render());
     println!("(fixed ratio t'/t = 2: both measured degree and bound stay flat, measured ≪ bound)\n");
 
-    // Fixed horizon t' = n: the 1/t decay becomes visible.
-    let mut t2 = Table::new(vec!["graph", "t (prefix)", "t' = n", "residual max deg", "Lemma 2 bound"]);
-    let mut rng = SmallRng::seed_from_u64(21);
-    let g = generators::gnp_avg_degree(n, 64.0, &mut rng);
-    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-    order.shuffle(&mut SmallRng::seed_from_u64(23));
-    for e in 5..=11 {
-        let tt = 1usize << e;
-        let (_, d) = awake_mis_core::greedy::residual_degree(&g, &order, tt, n);
+    // Fixed horizon t' = n on the dense family: the 1/t decay becomes
+    // visible.
+    let mut t2 =
+        Table::new(vec!["family", "t (prefix)", "t' = n", "residual max deg (mean±std)", "Lemma 2 bound"]);
+    let dense = &profiles[..per_family];
+    for (row, &tt) in ts.iter().enumerate() {
+        let degs: Vec<u64> = dense.iter().map(|(_, h)| h[row] as u64).collect();
+        let s = Summary::of_u64(&degs);
         t2.row(vec![
-            "ER(n=4096, d=64)".to_string(),
+            Family::Dense.name().to_string(),
             tt.to_string(),
             n.to_string(),
-            d.to_string(),
+            format!("{:.1} ± {:.1}", s.mean, s.std),
             format!("{:.1}", (n as f64 / tt as f64) * ((n * n) as f64).ln()),
         ]);
     }
@@ -334,31 +353,44 @@ fn e4() {
     println!("(fixed horizon t' = n: measured degree decays ~1/t, tracking the bound's shape)\n");
 }
 
-/// E5 — Lemma 3: shattering under random 1/(2Δ) partition.
+/// E5 — Lemma 3: shattering under random 1/(2Δ) partition. Like E4 it
+/// rides the harness plane — `Family`-generated instances, a
+/// `{factor × sample}` job grid fanned via
+/// `sleeping_congest::batch::run_batch`, [`Summary`] aggregation per
+/// cell — with an empty algorithm axis (the lemma partitions a graph,
+/// it doesn't run a protocol).
 fn e5() {
     header(
         "E5 (Lemma 3)",
         "Random partition into 2Δ classes shatters bounded-degree graphs into ≤ 6·ln(n/ε) components",
     );
     let n = 4096;
-    let mut rng = SmallRng::seed_from_u64(4);
-    let g = generators::gnp_avg_degree(n, 16.0, &mut rng);
+    // A Family instance with moderate degree: ER(d=8) at seed 4.
+    let g = Family::Er.generate(n, 4);
     let delta = g.max_degree();
-    let mut t = Table::new(vec!["parts", "parts/Δ", "max component (5 samples)", "Lemma 3 bound"]);
-    for factor in [0.5f64, 1.0, 2.0, 4.0] {
+    let factors = [0.5f64, 1.0, 2.0, 4.0];
+    const SAMPLES: u64 = 5;
+    let jobs: Vec<(f64, u64)> =
+        factors.iter().flat_map(|&f| (0..SAMPLES).map(move |s| (f, s))).collect();
+    let samples = run_batch(&jobs, 0, |_| (), |(), _i, &(factor, sample)| {
         let parts = ((delta as f64 * factor) as usize).max(1);
-        let mut worst = 0usize;
-        let mut bound = 0.0;
-        for _ in 0..5 {
-            let p = shatter_once(&g, parts, &mut rng);
-            worst = worst.max(p.max_component);
-            bound = p.bound;
-        }
+        let mut rng = SmallRng::seed_from_u64(0xA5 ^ (sample.wrapping_mul(0x9E37_79B9)) ^ (factor.to_bits()));
+        shatter_once(&g, parts, &mut rng)
+    });
+
+    let mut t = Table::new(vec![
+        "parts", "parts/Δ", "max component (mean±std)", "worst sample", "Lemma 3 bound",
+    ]);
+    for (f_idx, factor) in factors.iter().enumerate() {
+        let chunk = &samples[f_idx * SAMPLES as usize..(f_idx + 1) * SAMPLES as usize];
+        let comps: Vec<u64> = chunk.iter().map(|p| p.max_component as u64).collect();
+        let s = Summary::of_u64(&comps);
         t.row(vec![
-            parts.to_string(),
+            chunk[0].parts.to_string(),
             format!("{factor:.1}"),
-            worst.to_string(),
-            format!("{bound:.0}"),
+            format!("{:.1} ± {:.1}", s.mean, s.std),
+            format!("{:.0}", s.max),
+            format!("{:.0}", chunk[0].bound),
         ]);
     }
     print!("{}", t.render());
@@ -517,16 +549,17 @@ fn e9() {
 }
 
 /// E10 — the headline comparison table. Rides the registry + grid
-/// harness: one `GridSpec` over every registered builtin, all hardware
-/// threads, instead of a hand-rolled double loop of serial runs.
+/// harness: one `GridSpec` over every registered builtin (including the
+/// node-averaged `na`/`gp-avg` entrants), all hardware threads, instead
+/// of a hand-rolled double loop of serial runs.
 fn e10() {
     header(
         "E10 (headline, §1.4)",
-        "All algorithms on a fixed suite (n = 2048): Awake-MIS wins awake complexity; always-awake algorithms win rounds",
+        "All algorithms on a fixed suite (n = 2048): Awake-MIS wins worst-case awake; NA-MIS wins the node average",
     );
     let grid = run_grid(&GridSpec {
         algorithms: default_registry()
-            .resolve_list("awake,awake-round,ldt,vt,naive,luby")
+            .resolve_list("awake,awake-round,ldt,vt,naive,luby,na,gp-avg")
             .expect("builtin specs"),
         families: vec![Family::Er, Family::Rgg, Family::Ba, Family::Grid, Family::Tree],
         sizes: vec![2048],
@@ -648,7 +681,7 @@ fn e13() {
     let n = 4096;
     let grid = run_grid(&GridSpec {
         algorithms: default_registry()
-            .resolve_list("awake,awake-round,ldt,vt,naive,luby")
+            .resolve_list("awake,awake-round,ldt,vt,naive,luby,na,gp-avg")
             .expect("builtin specs"),
         families: vec![Family::Er],
         sizes: vec![n],

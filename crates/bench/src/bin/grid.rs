@@ -1,13 +1,13 @@
 //! Batched seed-grid experiment runner: fans a cartesian grid of
 //! `{algorithm × graph family × n × seed}` across OS threads and writes
 //! the machine-readable `BENCH_grid.json` (schema
-//! `awake-mis/bench-grid/v1`) plus a human-readable summary table.
+//! `awake-mis/bench-grid/v2`) plus a human-readable summary table.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p bench --bin grid -- \
-//!     [--algos awake,luby] [--families er,rgg,ba,grid,tree] \
+//!     [--algos awake,luby,na,gp-avg] [--families er,rgg,ba,grid,tree] \
 //!     [--sizes 1000,10000,100000] [--seeds 8] [--threads 0] \
 //!     [--out BENCH_grid.json] [--list-algos]
 //! ```
@@ -37,7 +37,9 @@ fn parse_list<T>(arg: &str, parse: impl Fn(&str) -> Option<T>, what: &str) -> Ve
 
 fn main() {
     let registry = default_registry();
-    let mut algorithms = registry.resolve_list("awake,luby").expect("default algos");
+    // The default grid spans both awake measures: worst-case (awake,
+    // luby) and node-averaged (na, gp-avg).
+    let mut algorithms = registry.resolve_list("awake,luby,na,gp-avg").expect("default algos");
     let mut families = vec![Family::Er, Family::Rgg, Family::Ba, Family::Grid, Family::Tree];
     let mut sizes = vec![1_000usize, 10_000, 100_000];
     let mut seed_count = 8u64;
@@ -92,7 +94,8 @@ fn main() {
     let wall = start.elapsed();
 
     let mut t = Table::new(vec![
-        "algorithm", "family", "n", "awake max (mean±std)", "awake avg", "rounds (mean)", "max bits", "ok",
+        "algorithm", "family", "n", "awake max (mean±std)", "awake avg", "awake p95", "gini",
+        "rounds (mean)", "max bits", "ok",
     ]);
     for c in &result.cells {
         t.row(vec![
@@ -101,6 +104,8 @@ fn main() {
             c.n.to_string(),
             format!("{:.1} ± {:.1}", c.awake_max.mean, c.awake_max.std),
             format!("{:.2}", c.awake_avg.mean),
+            format!("{:.1}", c.awake_p95.mean),
+            format!("{:.2}", c.awake_gini.mean),
             format!("{:.3e}", c.rounds.mean),
             c.max_message_bits.to_string(),
             if c.all_correct { "yes".into() } else { "NO".to_string() },

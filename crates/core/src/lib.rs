@@ -13,6 +13,12 @@
 //! | [`AwakeMis::corollary14`] | Corollary 14 | `O(log log n · log* n)` | `O(log³ n · log log n · log* n)` |
 //! | [`NaiveGreedy`] | §5.3 baseline | `Θ(I)` | `Θ(I)` |
 //! | [`Luby`] | classical baseline | `Θ(log n)` | `Θ(log n)` |
+//! | [`NaMis`] (`NA-MIS`) | CGP, arXiv:2006.07449 | `O(1)` **node-averaged**, `Θ(log n)` worst case | `Θ(log n)` |
+//! | [`AvgMis`] (`GP-Avg-MIS`) | GP, arXiv:2305.06120 | low average, worst case capped `2·balance + O(log N)` | `O(N³)` |
+//!
+//! The last two rows optimize the *node-averaged* awake complexity
+//! `(1/n)·Σ_v A_v` instead of (or alongside) the worst case — see
+//! [`na_mis`] and [`avg_mis`] for the two measures and their trade-off.
 //!
 //! # Example: Awake-MIS on a random graph
 //!
@@ -34,21 +40,25 @@
 //! # Ok::<(), sleeping_congest::SimError>(())
 //! ```
 
+pub mod avg_mis;
 pub mod awake_mis;
 pub mod coloring;
 pub mod greedy;
 pub mod ldt_mis;
 pub mod luby;
 pub mod matching;
+pub mod na_mis;
 pub mod naive;
 pub mod state;
 pub mod verify;
 pub mod vt_mis;
 
+pub use avg_mis::{AvgMis, AvgMisConfig, AvgMisOutput, AvgMsg};
 pub use awake_mis::{derive_params, AwakeMis, AwakeMisConfig, AwakeMisOutput, DerivedParams};
 pub use coloring::{coloring, colors_used, is_proper_coloring, ColoringResult};
 pub use ldt_mis::{LdtMis, LdtMisOutput, LdtMisParams, LdtStrategy};
 pub use luby::Luby;
+pub use na_mis::{NaMis, NaMisConfig, NaMsg};
 pub use matching::{is_matching, is_maximal_matching, maximal_matching, MatchingResult};
 pub use naive::NaiveGreedy;
 pub use state::{MisMsg, MisState};

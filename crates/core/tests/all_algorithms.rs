@@ -1,13 +1,15 @@
-//! Differential property oracle over **all six** MIS algorithms: for
+//! Differential property oracle over **all eight** MIS algorithms: for
 //! arbitrary generated graphs and seeds, every algorithm's output must
 //! pass both `check_mis` and `check_maximal`. The seed tests only cover
 //! two algorithms this way; this test pins the full comparison surface
-//! the experiment harness reports on.
+//! the experiment harness reports on — both the worst-case algorithms
+//! of the paper and the node-averaged entrants (`NA-MIS`,
+//! `GP-Avg-MIS`).
 
 use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams};
 use awake_mis_core::{
-    check_maximal, check_mis, AwakeMis, AwakeMisConfig, LdtStrategy, Luby, MisState, NaiveGreedy,
-    VtMis,
+    check_maximal, check_mis, AvgMis, AvgMisConfig, AwakeMis, AwakeMisConfig, LdtStrategy, Luby,
+    MisState, NaMis, NaMisConfig, NaiveGreedy, VtMis,
 };
 use graphgen::Graph;
 use proptest::prelude::*;
@@ -83,12 +85,30 @@ fn run_one(name: &str, g: &Graph, seed: u64) -> (Vec<MisState>, usize) {
             let failures = report.outputs.iter().filter(|o| o.failed).count();
             (report.outputs.iter().map(|o| o.state).collect(), failures)
         }
+        "na-mis" => {
+            let nodes = (0..n).map(|_| NaMis::new(NaMisConfig::default())).collect();
+            (Simulator::new(g.clone(), nodes, cfg).run().expect(name).outputs, 0)
+        }
+        "gp-avg-mis" => {
+            let nodes = (0..n).map(|_| AvgMis::new(AvgMisConfig::default())).collect();
+            let report = Simulator::new(g.clone(), nodes, cfg).run().expect(name);
+            let failures = report.outputs.iter().filter(|o| o.failed).count();
+            (report.outputs.iter().map(|o| o.state).collect(), failures)
+        }
         other => panic!("unknown algorithm {other}"),
     }
 }
 
-const ALL: [&str; 6] =
-    ["awake-mis", "awake-mis-round", "ldt-mis", "vt-mis", "naive-greedy", "luby"];
+const ALL: [&str; 8] = [
+    "awake-mis",
+    "awake-mis-round",
+    "ldt-mis",
+    "vt-mis",
+    "naive-greedy",
+    "luby",
+    "na-mis",
+    "gp-avg-mis",
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -96,7 +116,7 @@ proptest! {
     /// Every algorithm yields a set passing the independence *and*
     /// maximality oracles on the same instance.
     #[test]
-    fn all_six_algorithms_yield_valid_mis(g in arb_graph(36), seed in any::<u64>()) {
+    fn all_algorithms_yield_valid_mis(g in arb_graph(36), seed in any::<u64>()) {
         for name in ALL {
             let (states, failures) = run_one(name, &g, seed);
             prop_assert_eq!(failures, 0, "{} reported Monte Carlo failures", name);

@@ -83,7 +83,7 @@ pub use arena::ScratchArena;
 pub use batch::{available_threads, resolve_threads, run_batch};
 pub use engine::{SimConfig, SimError, SimScratch, Simulator, SLEEP_FOREVER};
 pub use message::{bits_for_value, MessageSize};
-pub use metrics::{Metrics, RunReport};
+pub use metrics::{AwakeDistribution, Metrics, RunReport};
 pub use protocol::{Action, NodeCtx, Outbox, Protocol, Standalone, SubAction, SubProtocol};
 
 /// A round number. Round 0 is the first round; all nodes start awake in

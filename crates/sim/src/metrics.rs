@@ -1,6 +1,81 @@
-//! Run metrics: awake complexity, round complexity, message accounting.
+//! Run metrics: awake complexity, round complexity, message accounting,
+//! and distribution statistics over the per-node awake counts.
 
 use crate::Round;
+
+/// Distribution statistics over the per-node awake counts `A_v`.
+///
+/// The paper's *worst-case* awake complexity is the [`max`](Self::max)
+/// of this distribution; the *node-averaged* awake complexity of
+/// Chatterjee–Gmyr–Pandurangan (arXiv:2006.07449) and
+/// Ghaffari–Portmann (arXiv:2305.06120) is its [`mean`](Self::mean).
+/// The quantiles and shape measures make the gap between the two a
+/// first-class measured quantity: a node-averaged algorithm shows a low
+/// mean with a long tail (high [`skew`](Self::skew), high
+/// [`gini`](Self::gini)), a worst-case algorithm a tight distribution.
+///
+/// Computed by [`Metrics::awake_distribution`]; all statistics are
+/// deterministic functions of the sample (ties and medians follow the
+/// same conventions as `analysis::Summary`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AwakeDistribution {
+    /// Sample size (number of nodes).
+    pub n: usize,
+    /// Mean awake rounds — the node-averaged awake complexity.
+    pub mean: f64,
+    /// Median awake rounds (mean of the middle pair for even sizes).
+    pub median: f64,
+    /// 95th percentile (nearest-rank on the sorted sample).
+    pub p95: f64,
+    /// Maximum awake rounds — the worst-case awake complexity.
+    pub max: u64,
+    /// Gini coefficient of the awake load (0 = perfectly even, →1 =
+    /// one node carries everything). 0 for an all-zero sample.
+    pub gini: f64,
+    /// Fisher–Pearson moment skewness (population). 0 for a constant
+    /// sample. Positive = a long tail of unlucky nodes.
+    pub skew: f64,
+}
+
+impl AwakeDistribution {
+    /// Summarizes a sample of per-node awake counts. An empty sample
+    /// yields the all-zero distribution.
+    pub fn of(samples: &[u64]) -> AwakeDistribution {
+        let n = samples.len();
+        if n == 0 {
+            return AwakeDistribution::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let nf = n as f64;
+        let total: u64 = sorted.iter().sum();
+        let mean = total as f64 / nf;
+        let median = if n % 2 == 1 {
+            sorted[n / 2] as f64
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) as f64 / 2.0
+        };
+        // Nearest-rank percentile: smallest value with ≥ 95% of the
+        // sample at or below it.
+        let rank = ((0.95 * nf).ceil() as usize).clamp(1, n);
+        let p95 = sorted[rank - 1] as f64;
+        let max = sorted[n - 1];
+        // Gini over the sorted sample: G = 2·Σᵢ i·x₍ᵢ₎ / (n·Σx) − (n+1)/n
+        // (1-based i). Zero total ⇒ perfectly even by convention.
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let weighted: f64 =
+                sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+            2.0 * weighted / (nf * total as f64) - (nf + 1.0) / nf
+        };
+        // Population Fisher–Pearson skewness g₁ = m₃ / m₂^{3/2}.
+        let m2: f64 = sorted.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / nf;
+        let m3: f64 = sorted.iter().map(|&x| (x as f64 - mean).powi(3)).sum::<f64>() / nf;
+        let skew = if m2 > 0.0 { m3 / m2.powf(1.5) } else { 0.0 };
+        AwakeDistribution { n, mean, median, p95, max, gini, skew }
+    }
+}
 
 /// Everything measured during a run.
 #[derive(Debug, Clone)]
@@ -61,6 +136,13 @@ impl Metrics {
         self.awake_rounds.iter().sum()
     }
 
+    /// Distribution statistics over the per-node awake counts — mean
+    /// (node-averaged awake complexity), median, p95, max (worst-case
+    /// awake complexity), Gini, and skewness. See [`AwakeDistribution`].
+    pub fn awake_distribution(&self) -> AwakeDistribution {
+        AwakeDistribution::of(&self.awake_rounds)
+    }
+
     /// Round complexity: number of rounds until the last node terminated
     /// (rounds are 0-based, so this is `max terminated_at + 1`).
     pub fn round_complexity(&self) -> u64 {
@@ -98,5 +180,46 @@ mod tests {
         assert_eq!(m.awake_complexity(), 0);
         assert_eq!(m.awake_average(), 0.0);
         assert_eq!(m.round_complexity(), 0);
+        assert_eq!(m.awake_distribution(), AwakeDistribution::default());
+    }
+
+    #[test]
+    fn distribution_statistics() {
+        // 20 samples: nineteen 1s and one 100 — a long-tail shape.
+        let mut samples = vec![1u64; 19];
+        samples.push(100);
+        let d = AwakeDistribution::of(&samples);
+        assert_eq!(d.n, 20);
+        assert!((d.mean - 119.0 / 20.0).abs() < 1e-12);
+        assert_eq!(d.median, 1.0);
+        // Nearest-rank p95 over 20 samples is the 19th order statistic.
+        assert_eq!(d.p95, 1.0);
+        assert_eq!(d.max, 100);
+        assert!(d.skew > 3.0, "long tail must skew positive: {}", d.skew);
+        // One node carries 100/119 of the load: Gini is high.
+        assert!(d.gini > 0.7, "gini {}", d.gini);
+
+        // A constant sample is perfectly even and symmetric.
+        let flat = AwakeDistribution::of(&[7, 7, 7, 7]);
+        assert_eq!(flat.mean, 7.0);
+        assert_eq!(flat.median, 7.0);
+        assert_eq!(flat.p95, 7.0);
+        assert_eq!(flat.max, 7);
+        assert_eq!(flat.gini, 0.0);
+        assert_eq!(flat.skew, 0.0);
+    }
+
+    #[test]
+    fn distribution_quantile_conventions() {
+        let d = AwakeDistribution::of(&[4, 1, 3, 2]);
+        assert_eq!(d.median, 2.5); // mean of the middle pair
+        assert_eq!(d.p95, 4.0); // ceil(0.95·4) = 4th order statistic
+        // Known closed form: Gini of {1,2,3,4} is 0.25.
+        assert!((d.gini - 0.25).abs() < 1e-12);
+        // All-zero sample: even by convention, not NaN.
+        let z = AwakeDistribution::of(&[0, 0, 0]);
+        assert_eq!(z.gini, 0.0);
+        assert_eq!(z.skew, 0.0);
+        assert_eq!(z.mean, 0.0);
     }
 }

@@ -1,7 +1,7 @@
 //! Workspace-level integration tests: exercise the full public API the
 //! way a downstream user would (through the `awake_mis` facade).
 
-use awake_mis::analysis::runners::{run_algorithm, Algorithm};
+use awake_mis::analysis::spec::default_registry;
 use awake_mis::core::{check_mis, AwakeMis, AwakeMisConfig, MisState};
 use awake_mis::graphs::{generators, Graph};
 use awake_mis::sim::{SimConfig, Simulator};
@@ -27,10 +27,11 @@ fn all_algorithms_agree_on_validity_across_families() {
         generators::barabasi_albert(80, 2, &mut rng),
         generators::grid(9, 9),
         generators::random_tree(80, &mut rng)];
+    let reg = default_registry();
     for (i, g) in graphs.iter().enumerate() {
-        for alg in Algorithm::all() {
-            let r = run_algorithm(alg, g, 17).unwrap();
-            assert!(r.correct, "graph {i}, {}: invalid output", alg.name());
+        for key in reg.keys() {
+            let r = reg.resolve(key).unwrap().run(g, 17).unwrap();
+            assert!(r.correct, "graph {i}, {}: invalid output", r.algorithm);
         }
     }
 }
@@ -92,8 +93,8 @@ fn energy_model_prefers_awake_mis_on_awake_energy() {
     use awake_mis::analysis::EnergyModel;
     let mut rng = SmallRng::seed_from_u64(9);
     let g = generators::random_geometric(300, 0.12, &mut rng);
-    let am = run_algorithm(Algorithm::AwakeMis, &g, 10).unwrap();
-    let naive = run_algorithm(Algorithm::NaiveGreedy, &g, 10).unwrap();
+    let am = default_registry().resolve("awake").unwrap().run(&g, 10).unwrap();
+    let naive = default_registry().resolve("naive").unwrap().run(&g, 10).unwrap();
     let m = EnergyModel::default();
     assert!(
         m.awake_energy_mj(am.awake_max) < m.awake_energy_mj(naive.awake_max),

@@ -1,11 +1,12 @@
-//! Workspace smoke test: every MIS algorithm in the repo — the four
-//! distributed protocols of the paper (`Awake-MIS` in both variants,
-//! `LDT-MIS`, `VT-MIS`), the two distributed baselines (Luby,
-//! naive greedy), and the sequential greedy reference — on a small
-//! fixed-seed graph, each output checked for independence and
-//! maximality.
+//! Workspace smoke test: every registered MIS algorithm in the repo —
+//! the four distributed protocols of the paper (`Awake-MIS` in both
+//! variants, `LDT-MIS`, `VT-MIS`), the two distributed baselines (Luby,
+//! naive greedy), the two node-averaged algorithms from the related
+//! sleeping-model work (`NA-MIS`, `GP-Avg-MIS`), and the sequential
+//! greedy reference — on a small fixed-seed graph, each output checked
+//! for independence and maximality.
 
-use awake_mis::analysis::runners::{run_algorithm, Algorithm};
+use awake_mis::analysis::spec::default_registry;
 use awake_mis::core::{check_maximal, check_mis, greedy, is_independent, is_maximal};
 use awake_mis::graphs::generators;
 use rand::rngs::SmallRng;
@@ -16,17 +17,26 @@ fn every_algorithm_produces_a_verified_mis() {
     let g = generators::gnp(48, 0.12, &mut SmallRng::seed_from_u64(11));
     assert!(g.m() > 0, "fixture graph must have edges");
 
-    // One row per distributed algorithm; every row must pass both
-    // verifiers on the same fixture.
-    for alg in Algorithm::all() {
-        let result = run_algorithm(alg, &g, 7)
-            .unwrap_or_else(|e| panic!("{}: simulator error: {e:?}", alg.name()));
-        assert_eq!(result.failures, 0, "{}: Monte Carlo failures", alg.name());
+    // One row per registered algorithm; every row must pass both
+    // verifiers on the same fixture. Resolving through the registry
+    // keeps this test extending itself when algorithms are added.
+    // (The exact key list is pinned in analysis's
+    // `every_builtin_runs_and_verifies`; here the loop covers whatever
+    // is registered, so new algorithms are smoke-tested automatically.)
+    let reg = default_registry();
+    let keys: Vec<String> = reg.keys().map(str::to_string).collect();
+    assert!(!keys.is_empty(), "registry must have builtins");
+    for key in &keys {
+        let runner = reg.resolve(key).expect("builtin resolves");
+        let result = runner
+            .run(&g, 7)
+            .unwrap_or_else(|e| panic!("{}: simulator error: {e:?}", runner.name()));
+        assert_eq!(result.failures, 0, "{}: Monte Carlo failures", runner.name());
         let states = &result.states;
-        check_mis(&g, states).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
-        check_maximal(&g, states).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
-        assert!(result.correct, "{}: runner flagged incorrect", alg.name());
-        assert!(result.mis_size > 0, "{}: empty MIS on a non-empty graph", alg.name());
+        check_mis(&g, states).unwrap_or_else(|e| panic!("{}: {e}", runner.name()));
+        check_maximal(&g, states).unwrap_or_else(|e| panic!("{}: {e}", runner.name()));
+        assert!(result.correct, "{}: runner flagged incorrect", runner.name());
+        assert!(result.mis_size > 0, "{}: empty MIS on a non-empty graph", runner.name());
     }
 
     // The sequential greedy reference (LFMIS of a random order).
