@@ -69,6 +69,21 @@ impl EnergyModel {
             .map(|(&a, &t)| self.node_energy_mj(a, t + 1))
             .fold(0.0, f64::max)
     }
+
+    /// Mean node energy over a run — the fleet-battery analogue of the
+    /// node-averaged awake complexity, with the residual sleep draw
+    /// priced in. Zero for an empty network.
+    pub fn mean_node_energy_mj(&self, awake_rounds: &[u64], terminated_at: &[u64]) -> f64 {
+        if awake_rounds.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = awake_rounds
+            .iter()
+            .zip(terminated_at)
+            .map(|(&a, &t)| self.node_energy_mj(a, t + 1))
+            .sum();
+        total / awake_rounds.len() as f64
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +107,14 @@ mod tests {
         let m = EnergyModel { awake_mw: 10.0, sleep_mw: 0.0, round_ms: 1.0 };
         let e = m.max_node_energy_mj(&[5, 50, 20], &[99, 99, 99]);
         assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_energy_over_nodes() {
+        let m = EnergyModel { awake_mw: 10.0, sleep_mw: 0.0, round_ms: 1.0 };
+        let e = m.mean_node_energy_mj(&[5, 50, 20], &[99, 99, 99]);
+        assert!((e - 0.25).abs() < 1e-12);
+        assert_eq!(m.mean_node_energy_mj(&[], &[]), 0.0);
     }
 
     #[test]

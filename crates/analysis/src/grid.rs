@@ -22,7 +22,7 @@ use crate::spec::RunnerHandle;
 use crate::stats::Summary;
 use graphgen::GraphFamily;
 use sleeping_congest::batch::{resolve_threads, run_batch};
-use sleeping_congest::{AwakeDistribution, ScratchArena};
+use sleeping_congest::{AwakeDistribution, Metrics, ScratchArena};
 use std::time::Instant;
 
 /// A cartesian experiment grid.
@@ -169,44 +169,61 @@ pub struct GridMeta {
 
 /// Runs one grid job on a caller-provided scratch.
 pub fn run_point(job: &GridJob, scratch: &mut ScratchArena) -> GridPoint {
+    run_point_detailed(job, scratch).0
+}
+
+/// Like [`run_point`], additionally returning the run's full engine
+/// [`Metrics`] (`None` when the engine aborted) so richer harnesses —
+/// the energy-frontier sweep in [`crate::sweep`] — can derive
+/// per-node measurements the normalized [`GridPoint`] does not carry.
+pub fn run_point_detailed(
+    job: &GridJob,
+    scratch: &mut ScratchArena,
+) -> (GridPoint, Option<Metrics>) {
     let start = Instant::now();
     let g = job.family.generate(job.n, job.seed);
     let nodes = g.n();
-    let point = match job.algorithm.run_with_scratch(&g, job.seed, scratch) {
-        Ok(r) => GridPoint {
-            job: job.clone(),
-            nodes,
-            awake_max: r.awake_max,
-            awake_avg: r.awake_avg,
-            awake_dist: r.metrics.awake_distribution(),
-            rounds: r.rounds,
-            active_rounds: r.metrics.active_rounds,
-            messages: r.messages,
-            max_message_bits: r.max_message_bits,
-            mis_size: r.mis_size,
-            correct: r.correct,
-            failures: r.failures,
-            sim_error: None,
-            elapsed_ns: 0,
-        },
-        Err(e) => GridPoint {
-            job: job.clone(),
-            nodes,
-            awake_max: 0,
-            awake_avg: 0.0,
-            awake_dist: AwakeDistribution::default(),
-            rounds: 0,
-            active_rounds: 0,
-            messages: 0,
-            max_message_bits: 0,
-            mis_size: 0,
-            correct: false,
-            failures: 0,
-            sim_error: Some(e.to_string()),
-            elapsed_ns: 0,
-        },
+    let (point, metrics) = match job.algorithm.run_with_scratch(&g, job.seed, scratch) {
+        Ok(r) => (
+            GridPoint {
+                job: job.clone(),
+                nodes,
+                awake_max: r.awake_max,
+                awake_avg: r.awake_avg,
+                awake_dist: r.metrics.awake_distribution(),
+                rounds: r.rounds,
+                active_rounds: r.metrics.active_rounds,
+                messages: r.messages,
+                max_message_bits: r.max_message_bits,
+                mis_size: r.mis_size,
+                correct: r.correct,
+                failures: r.failures,
+                sim_error: None,
+                elapsed_ns: 0,
+            },
+            Some(r.metrics),
+        ),
+        Err(e) => (
+            GridPoint {
+                job: job.clone(),
+                nodes,
+                awake_max: 0,
+                awake_avg: 0.0,
+                awake_dist: AwakeDistribution::default(),
+                rounds: 0,
+                active_rounds: 0,
+                messages: 0,
+                max_message_bits: 0,
+                mis_size: 0,
+                correct: false,
+                failures: 0,
+                sim_error: Some(e.to_string()),
+                elapsed_ns: 0,
+            },
+            None,
+        ),
     };
-    GridPoint { elapsed_ns: start.elapsed().as_nanos() as u64, ..point }
+    (GridPoint { elapsed_ns: start.elapsed().as_nanos() as u64, ..point }, metrics)
 }
 
 /// Runs the whole grid, fanning jobs over `spec.threads` workers with
@@ -254,7 +271,7 @@ fn aggregate(spec: &GridSpec, points: &[GridPoint]) -> Vec<GridCell> {
         .collect()
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -270,7 +287,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn summary_json(s: &Summary) -> String {
+pub(crate) fn summary_json(s: &Summary) -> String {
     format!(
         "{{\"mean\":{},\"std\":{},\"min\":{},\"median\":{},\"max\":{}}}",
         s.mean, s.std, s.min, s.median, s.max
@@ -285,7 +302,7 @@ fn dist_json(d: &AwakeDistribution) -> String {
 }
 
 impl GridPoint {
-    fn json(&self) -> String {
+    pub(crate) fn json(&self) -> String {
         let mut out = format!(
             "{{\"algorithm\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\"nodes\":{},\
              \"awake_max\":{},\"awake_avg\":{},\"awake_dist\":{},\"rounds\":{},\

@@ -9,9 +9,13 @@
 //! the normalized [`runners::AlgoResult`]; [`grid`] fans a cartesian
 //! `{algorithm × family × n × seed}` grid across OS threads with
 //! per-worker scratch reuse and emits the `BENCH_grid.json` payload;
-//! [`stats`] summarizes repeated runs; [`fit`] decides which growth law
-//! (`log n` vs `log log n`) a measured curve follows; [`table`] renders
-//! the paper-style tables; and [`energy`] converts awake/sleeping rounds
+//! [`sweep`] expands *range-valued* specs (`le?bits=6..14&step=4`) into
+//! spec families, runs them with energy pricing, and computes per-cell
+//! Pareto frontiers over `(rounds, max awake, mean awake, energy)` — the
+//! `BENCH_sweep.json` energy-frontier payload; [`stats`] summarizes
+//! repeated runs; [`fit`] decides which growth law (`log n` vs
+//! `log log n`) a measured curve follows; [`table`] renders the
+//! paper-style tables; and [`energy`] converts awake/sleeping rounds
 //! into the energy figures that motivate the sleeping model (paper §1.2).
 
 pub mod energy;
@@ -21,6 +25,7 @@ pub mod runners;
 pub mod shattering;
 pub mod spec;
 pub mod stats;
+pub mod sweep;
 pub mod table;
 pub mod timeline;
 
@@ -30,5 +35,6 @@ pub use grid::{run_grid, GridCell, GridJob, GridMeta, GridPoint, GridResult, Gri
 pub use runners::AlgoResult;
 pub use spec::{default_registry, AlgorithmSpec, DynRunner, Registry, RunnerHandle, SpecError};
 pub use stats::Summary;
+pub use sweep::{run_sweep, SweepCell, SweepEntry, SweepGroup, SweepPoint, SweepResult, SweepSpec};
 pub use table::Table;
 pub use timeline::render_timeline;

@@ -9,11 +9,13 @@
 //! `gp-avg?balance=0` all resolve to configured instances of the
 //! runners below.
 //!
-//! Two measures of awake complexity are covered: the paper's worst case
-//! (`awake`, `awake-round`, `ldt`, `vt`, `naive`, `luby`) and the
-//! *node-averaged* measure of the related sleeping-model work (`na`,
+//! Three families of measures are covered: the paper's worst-case awake
+//! complexity (`awake`, `awake-round`, `ldt`, `vt`, `naive`, `luby`),
+//! the *node-averaged* measure of the related sleeping-model work (`na`,
 //! `gp-avg`) — see [`awake_mis_core::na_mis`] and
-//! [`awake_mis_core::avg_mis`].
+//! [`awake_mis_core::avg_mis`] — and the explicit time/energy trade-off
+//! (`le`, [`awake_mis_core::low_energy_mis`]), whose `bits` parameter is
+//! the flagship axis of the [`crate::sweep`] energy-frontier harness.
 //!
 //! The `Algorithm` enum and the `run_algorithm(_with_scratch)` shims
 //! that used to live here were deprecated in favor of the registry and
@@ -22,8 +24,8 @@
 use crate::spec::{AlgorithmSpec, DynRunner, Registry, RunnerHandle, SpecError};
 use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams};
 use awake_mis_core::{
-    AvgMis, AvgMisConfig, AwakeMis, AwakeMisConfig, LdtStrategy, Luby, MisState, NaMis,
-    NaMisConfig, NaiveGreedy, VtMis,
+    AvgMis, AvgMisConfig, AwakeMis, AwakeMisConfig, LdtStrategy, LeMis, LeMisConfig, Luby,
+    MisState, NaMis, NaMisConfig, NaiveGreedy, VtMis, LE_MAX_BITS,
 };
 use graphgen::Graph;
 use rand::rngs::SmallRng;
@@ -339,6 +341,71 @@ impl DynRunner for AvgRunner {
     }
 }
 
+/// `LE-MIS` (Ghaffari–Portmann, arXiv:2305.11639): the explicit
+/// time/energy trade-off — epoch-ranked schedules over a `2^bits` rank
+/// space. `bits=B` is the dial (tiny = time-optimal but energy-hungry,
+/// moderate = energy-optimal, the large tail dominated on both — see
+/// `awake_mis_core::low_energy_mis`); `max_epochs=E` bounds the Monte
+/// Carlo retries.
+struct LeRunner {
+    key: String,
+    cfg: LeMisConfig,
+}
+
+impl LeRunner {
+    fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
+        let mut cfg = LeMisConfig::default();
+        let mut p = spec.reader();
+        if let Some(v) = p.u64("bits")? {
+            if v < 1 || v > u64::from(LE_MAX_BITS) {
+                return Err(SpecError::BadValue {
+                    param: "bits".to_string(),
+                    value: v.to_string(),
+                    expected: format!("an integer in [1, {LE_MAX_BITS}]"),
+                });
+            }
+            cfg.bits = v as u32;
+        }
+        if let Some(v) = p.u64("max_epochs")? {
+            if v == 0 {
+                return Err(SpecError::BadValue {
+                    param: "max_epochs".to_string(),
+                    value: v.to_string(),
+                    expected: "a positive epoch budget".to_string(),
+                });
+            }
+            cfg.max_epochs = v;
+        }
+        p.finish()?;
+        Ok(RunnerHandle::new(LeRunner { key: spec.canonical(), cfg }))
+    }
+}
+
+impl DynRunner for LeRunner {
+    fn name(&self) -> &str {
+        "LE-MIS"
+    }
+
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn run_on(
+        &self,
+        g: &Graph,
+        seed: u64,
+        scratch: &mut ScratchArena,
+    ) -> Result<AlgoResult, SimError> {
+        let nodes = (0..g.n()).map(|_| LeMis::new(self.cfg)).collect();
+        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        // Epoch-budget exhaustion is a Monte Carlo failure (module docs
+        // of `awake_mis_core::low_energy_mis`), reported like Awake-MIS's.
+        let failures = report.outputs.iter().filter(|o| o.failed).count();
+        let states = report.outputs.iter().map(|o| o.state).collect();
+        Ok(AlgoResult::from_states("LE-MIS", &self.key, g, states, failures, report.metrics))
+    }
+}
+
 /// `VT-MIS`: random ID permutation over `[1, n]` by default; the
 /// `id_upper=U` parameter sweeps the ID space instead (distinct random
 /// IDs in `[1, max(U, n)]`, so awake complexity scales with `log U`).
@@ -540,6 +607,14 @@ pub(crate) fn register_builtins(reg: &mut Registry) {
         AvgRunner::from_spec,
     )
     .expect("builtin keys are distinct");
+    reg.register_aliased(
+        &["le", "le-mis"],
+        "LE-MIS (GP 2023 low-energy): epoch-ranked time/energy trade-off. Params: bits=B \
+         (rank bits per epoch, default auto = ⌈log₂ n⌉), max_epochs=E (Monte Carlo \
+         budget, default 64)",
+        LeRunner::from_spec,
+    )
+    .expect("builtin keys are distinct");
 }
 
 #[cfg(test)]
@@ -555,7 +630,7 @@ mod tests {
         let keys: Vec<String> = reg.keys().map(str::to_string).collect();
         assert_eq!(
             keys,
-            ["awake", "awake-round", "ldt", "vt", "naive", "luby", "na", "gp-avg"],
+            ["awake", "awake-round", "ldt", "vt", "naive", "luby", "na", "gp-avg", "le"],
             "comparison-table order"
         );
         for key in &keys {
@@ -609,6 +684,7 @@ mod tests {
             ("luby", "Luby"),
             ("na", "NA-MIS"),
             ("gp-avg", "GP-Avg-MIS"),
+            ("le", "LE-MIS"),
         ] {
             assert_eq!(reg.resolve(key).unwrap().name(), name);
             assert_eq!(reg.resolve(name).unwrap().name(), name, "display-name alias {name}");
@@ -717,5 +793,43 @@ mod tests {
         // The new families are strict about their parameters too.
         assert!(matches!(reg.resolve("na?balance=3"), Err(SpecError::UnknownParam { .. })));
         assert!(matches!(reg.resolve("gp-avg?stride=4"), Err(SpecError::UnknownParam { .. })));
+        assert!(matches!(reg.resolve("le?balance=3"), Err(SpecError::UnknownParam { .. })));
+        assert!(matches!(
+            reg.resolve("le?bits=0"),
+            Err(SpecError::BadValue { ref param, .. }) if param == "bits"
+        ));
+        assert!(matches!(
+            reg.resolve("le?bits=41"),
+            Err(SpecError::BadValue { ref param, .. }) if param == "bits"
+        ));
+        assert!(matches!(
+            reg.resolve("le?max_epochs=0"),
+            Err(SpecError::BadValue { ref param, .. }) if param == "max_epochs"
+        ));
+        assert!(reg.resolve("le?bits=8&max_epochs=16").is_ok());
+    }
+
+    #[test]
+    fn le_bits_trade_rounds_for_awake_through_the_registry() {
+        // The time/energy dial end to end: fewer rank bits finish in
+        // far fewer rounds but cost more awake rounds, seed-averaged.
+        let g = generators::gnp_avg_degree(256, 8.0, &mut SmallRng::seed_from_u64(15));
+        let reg = default_registry();
+        let mean = |spec: &str| -> (f64, f64) {
+            let runner = reg.resolve(spec).unwrap();
+            let mut awake = 0.0;
+            let mut rounds = 0.0;
+            for seed in 0..6u64 {
+                let r = runner.run(&g, seed).unwrap();
+                assert!(r.correct, "{spec} seed {seed}");
+                awake += r.awake_max as f64 / 6.0;
+                rounds += r.rounds as f64 / 6.0;
+            }
+            (awake, rounds)
+        };
+        let (awake_fast, rounds_fast) = mean("le?bits=2");
+        let (awake_cheap, rounds_cheap) = mean("le?bits=6");
+        assert!(rounds_fast * 2.0 < rounds_cheap, "{rounds_fast} vs {rounds_cheap}");
+        assert!(awake_cheap < awake_fast, "{awake_cheap} vs {awake_fast}");
     }
 }

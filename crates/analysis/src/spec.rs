@@ -466,7 +466,7 @@ struct RegistryEntry {
 
 /// Maps CLI keys to runner builders.
 ///
-/// [`Registry::builtin`] pre-registers the eight algorithms of the
+/// [`Registry::builtin`] pre-registers the nine algorithms of the
 /// comparison table; [`register`](Registry::register) adds user entries.
 /// Resolution order and entry listing are deterministic (registration
 /// order). See the module docs for a full registration example.
@@ -483,7 +483,8 @@ impl Registry {
 
     /// A registry with every built-in algorithm pre-registered under its
     /// CLI key (`awake`, `awake-round`, `ldt`, `vt`, `naive`, `luby`,
-    /// `na`, `gp-avg`, plus the paper-style display names as aliases).
+    /// `na`, `gp-avg`, `le`, plus the paper-style display names as
+    /// aliases).
     pub fn builtin() -> Registry {
         let mut reg = Registry::empty();
         crate::runners::register_builtins(&mut reg);

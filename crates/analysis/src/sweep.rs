@@ -1,0 +1,766 @@
+//! Parameter sweeps and the energy frontier.
+//!
+//! The sleeping-model literature is a trade-off *surface*: worst-case
+//! awake (the source paper), node-averaged awake (Ghaffari–Portmann,
+//! arXiv:2305.06120), and explicit energy/time trade-offs
+//! (Ghaffari–Portmann, arXiv:2305.11639). Charting that surface means
+//! sweeping the knob that moves along it, so this module makes parameter
+//! sweeps first-class:
+//!
+//! 1. **Range-valued spec params** — [`expand`] extends the
+//!    [`AlgorithmSpec`] grammar so a parameter value may be an integer
+//!    range (`le?bits=6..14`, optionally stepped with `step=4`) or a
+//!    comma list (`gp-avg?balance=0,2,4,8`), expanding one spec string
+//!    into an ordered family of concrete [`RunnerHandle`]s. Parsing is
+//!    strict: unknown keys/params, empty or inverted ranges, zero steps,
+//!    duplicate expansion points, and oversized expansions are all
+//!    errors. A single-valued spec expands to exactly itself.
+//! 2. **The sweep engine** — [`run_sweep`] runs
+//!    `{expanded spec × family × n × seed}` through the same
+//!    deterministic batch fan-out as [`crate::grid`] (byte-identical
+//!    payloads for every thread count), additionally pricing every run
+//!    with the [`EnergyModel`]: worst-node and mean-node energy in
+//!    millijoules, residual sleep draw included.
+//! 3. **Pareto analysis** — per `{family × n}` cell, every swept
+//!    `(algorithm, param)` point is scored on
+//!    `(rounds, max awake, mean awake, worst-node energy)` and the
+//!    non-dominated frontier is computed ([`dominators`]); dominated
+//!    points are annotated with a dominating spec. The committed
+//!    `BENCH_sweep.json` (schema `awake-mis/bench-sweep/v1`) is the
+//!    serialized result, and `bench-diff` gates on frontier regressions.
+//!
+//! # Range grammar
+//!
+//! ```text
+//! value  := scalar | range | list
+//! range  := int '..' int            # inclusive on both ends, step 1
+//! list   := scalar ( ',' scalar )+  # explicit points, any scalar type
+//! step=K                            # applies to every range in the spec
+//! ```
+//!
+//! `le?bits=6..14&step=4` → `le?bits=6`, `le?bits=10`, `le?bits=14`.
+//! Multiple swept parameters combine as a cartesian product in spec
+//! order (the last parameter varies fastest). `step=` without any range
+//! is an error, as is a range whose low end exceeds its high end.
+//!
+//! ```
+//! use analysis::spec::default_registry;
+//! use analysis::sweep::expand;
+//!
+//! let group = expand(default_registry(), "gp-avg?balance=0..8&step=4").unwrap();
+//! let keys: Vec<&str> = group.runners.iter().map(|r| r.key()).collect();
+//! assert_eq!(keys, ["gp-avg?balance=0", "gp-avg?balance=4", "gp-avg?balance=8"]);
+//! // A scalar spec is left exactly as it was.
+//! assert_eq!(expand(default_registry(), "luby").unwrap().runners.len(), 1);
+//! ```
+
+use crate::energy::EnergyModel;
+use crate::grid::{
+    json_escape, run_point_detailed, summary_json, GridJob, GridMeta, GridPoint,
+};
+use crate::spec::{default_registry, AlgorithmSpec, Registry, RunnerHandle, SpecError};
+use crate::stats::Summary;
+use graphgen::GraphFamily;
+use sleeping_congest::batch::{resolve_threads, run_batch};
+use sleeping_congest::ScratchArena;
+
+/// Cap on the number of concrete points one spec string may expand to —
+/// a typo like `bits=0..1000000` must fail loudly, not spawn a month of
+/// work.
+pub const MAX_EXPANSION: usize = 256;
+
+/// One spec string's expansion: the raw sweep spec as written plus the
+/// ordered family of concrete runners it denotes.
+#[derive(Debug, Clone)]
+pub struct SweepGroup {
+    /// The sweep spec as written (`"le?bits=6..14&step=4"`).
+    pub raw: String,
+    /// The expanded concrete runners, in expansion order.
+    pub runners: Vec<RunnerHandle>,
+}
+
+/// The expanded values of one parameter, plus whether the expression was
+/// a range (ranges are what `step=` applies to).
+fn expand_value(param: &str, value: &str, step: u64) -> Result<(Vec<String>, bool), SpecError> {
+    let bad = |expected: &str| SpecError::BadValue {
+        param: param.to_string(),
+        value: value.to_string(),
+        expected: expected.to_string(),
+    };
+    if let Some((lo, hi)) = value.split_once("..") {
+        let lo: u64 = lo.trim().parse().map_err(|_| bad("an integer range lo..hi"))?;
+        let hi: u64 = hi.trim().parse().map_err(|_| bad("an integer range lo..hi"))?;
+        if lo > hi {
+            return Err(bad("a non-empty range (lo must not exceed hi)"));
+        }
+        let mut out = Vec::new();
+        let mut v = lo;
+        loop {
+            out.push(v.to_string());
+            match v.checked_add(step) {
+                Some(next) if next <= hi => v = next,
+                _ => break,
+            }
+            if out.len() > MAX_EXPANSION {
+                return Err(bad("a range expanding to at most 256 points"));
+            }
+        }
+        return Ok((out, true));
+    }
+    if value.contains(',') {
+        let items: Vec<String> = value.split(',').map(|s| s.trim().to_string()).collect();
+        if items.iter().any(String::is_empty) {
+            return Err(bad("a comma list without empty elements"));
+        }
+        return Ok((items, false));
+    }
+    Ok((vec![value.to_string()], false))
+}
+
+/// Expands one (possibly range-valued) spec string into its ordered
+/// family of concrete runners, resolving each point through `registry`.
+///
+/// # Errors
+///
+/// Everything [`AlgorithmSpec::parse`] and the registry reject, plus the
+/// sweep-grammar errors documented in the module docs
+/// ([`SpecError::BadValue`] for malformed ranges/steps,
+/// [`SpecError::DuplicateKey`] when two expansion points collapse to the
+/// same canonical spec).
+pub fn expand(registry: &Registry, raw: &str) -> Result<SweepGroup, SpecError> {
+    let spec = AlgorithmSpec::parse(raw)?;
+
+    // Pull out the reserved `step=` parameter.
+    let mut step: Option<u64> = None;
+    let mut params: Vec<(&str, &str)> = Vec::new();
+    for (name, value) in spec.params() {
+        if name == "step" {
+            let v: u64 = value.parse().map_err(|_| SpecError::BadValue {
+                param: "step".to_string(),
+                value: value.to_string(),
+                expected: "a positive integer".to_string(),
+            })?;
+            if v == 0 {
+                return Err(SpecError::BadValue {
+                    param: "step".to_string(),
+                    value: value.to_string(),
+                    expected: "a positive integer".to_string(),
+                });
+            }
+            step = Some(v);
+        } else {
+            params.push((name, value));
+        }
+    }
+
+    // Expand every parameter value; cartesian product in spec order.
+    let mut axes: Vec<(&str, Vec<String>)> = Vec::new();
+    let mut saw_range = false;
+    for (name, value) in &params {
+        let (values, was_range) = expand_value(name, value, step.unwrap_or(1))?;
+        saw_range |= was_range;
+        axes.push((name, values));
+    }
+    if let Some(s) = step {
+        if !saw_range {
+            return Err(SpecError::BadValue {
+                param: "step".to_string(),
+                value: s.to_string(),
+                expected: "a range-valued parameter for step= to apply to".to_string(),
+            });
+        }
+    }
+    let count: usize = axes.iter().map(|(_, v)| v.len()).product();
+    if count > MAX_EXPANSION {
+        return Err(SpecError::BadValue {
+            param: "spec".to_string(),
+            value: raw.trim().to_string(),
+            expected: format!("at most {MAX_EXPANSION} expansion points, got {count}"),
+        });
+    }
+
+    let mut runners = Vec::with_capacity(count);
+    for idx in 0..count {
+        // Mixed-radix decode, last axis fastest.
+        let mut rest = idx;
+        let mut picks = vec![0usize; axes.len()];
+        for (a, (_, values)) in axes.iter().enumerate().rev() {
+            picks[a] = rest % values.len();
+            rest /= values.len();
+        }
+        let mut s = spec.key().to_string();
+        for (a, (name, values)) in axes.iter().enumerate() {
+            s.push(if a == 0 { '?' } else { '&' });
+            s.push_str(name);
+            s.push('=');
+            s.push_str(&values[picks[a]]);
+        }
+        let runner = registry.resolve(&s)?;
+        if runners.iter().any(|r: &RunnerHandle| r.key() == runner.key()) {
+            return Err(SpecError::DuplicateKey { key: runner.key().to_string() });
+        }
+        runners.push(runner);
+    }
+    Ok(SweepGroup { raw: raw.trim().to_string(), runners })
+}
+
+/// A sweep: range-valued specs crossed with graph families, sizes, and
+/// seeds, plus the energy model pricing every run.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Sweep spec strings (range/list-valued; see the module docs).
+    pub specs: Vec<String>,
+    /// Graph families.
+    pub families: Vec<GraphFamily>,
+    /// Node counts.
+    pub sizes: Vec<usize>,
+    /// Seeds (innermost axis), as in [`crate::grid::GridSpec`].
+    pub seeds: Vec<u64>,
+    /// Worker threads; `0` means all available. Does not affect results.
+    pub threads: usize,
+    /// Energy model pricing awake and sleeping rounds.
+    pub energy: EnergyModel,
+}
+
+/// One sweep run: the normalized grid measurements plus its energy bill.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The underlying grid-point measurements.
+    pub point: GridPoint,
+    /// Worst-node energy over the run, in millijoules (awake draw plus
+    /// residual sleep draw until the node's own termination).
+    pub energy_max_mj: f64,
+    /// Mean node energy over the run, in millijoules.
+    pub energy_mean_mj: f64,
+}
+
+/// Per-`{family × n}` aggregates of one swept `(algorithm, param)` point.
+#[derive(Debug, Clone)]
+pub struct SweepEntry {
+    /// The concrete algorithm point.
+    pub algorithm: RunnerHandle,
+    /// Index into [`SweepResult::groups`] of the spec this point was
+    /// expanded from.
+    pub group: usize,
+    /// Number of seeds aggregated.
+    pub runs: usize,
+    /// Summary of worst-case awake complexity over seeds.
+    pub awake_max: Summary,
+    /// Summary of node-averaged awake complexity over seeds.
+    pub awake_avg: Summary,
+    /// Summary of round complexity over seeds.
+    pub rounds: Summary,
+    /// Summary of worst-node energy (mJ) over seeds.
+    pub energy_max_mj: Summary,
+    /// Summary of mean-node energy (mJ) over seeds.
+    pub energy_mean_mj: Summary,
+    /// Largest message observed across seeds, in bits.
+    pub max_message_bits: usize,
+    /// Whether every seed verified correct with zero failures.
+    pub all_correct: bool,
+    /// True when this entry is on the cell's Pareto frontier over
+    /// `(rounds, awake max, awake mean, worst-node energy)`, all
+    /// minimized. Incorrect entries never make the frontier.
+    pub pareto: bool,
+    /// For dominated entries: the key of a frontier entry that weakly
+    /// improves on every objective.
+    pub dominated_by: Option<String>,
+}
+
+/// One `{family × n}` cell: every swept point, frontier-annotated.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Graph family of this cell.
+    pub family: GraphFamily,
+    /// Node count of this cell.
+    pub n: usize,
+    /// One entry per swept `(algorithm, param)` point, in sweep order.
+    pub entries: Vec<SweepEntry>,
+}
+
+impl SweepCell {
+    /// Keys of the non-dominated entries, in sweep order.
+    pub fn frontier(&self) -> Vec<&str> {
+        self.entries.iter().filter(|e| e.pareto).map(|e| e.algorithm.key()).collect()
+    }
+}
+
+/// The outcome of [`run_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The sweep that was run.
+    pub spec: SweepSpec,
+    /// Each input spec's expansion, in input order.
+    pub groups: Vec<SweepGroup>,
+    /// Per-run measurements, in sweep order (algorithm-major,
+    /// seed-minor, exactly like the grid).
+    pub points: Vec<SweepPoint>,
+    /// Per-`{family × n}` cells with Pareto annotations.
+    pub cells: Vec<SweepCell>,
+}
+
+/// For each point (a vector of objectives, all minimized), `None` when
+/// the point is non-dominated, or `Some(i)` naming the first point that
+/// dominates it.
+///
+/// `q` dominates `p` when `q` is no worse on every objective and
+/// strictly better on at least one. Equal points do not dominate each
+/// other — both stay on the frontier. The function is pure and
+/// deterministic: ties and dominator choice go by index order.
+///
+/// # Panics
+///
+/// Panics if the points do not all have the same number of objectives.
+pub fn dominators(objectives: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let dim = objectives.first().map_or(0, Vec::len);
+    assert!(
+        objectives.iter().all(|o| o.len() == dim),
+        "all points must score the same objectives"
+    );
+    (0..objectives.len())
+        .map(|pi| {
+            let p = &objectives[pi];
+            (0..objectives.len()).find(|&qi| {
+                let q = &objectives[qi];
+                qi != pi
+                    && q.iter().zip(p).all(|(a, b)| a <= b)
+                    && q.iter().zip(p).any(|(a, b)| a < b)
+            })
+        })
+        .collect()
+}
+
+/// Expands every spec and runs the sweep, fanning
+/// `{algorithm point × family × n × seed}` over `spec.threads` workers
+/// with per-worker scratch reuse. Deterministic like the grid: apart
+/// from wall-clock fields, the result is identical for every thread
+/// count.
+///
+/// # Errors
+///
+/// Expansion errors (see [`expand`]); also rejects a sweep with zero
+/// expanded points or zero seeds ([`SpecError::Syntax`]).
+pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResult, SpecError> {
+    let registry = default_registry();
+    let mut groups = Vec::with_capacity(spec.specs.len());
+    let mut flat: Vec<(usize, RunnerHandle)> = Vec::new();
+    for (gi, raw) in spec.specs.iter().enumerate() {
+        let group = expand(registry, raw)?;
+        for r in &group.runners {
+            if flat.iter().any(|(_, f)| f.key() == r.key()) {
+                return Err(SpecError::DuplicateKey { key: r.key().to_string() });
+            }
+            flat.push((gi, r.clone()));
+        }
+        groups.push(group);
+    }
+    if flat.is_empty() || spec.seeds.is_empty() {
+        return Err(SpecError::Syntax {
+            spec: spec.specs.join(","),
+            detail: "a sweep needs at least one algorithm point and one seed".to_string(),
+        });
+    }
+
+    // Jobs in sweep order: algorithm-major, seed-minor (grid order).
+    let mut jobs = Vec::with_capacity(
+        flat.len() * spec.families.len() * spec.sizes.len() * spec.seeds.len(),
+    );
+    for (_, algorithm) in &flat {
+        for &family in &spec.families {
+            for &n in &spec.sizes {
+                for &seed in &spec.seeds {
+                    jobs.push(GridJob { algorithm: algorithm.clone(), family, n, seed });
+                }
+            }
+        }
+    }
+    let threads = resolve_threads(spec.threads);
+    let energy = spec.energy;
+    let points = run_batch(&jobs, threads, |_| ScratchArena::new(), move |scratch, _i, job| {
+        let (point, metrics) = run_point_detailed(job, scratch);
+        let (energy_max_mj, energy_mean_mj) = match &metrics {
+            Some(m) => (
+                energy.max_node_energy_mj(&m.awake_rounds, &m.terminated_at),
+                energy.mean_node_energy_mj(&m.awake_rounds, &m.terminated_at),
+            ),
+            None => (0.0, 0.0),
+        };
+        SweepPoint { point, energy_max_mj, energy_mean_mj }
+    });
+
+    let cells = aggregate(spec, &flat, &points);
+    Ok(SweepResult { spec: spec.clone(), groups, points, cells })
+}
+
+fn aggregate(
+    spec: &SweepSpec,
+    flat: &[(usize, RunnerHandle)],
+    points: &[SweepPoint],
+) -> Vec<SweepCell> {
+    let (nf, ns, nk) = (spec.families.len(), spec.sizes.len(), spec.seeds.len());
+    let mut cells = Vec::with_capacity(nf * ns);
+    for (fi, &family) in spec.families.iter().enumerate() {
+        for (si, &n) in spec.sizes.iter().enumerate() {
+            let mut entries: Vec<SweepEntry> = flat
+                .iter()
+                .enumerate()
+                .map(|(ai, (group, algorithm))| {
+                    let base = ((ai * nf + fi) * ns + si) * nk;
+                    let chunk = &points[base..base + nk];
+                    let awake_max: Vec<u64> = chunk.iter().map(|p| p.point.awake_max).collect();
+                    let awake_avg: Vec<f64> = chunk.iter().map(|p| p.point.awake_avg).collect();
+                    let rounds: Vec<u64> = chunk.iter().map(|p| p.point.rounds).collect();
+                    let e_max: Vec<f64> = chunk.iter().map(|p| p.energy_max_mj).collect();
+                    let e_mean: Vec<f64> = chunk.iter().map(|p| p.energy_mean_mj).collect();
+                    SweepEntry {
+                        algorithm: algorithm.clone(),
+                        group: *group,
+                        runs: nk,
+                        awake_max: Summary::of_u64(&awake_max),
+                        awake_avg: Summary::of(&awake_avg),
+                        rounds: Summary::of_u64(&rounds),
+                        energy_max_mj: Summary::of(&e_max),
+                        energy_mean_mj: Summary::of(&e_mean),
+                        max_message_bits: chunk
+                            .iter()
+                            .map(|p| p.point.max_message_bits)
+                            .max()
+                            .unwrap_or(0),
+                        all_correct: chunk.iter().all(|p| p.point.correct),
+                        pareto: false,
+                        dominated_by: None,
+                    }
+                })
+                .collect();
+
+            // Pareto frontier over the seed-mean objectives, minimized.
+            // Incorrect entries are excluded outright: an aborted or
+            // failing run's zeroed measurements must never "dominate".
+            let scored: Vec<usize> =
+                (0..entries.len()).filter(|&i| entries[i].all_correct).collect();
+            let objectives: Vec<Vec<f64>> = scored
+                .iter()
+                .map(|&i| {
+                    let e = &entries[i];
+                    vec![e.rounds.mean, e.awake_max.mean, e.awake_avg.mean, e.energy_max_mj.mean]
+                })
+                .collect();
+            for (rank, dom) in dominators(&objectives).into_iter().enumerate() {
+                let i = scored[rank];
+                match dom {
+                    None => entries[i].pareto = true,
+                    Some(d) => {
+                        entries[i].dominated_by =
+                            Some(entries[scored[d]].algorithm.key().to_string());
+                    }
+                }
+            }
+            cells.push(SweepCell { family, n, entries });
+        }
+    }
+    cells
+}
+
+impl SweepPoint {
+    fn json(&self) -> String {
+        let mut s = self.point.json();
+        s.pop(); // strip the closing brace, append the energy fields
+        s.push_str(&format!(
+            ",\"energy_max_mj\":{},\"energy_mean_mj\":{}}}",
+            self.energy_max_mj, self.energy_mean_mj
+        ));
+        s
+    }
+}
+
+impl SweepEntry {
+    fn json(&self) -> String {
+        let mut s = format!(
+            "{{\"algorithm\":\"{}\",\"group\":{},\"runs\":{},\"awake_max\":{},\
+             \"awake_avg\":{},\"rounds\":{},\"energy_max_mj\":{},\"energy_mean_mj\":{},\
+             \"max_message_bits\":{},\"all_correct\":{},\"pareto\":{}",
+            json_escape(self.algorithm.key()),
+            self.group,
+            self.runs,
+            summary_json(&self.awake_max),
+            summary_json(&self.awake_avg),
+            summary_json(&self.rounds),
+            summary_json(&self.energy_max_mj),
+            summary_json(&self.energy_mean_mj),
+            self.max_message_bits,
+            self.all_correct,
+            self.pareto,
+        );
+        if let Some(d) = &self.dominated_by {
+            s.push_str(&format!(",\"dominated_by\":\"{}\"", json_escape(d)));
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl SweepResult {
+    /// The deterministic JSON payload (schema
+    /// `awake-mis/bench-sweep/v1`): spec echo with expansions, cells
+    /// with frontier annotations, energy-priced points. Byte-identical
+    /// across thread counts and repeat runs.
+    pub fn payload_json(&self) -> String {
+        self.json_with_meta(None)
+    }
+
+    /// The full document: the payload plus `meta` and per-point `timing`
+    /// sections (excluded from determinism comparisons, like the grid's).
+    pub fn to_json(&self, meta: &GridMeta) -> String {
+        self.json_with_meta(Some(meta))
+    }
+
+    fn json_with_meta(&self, meta: Option<&GridMeta>) -> String {
+        let mut out = String::from("{\n  \"schema\": \"awake-mis/bench-sweep/v1\",\n");
+        if let Some(m) = meta {
+            out.push_str(&format!(
+                "  \"meta\": {{\"threads\": {}, \"wall_ms\": {}}},\n",
+                m.threads, m.wall_ms
+            ));
+            let ns: Vec<String> =
+                self.points.iter().map(|p| p.point.elapsed_ns.to_string()).collect();
+            out.push_str(&format!("  \"timing\": {{\"elapsed_ns\": [{}]}},\n", ns.join(", ")));
+        }
+        let specs: Vec<String> =
+            self.spec.specs.iter().map(|s| format!("\"{}\"", json_escape(s))).collect();
+        let expanded: Vec<String> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let keys: Vec<String> =
+                    g.runners.iter().map(|r| format!("\"{}\"", json_escape(r.key()))).collect();
+                format!("[{}]", keys.join(", "))
+            })
+            .collect();
+        let families: Vec<String> =
+            self.spec.families.iter().map(|f| format!("\"{}\"", f.key())).collect();
+        let sizes: Vec<String> = self.spec.sizes.iter().map(|n| n.to_string()).collect();
+        let seeds: Vec<String> = self.spec.seeds.iter().map(|s| s.to_string()).collect();
+        let e = &self.spec.energy;
+        out.push_str(&format!(
+            "  \"spec\": {{\"specs\": [{}], \"expanded\": [{}], \"families\": [{}], \
+             \"sizes\": [{}], \"seeds\": [{}], \"energy\": {{\"awake_mw\": {}, \
+             \"sleep_mw\": {}, \"round_ms\": {}}}}},\n",
+            specs.join(", "),
+            expanded.join(", "),
+            families.join(", "),
+            sizes.join(", "),
+            seeds.join(", "),
+            e.awake_mw,
+            e.sleep_mw,
+            e.round_ms,
+        ));
+        out.push_str("  \"cells\": [\n");
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let frontier: Vec<String> =
+                    c.frontier().iter().map(|k| format!("\"{}\"", json_escape(k))).collect();
+                let entries: Vec<String> =
+                    c.entries.iter().map(|e| format!("      {}", e.json())).collect();
+                format!(
+                    "    {{\"family\":\"{}\",\"n\":{},\"frontier\":[{}],\"entries\":[\n{}\n    ]}}",
+                    c.family.key(),
+                    c.n,
+                    frontier.join(", "),
+                    entries.join(",\n"),
+                )
+            })
+            .collect();
+        out.push_str(&cells.join(",\n"));
+        out.push_str("\n  ],\n  \"points\": [\n");
+        let points: Vec<String> =
+            self.points.iter().map(|p| format!("    {}", p.json())).collect();
+        out.push_str(&points.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_lists_and_scalars_expand() {
+        let reg = default_registry();
+        let keys = |raw: &str| -> Vec<String> {
+            expand(reg, raw)
+                .unwrap()
+                .runners
+                .iter()
+                .map(|r| r.key().to_string())
+                .collect()
+        };
+        assert_eq!(keys("le?bits=6..8"), ["le?bits=6", "le?bits=7", "le?bits=8"]);
+        assert_eq!(
+            keys("gp-avg?balance=0..8&step=4"),
+            ["gp-avg?balance=0", "gp-avg?balance=4", "gp-avg?balance=8"]
+        );
+        // A step overshooting the high end keeps the in-range points.
+        assert_eq!(keys("le?bits=4..9&step=4"), ["le?bits=4", "le?bits=8"]);
+        assert_eq!(keys("gp-avg?balance=0,2,4"), ["gp-avg?balance=0", "gp-avg?balance=2", "gp-avg?balance=4"]);
+        // Lists are not restricted to integers.
+        assert_eq!(keys("ldt?strategy=awake,round"), ["ldt?strategy=awake", "ldt?strategy=round"]);
+        // Scalars pass through untouched.
+        assert_eq!(keys("awake"), ["awake"]);
+        assert_eq!(keys("vt?id_upper=4096"), ["vt?id_upper=4096"]);
+    }
+
+    #[test]
+    fn cartesian_product_orders_last_axis_fastest() {
+        let g = expand(default_registry(), "awake?delta_factor=1,2&comp_factor=3,4").unwrap();
+        let keys: Vec<&str> = g.runners.iter().map(|r| r.key()).collect();
+        assert_eq!(
+            keys,
+            [
+                "awake?delta_factor=1&comp_factor=3",
+                "awake?delta_factor=1&comp_factor=4",
+                "awake?delta_factor=2&comp_factor=3",
+                "awake?delta_factor=2&comp_factor=4",
+            ]
+        );
+    }
+
+    #[test]
+    fn expansion_is_strict() {
+        let reg = default_registry();
+        // Inverted and malformed ranges.
+        assert!(matches!(expand(reg, "le?bits=9..4"), Err(SpecError::BadValue { .. })));
+        assert!(matches!(expand(reg, "le?bits=a..4"), Err(SpecError::BadValue { .. })));
+        // step without a range, zero step.
+        assert!(matches!(expand(reg, "le?bits=5&step=2"), Err(SpecError::BadValue { .. })));
+        assert!(matches!(expand(reg, "le?bits=4..8&step=0"), Err(SpecError::BadValue { .. })));
+        // Unknown algorithm / unknown parameter still error.
+        assert!(matches!(expand(reg, "quantum?x=1..3"), Err(SpecError::UnknownAlgorithm { .. })));
+        assert!(matches!(expand(reg, "luby?x=1..3"), Err(SpecError::UnknownParam { .. })));
+        // Oversized expansions fail loudly.
+        assert!(matches!(expand(reg, "vt?id_upper=1..100000"), Err(SpecError::BadValue { .. })));
+        // Duplicate expansion points collapse to the same key.
+        assert!(matches!(
+            expand(reg, "gp-avg?balance=2,2"),
+            Err(SpecError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn pareto_dominators_on_hand_built_points() {
+        // p0 is the unique best on x, p1 on y; p2 is dominated by p0;
+        // p3 ties p0 exactly (equal points never dominate each other);
+        // p4 is dominated by p1 only.
+        let pts = vec![
+            vec![1.0, 5.0],
+            vec![5.0, 1.0],
+            vec![2.0, 6.0],
+            vec![1.0, 5.0],
+            vec![6.0, 1.0],
+        ];
+        assert_eq!(
+            dominators(&pts),
+            vec![None, None, Some(0), None, Some(1)]
+        );
+        // Single point and empty input are trivially non-dominated.
+        assert_eq!(dominators(&[vec![3.0, 3.0]]), vec![None]);
+        assert_eq!(dominators(&[]), Vec::<Option<usize>>::new());
+        // One objective degenerates to the minimum; the annotation picks
+        // the first dominator in index order (2.0 already beats 3.0).
+        assert_eq!(
+            dominators(&[vec![2.0], vec![1.0], vec![3.0]]),
+            vec![Some(1), None, Some(0)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same objectives")]
+    fn pareto_rejects_ragged_input() {
+        dominators(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn sweep_runs_and_annotates_a_frontier() {
+        let spec = SweepSpec {
+            specs: vec!["luby".into(), "na".into(), "le?bits=5..7&step=2".into()],
+            families: vec![GraphFamily::Er],
+            sizes: vec![48],
+            seeds: vec![1, 2],
+            threads: 1,
+            energy: EnergyModel::default(),
+        };
+        let result = run_sweep(&spec).unwrap();
+        assert_eq!(result.groups.len(), 3);
+        assert_eq!(result.groups[2].runners.len(), 2);
+        assert_eq!(result.points.len(), 4 * 2);
+        assert_eq!(result.cells.len(), 1);
+        let cell = &result.cells[0];
+        assert_eq!(cell.entries.len(), 4);
+        assert!(cell.entries.iter().all(|e| e.all_correct), "all entries must verify");
+        // Every entry is either on the frontier or annotated with a
+        // dominator that is itself on the frontier... or at least
+        // present in the cell.
+        let keys: Vec<&str> = cell.entries.iter().map(|e| e.algorithm.key()).collect();
+        for e in &cell.entries {
+            match (&e.pareto, &e.dominated_by) {
+                (true, None) => {}
+                (false, Some(d)) => assert!(keys.contains(&d.as_str()), "dangling dominator {d}"),
+                other => panic!("entry {} in impossible state {other:?}", e.algorithm.key()),
+            }
+        }
+        assert!(!cell.frontier().is_empty(), "a non-empty cell has a frontier");
+        // Energy is priced on every point.
+        for p in &result.points {
+            assert!(p.energy_max_mj > 0.0);
+            assert!(p.energy_mean_mj > 0.0);
+            assert!(p.energy_mean_mj <= p.energy_max_mj + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sweep_payload_shape() {
+        let spec = SweepSpec {
+            specs: vec!["luby".into(), "gp-avg?balance=0..2&step=2".into()],
+            families: vec![GraphFamily::Cycle],
+            sizes: vec![24],
+            seeds: vec![1],
+            threads: 1,
+            energy: EnergyModel::default(),
+        };
+        let result = run_sweep(&spec).unwrap();
+        let payload = result.payload_json();
+        assert!(payload.contains("\"schema\": \"awake-mis/bench-sweep/v1\""));
+        assert!(payload.contains("\"specs\": [\"luby\", \"gp-avg?balance=0..2&step=2\"]"));
+        assert!(payload.contains("\"expanded\": [[\"luby\"], [\"gp-avg?balance=0\", \"gp-avg?balance=2\"]]"));
+        assert!(payload.contains("\"frontier\":["));
+        assert!(payload.contains("\"energy_max_mj\""));
+        assert!(!payload.contains("wall_ms"));
+        assert!(!payload.contains("elapsed_ns"));
+        assert_eq!(payload.matches('{').count(), payload.matches('}').count());
+        assert_eq!(payload.matches('[').count(), payload.matches(']').count());
+        // The full document strips back to the payload.
+        let full = result.to_json(&GridMeta { threads: 2, wall_ms: 5 });
+        let stripped: String = full
+            .lines()
+            .filter(|l| !l.contains("\"meta\"") && !l.contains("\"timing\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        assert_eq!(stripped, payload);
+    }
+
+    #[test]
+    fn duplicate_points_across_specs_are_rejected() {
+        let spec = SweepSpec {
+            specs: vec!["luby".into(), "luby".into()],
+            families: vec![GraphFamily::Er],
+            sizes: vec![16],
+            seeds: vec![1],
+            threads: 1,
+            energy: EnergyModel::default(),
+        };
+        assert!(matches!(run_sweep(&spec), Err(SpecError::DuplicateKey { .. })));
+    }
+}

@@ -69,6 +69,50 @@ fn na_mean_awake_stays_constant_while_awake_mis_worst_case_grows() {
 }
 
 #[test]
+fn na_matching_has_dropout_shape_on_the_line_graph() {
+    // The matching analogue of the node-averaged claim (GP 2023 §4
+    // direction): `NA-MIS` on the line graph gives a maximal matching
+    // whose per-edge-process awake distribution has the dropout shape —
+    // O(1)-sized mean, flat as the graph grows, with the worst edge
+    // carrying a long positive tail.
+    use awake_mis_core::{is_maximal_matching, na_maximal_matching, NaMisConfig};
+
+    let mean_at = |n: usize| -> f64 {
+        let mut total = 0.0;
+        let mut runs = 0u32;
+        for gseed in GRAPH_SEEDS {
+            let mut rng = SmallRng::seed_from_u64(gseed);
+            let g = generators::gnp_avg_degree(n, 8.0, &mut rng);
+            for seed in 4..8u64 {
+                let r = na_maximal_matching(&g, NaMisConfig::default(), seed).expect("run");
+                assert!(is_maximal_matching(&g, &r.matching), "n={n} seed={seed}");
+                let d = r.metrics.awake_distribution();
+                assert_eq!(d.n, g.m(), "one process per edge");
+                assert!(
+                    d.mean * 2.0 < d.max as f64,
+                    "n={n} seed={seed}: mean {} should sit well under max {}",
+                    d.mean,
+                    d.max
+                );
+                assert!(d.skew > 0.0, "n={n} seed={seed}: dropout must leave a positive tail");
+                total += d.mean;
+                runs += 1;
+            }
+        }
+        total / f64::from(runs)
+    };
+    let small = mean_at(128);
+    let large = mean_at(512);
+    assert!(small < 8.0, "line-graph node average {small} not O(1)-sized");
+    assert!(large < 8.0, "line-graph node average {large} not O(1)-sized");
+    // Flat across a 4x growth in n (and ~4x in line-graph processes).
+    assert!(
+        large <= small * 1.15,
+        "per-edge average grew with the graph: {small} -> {large} (not O(1)-shaped)"
+    );
+}
+
+#[test]
 fn gp_avg_sits_between_the_two_measures() {
     // The balance knob's contract at a fixed size: the default gp-avg
     // average is below the pure ranked schedule's (balance=0), and its

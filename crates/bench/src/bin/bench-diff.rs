@@ -1,12 +1,21 @@
-//! `bench-diff` — compare two `BENCH_grid.json` files and flag
-//! regressions.
+//! `bench-diff` — compare two `BENCH_grid.json` **or** `BENCH_sweep.json`
+//! files and flag regressions.
 //!
-//! Prints, per `(algorithm, family, n)` cell present in both files, the
-//! delta in mean worst-case awake rounds, in mean *node-averaged* awake
-//! rounds, in the mean per-run p95 of the awake distribution, and in
-//! CONGEST bits (largest message), then exits nonzero when the new file
-//! regresses beyond the thresholds. This is the perf-trajectory gate:
-//! commit a baseline grid, regenerate after a change, diff.
+//! For grid documents: prints, per `(algorithm, family, n)` cell present
+//! in both files, the delta in mean worst-case awake rounds, in mean
+//! *node-averaged* awake rounds, in the mean per-run p95 of the awake
+//! distribution, and in CONGEST bits (largest message), then exits
+//! nonzero when the new file regresses beyond the thresholds. This is
+//! the perf-trajectory gate: commit a baseline, regenerate after a
+//! change, diff.
+//!
+//! For sweep documents (`awake-mis/bench-sweep/v1`): compares the
+//! per-`{family, n}` **Pareto frontiers**. A baseline frontier point
+//! that disappears from the new sweep, or drops off the frontier
+//! (becomes dominated), is a regression; so is a frontier point whose
+//! mean worst-case awake, node-averaged awake, or worst-node energy
+//! regresses beyond the threshold. New frontier points are reported as
+//! coverage, not failures.
 //!
 //! Usage:
 //!
@@ -15,19 +24,20 @@
 //!     OLD.json NEW.json [--threshold PCT] [--bits-slack N] [--exact]
 //! ```
 //!
-//! * `--threshold PCT` — allowed relative increase per cell in each of
-//!   the three awake measures (worst-case mean, node-averaged mean,
-//!   p95 mean) before it counts as a regression (default 5).
+//! * `--threshold PCT` — allowed relative increase per cell in each
+//!   gated measure before it counts as a regression (default 5).
 //! * `--bits-slack N` — allowed absolute increase in max message bits
 //!   per cell (default 0: any CONGEST growth is a regression).
 //! * `--exact` — additionally require the two deterministic payloads to
 //!   agree exactly: same spec echo, same cells, same points
 //!   (`meta`/`timing` are ignored). This is how CI pins the default
-//!   registry's byte-compatibility against the committed grid.
+//!   registry's byte-compatibility against the committed grid *and* the
+//!   committed sweep.
 //!
 //! Baseline cells absent from the new file always count as failures
 //! (lost coverage must not pass as "0 regressions"); cells only in the
-//! new file are reported but don't fail the run.
+//! new file are reported but don't fail the run. Both files must be the
+//! same kind of document.
 //!
 //! Both `awake-mis/bench-grid/v2` documents and legacy `v1` documents
 //! (which predate the per-point `awake_dist` object) are accepted; the
@@ -50,14 +60,26 @@ fn fail_usage(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-fn load(path: &str) -> Result<Value, String> {
+/// The kind of benchmark document, by schema id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DocKind {
+    Grid,
+    Sweep,
+}
+
+fn load(path: &str) -> Result<(DocKind, Value), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    let schema = doc.get("schema").and_then(Value::as_str);
-    if !matches!(schema, Some("awake-mis/bench-grid/v2" | "awake-mis/bench-grid/v1")) {
-        return Err(format!("{path}: not an awake-mis/bench-grid/v1|v2 document"));
-    }
-    Ok(doc)
+    let kind = match doc.get("schema").and_then(Value::as_str) {
+        Some("awake-mis/bench-grid/v2" | "awake-mis/bench-grid/v1") => DocKind::Grid,
+        Some("awake-mis/bench-sweep/v1") => DocKind::Sweep,
+        _ => {
+            return Err(format!(
+                "{path}: not an awake-mis/bench-grid/v1|v2 or bench-sweep/v1 document"
+            ))
+        }
+    };
+    Ok((kind, doc))
 }
 
 /// Mean of a numeric field over a cell's points.
@@ -144,11 +166,52 @@ fn main() -> ExitCode {
         return fail_usage("expected exactly two files");
     };
 
-    let (old_doc, new_doc) = match (load(old_path), load(new_path)) {
+    let ((old_kind, old_doc), (new_kind, new_doc)) = match (load(old_path), load(new_path)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => return fail_usage(&e),
     };
+    if old_kind != new_kind {
+        return fail_usage("cannot compare a grid document with a sweep document");
+    }
 
+    let mut failed = match old_kind {
+        DocKind::Grid => {
+            diff_grid(&old_doc, &new_doc, old_path, new_path, threshold, bits_slack)
+        }
+        DocKind::Sweep => {
+            diff_sweep(&old_doc, &new_doc, old_path, new_path, threshold, bits_slack)
+        }
+    };
+    if exact {
+        // The deterministic payload is everything but meta/timing.
+        for section in ["spec", "cells", "points"] {
+            if old_doc.get(section) != new_doc.get(section) {
+                println!("--exact: section {section:?} differs");
+                failed = true;
+            }
+        }
+        if !failed {
+            println!("--exact: payloads identical");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Grid-document comparison: per `(algorithm, family, n)` cell deltas
+/// over the awake measures and CONGEST bits. Returns whether anything
+/// regressed.
+fn diff_grid(
+    old_doc: &Value,
+    new_doc: &Value,
+    old_path: &str,
+    new_path: &str,
+    threshold: f64,
+    bits_slack: f64,
+) -> bool {
     let old_points = old_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
     let new_points = new_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
     let key_fields = ["algorithm", "family", "n"];
@@ -234,28 +297,164 @@ fn main() -> ExitCode {
         println!("cell {} only in {new_path} (new coverage, not a failure)", k.join("/"));
     }
 
-    let mut failed = regressions > 0 || !only_old.is_empty();
-    if exact {
-        // The deterministic payload is everything but meta/timing.
-        for section in ["spec", "cells", "points"] {
-            if old_doc.get(section) != new_doc.get(section) {
-                println!("--exact: section {section:?} differs");
-                failed = true;
-            }
-        }
-        if !failed {
-            println!("--exact: payloads identical");
-        }
-    }
-
     println!(
         "\ncompared {compared} cells: {regressions} regressions, {} baseline cells missing \
          (threshold {threshold}%, bits slack {bits_slack})",
         only_old.len()
     );
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    regressions > 0 || !only_old.is_empty()
+}
+
+/// Mean of a summary field (`{"mean": …}`) on a sweep-cell entry.
+fn entry_mean(entry: &Value, field: &str) -> Option<f64> {
+    entry.get(field).and_then(|s| s.get("mean")).and_then(Value::as_f64)
+}
+
+/// Sweep-document comparison: per `{family, n}` cell, the baseline
+/// Pareto frontier must survive — every old frontier point must still
+/// exist, still be non-dominated, and not regress beyond the threshold
+/// on mean worst-case awake, node-averaged awake, or worst-node energy.
+/// Returns whether anything regressed.
+fn diff_sweep(
+    old_doc: &Value,
+    new_doc: &Value,
+    old_path: &str,
+    new_path: &str,
+    threshold: f64,
+    bits_slack: f64,
+) -> bool {
+    let cells = |doc: &'_ Value| -> Vec<Value> {
+        doc.get("cells").and_then(Value::as_arr).unwrap_or(&[]).to_vec()
+    };
+    let cell_key = |c: &Value| -> (String, String) {
+        (
+            c.get("family").and_then(Value::as_str).unwrap_or("?").to_string(),
+            c.get("n").and_then(Value::as_f64).map_or("?".to_string(), |n| format!("{n}")),
+        )
+    };
+    let frontier_keys = |c: &Value| -> Vec<String> {
+        c.get("frontier")
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect()
+    };
+    let find_entry = |c: &Value, key: &str| -> Option<Value> {
+        c.get("entries").and_then(Value::as_arr).unwrap_or(&[]).iter().find_map(|e| {
+            (e.get("algorithm").and_then(Value::as_str) == Some(key)).then(|| e.clone())
+        })
+    };
+
+    let old_cells = cells(old_doc);
+    let new_cells = cells(new_doc);
+    let mut t = Table::new(vec![
+        "family", "n", "frontier point", "awake old", "awake new", "avg old", "avg new",
+        "energy old", "energy new", "bits old", "bits new", "verdict",
+    ]);
+    let mut regressions = 0usize;
+    let mut missing_cells = 0usize;
+    let mut compared = 0usize;
+    for oc in &old_cells {
+        let (family, n) = cell_key(oc);
+        let Some(nc) = new_cells.iter().find(|c| cell_key(c) == (family.clone(), n.clone()))
+        else {
+            println!("MISSING: cell {family}/{n} only in {old_path}");
+            missing_cells += 1;
+            continue;
+        };
+        compared += 1;
+        let new_frontier = frontier_keys(nc);
+        for key in frontier_keys(oc) {
+            // A frontier key with no matching entry is a malformed
+            // baseline; flag it as a regression rather than panicking.
+            let Some(old_e) = find_entry(oc, &key) else {
+                println!("MALFORMED: cell {family}/{n} frontier key {key} has no entry in {old_path}");
+                regressions += 1;
+                continue;
+            };
+            let Some(new_e) = find_entry(nc, &key) else {
+                t.row(vec![
+                    family.clone(),
+                    n.clone(),
+                    key.clone(),
+                    opt_cell(entry_mean(&old_e, "awake_max")),
+                    "-".into(),
+                    opt_cell(entry_mean(&old_e, "awake_avg")),
+                    "-".into(),
+                    opt_cell(entry_mean(&old_e, "energy_max_mj")),
+                    "-".into(),
+                    opt_cell(old_e.get("max_message_bits").and_then(Value::as_f64)),
+                    "-".into(),
+                    "MISSING".into(),
+                ]);
+                regressions += 1;
+                continue;
+            };
+            let (a_old, a_new) =
+                (entry_mean(&old_e, "awake_max"), entry_mean(&new_e, "awake_max"));
+            let (v_old, v_new) =
+                (entry_mean(&old_e, "awake_avg"), entry_mean(&new_e, "awake_avg"));
+            let (e_old, e_new) =
+                (entry_mean(&old_e, "energy_max_mj"), entry_mean(&new_e, "energy_max_mj"));
+            let (b_old, b_new) = (
+                old_e.get("max_message_bits").and_then(Value::as_f64).unwrap_or(0.0),
+                new_e.get("max_message_bits").and_then(Value::as_f64).unwrap_or(0.0),
+            );
+            let dropped = !new_frontier.contains(&key);
+            let broken = new_e.get("all_correct").and_then(Value::as_bool) != Some(true);
+            let measure_bad = regressed(a_old, a_new, threshold)
+                || regressed(v_old, v_new, threshold)
+                || regressed(e_old, e_new, threshold)
+                || b_new > b_old + bits_slack;
+            let verdict = if broken {
+                regressions += 1;
+                "BROKEN"
+            } else if dropped {
+                regressions += 1;
+                "DOMINATED (was frontier)"
+            } else if measure_bad {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            t.row(vec![
+                family.clone(),
+                n.clone(),
+                key,
+                opt_cell(a_old),
+                opt_cell(a_new),
+                opt_cell(v_old),
+                opt_cell(v_new),
+                opt_cell(e_old),
+                opt_cell(e_new),
+                format!("{b_old:.0}"),
+                format!("{b_new:.0}"),
+                verdict.to_string(),
+            ]);
+        }
+        // New frontier points are coverage, not failures.
+        for key in &new_frontier {
+            if !frontier_keys(oc).contains(key) {
+                println!(
+                    "cell {family}/{n}: {key} newly on the frontier in {new_path} (not a failure)"
+                );
+            }
+        }
     }
+    // Cells only in the new file are coverage, not failures — reported
+    // like the grid path does.
+    for nc in &new_cells {
+        let (family, n) = cell_key(nc);
+        if !old_cells.iter().any(|c| cell_key(c) == (family.clone(), n.clone())) {
+            println!("cell {family}/{n} only in {new_path} (new coverage, not a failure)");
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "compared {compared} cells: {regressions} frontier regressions, {missing_cells} \
+         baseline cells missing (threshold {threshold}%, bits slack {bits_slack})"
+    );
+    regressions > 0 || missing_cells > 0
 }

@@ -10,6 +10,7 @@ use analysis::fit::{compare_growth_laws, growth_exponent};
 use analysis::grid::{run_grid, GridSpec};
 use analysis::shattering::{residual_profile, shatter_once};
 use analysis::spec::{default_registry, RunnerHandle};
+use analysis::sweep::{run_sweep, SweepSpec};
 use analysis::{EnergyModel, Summary, Table};
 use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams};
 use awake_mis_core::{AwakeMis, AwakeMisConfig, LdtStrategy, MisState};
@@ -35,9 +36,9 @@ fn main() {
     println!("(absolute numbers are simulator-specific; the *shapes* — growth laws, orderings, crossovers — are the claims)\n");
 
     // E1/E2 share their sweep; run together when either is requested.
-    let mut sweep: Vec<SweepPoint> = Vec::new();
+    let mut sweep: Vec<SweepRow> = Vec::new();
     if want("e1") || want("e2") {
-        sweep = run_sweep();
+        sweep = run_e1_e2_sweep();
     }
     if want("e1") {
         e1(&sweep);
@@ -98,7 +99,7 @@ fn header(id: &str, claim: &str) {
     println!("==================================================================");
 }
 
-struct SweepPoint {
+struct SweepRow {
     family: Family,
     n: usize,
     alg: RunnerHandle,
@@ -108,42 +109,47 @@ struct SweepPoint {
     correct: bool,
 }
 
-/// E1/E2 sweep, batched over all hardware threads via the grid harness
-/// (per-worker scratch reuse; results identical to serial execution).
-fn run_sweep() -> Vec<SweepPoint> {
-    let algorithms = default_registry().resolve_list("awake,luby").expect("builtin specs");
-    let main = run_grid(&GridSpec {
-        algorithms: algorithms.clone(),
-        families: vec![Family::Er, Family::Rgg, Family::Ba],
-        sizes: vec![256, 1024, 4096, 16384, 65536],
-        seeds: vec![11, 22, 33, 44, 55],
-        threads: 0,
-    });
+/// E1/E2 sweep on `analysis::sweep` (the hand-rolled grid loops this
+/// binary used to carry are gone): one `SweepSpec` per family set,
+/// batched over all hardware threads with per-worker scratch reuse.
+fn run_e1_e2_sweep() -> Vec<SweepRow> {
+    let sweep_over = |families: Vec<Family>, sizes: Vec<usize>, seeds: Vec<u64>| {
+        run_sweep(&SweepSpec {
+            specs: vec!["awake".to_string(), "luby".to_string()],
+            families,
+            sizes,
+            seeds,
+            threads: 0,
+            energy: EnergyModel::default(),
+        })
+        .expect("builtin specs sweep")
+    };
+    let main = sweep_over(
+        vec![Family::Er, Family::Rgg, Family::Ba],
+        vec![256, 1024, 4096, 16384, 65536],
+        vec![11, 22, 33, 44, 55],
+    );
     // The dense family where Luby's Θ(log n) bites at laptop scale.
-    let dense = run_grid(&GridSpec {
-        algorithms,
-        families: vec![Family::Dense],
-        sizes: vec![1024, 4096, 16384],
-        seeds: SEEDS.to_vec(),
-        threads: 0,
-    });
+    let dense = sweep_over(vec![Family::Dense], vec![1024, 4096, 16384], SEEDS.to_vec());
     main.cells
         .iter()
         .chain(dense.cells.iter())
-        .map(|c| SweepPoint {
-            family: c.family,
-            n: c.n,
-            alg: c.algorithm.clone(),
-            awake_max: c.awake_max,
-            awake_avg: c.awake_avg,
-            rounds: c.rounds,
-            correct: c.all_correct,
+        .flat_map(|c| {
+            c.entries.iter().map(|e| SweepRow {
+                family: c.family,
+                n: c.n,
+                alg: e.algorithm.clone(),
+                awake_max: e.awake_max,
+                awake_avg: e.awake_avg,
+                rounds: e.rounds,
+                correct: e.all_correct,
+            })
         })
         .collect()
 }
 
 /// E1 — Theorem 13: awake complexity is O(log log n).
-fn e1(sweep: &[SweepPoint]) {
+fn e1(sweep: &[SweepRow]) {
     header(
         "E1 (Theorem 13)",
         "Awake-MIS has O(log log n) awake complexity; Luby-style baselines grow with log n",
@@ -169,8 +175,8 @@ fn e1(sweep: &[SweepPoint]) {
     for (metric, get) in [
         // The worst-case awake is dominated by the luckiest/unluckiest
         // shattered component: use the median over seeds for the fit.
-        ("max(med)", Box::new(|p: &SweepPoint| p.awake_max.median) as Box<dyn Fn(&SweepPoint) -> f64>),
-        ("avg", Box::new(|p: &SweepPoint| p.awake_avg.mean)),
+        ("max(med)", Box::new(|p: &SweepRow| p.awake_max.median) as Box<dyn Fn(&SweepRow) -> f64>),
+        ("avg", Box::new(|p: &SweepRow| p.awake_avg.mean)),
     ] {
         for alg in default_registry().resolve_list("awake,luby").expect("builtin specs") {
             let pts: Vec<(f64, f64)> = sweep
@@ -202,7 +208,7 @@ fn e1(sweep: &[SweepPoint]) {
 }
 
 /// E2 — Theorem 13: round complexity is polylogarithmic.
-fn e2(sweep: &[SweepPoint]) {
+fn e2(sweep: &[SweepRow]) {
     header(
         "E2 (Theorem 13)",
         "Awake-MIS round complexity is polylog(n) — enormous vs awake, but n^o(1)",
@@ -397,7 +403,9 @@ fn e5() {
     println!("(Δ = {delta}; at 2Δ parts components are tiny; below Δ the components blow up — the 2Δ threshold matters)\n");
 }
 
-/// E6 — Lemma 10: VT-MIS awake O(log I) vs naive Θ(I).
+/// E6 — Lemma 10: VT-MIS awake O(log I) vs naive Θ(I). Rides the
+/// registry + grid harness: one `GridSpec` over the `Cycle` family axis
+/// (the instances and seeds are identical to the old per-size loop).
 fn e6() {
     header(
         "E6 (Lemma 10)",
@@ -411,13 +419,18 @@ fn e6() {
         "VT-MIS rounds",
         "lfmis?",
     ]);
-    let reg = default_registry();
-    let (vt_runner, nv_runner) =
-        (reg.resolve("vt").expect("builtin"), reg.resolve("naive").expect("builtin"));
-    for &n in &[64usize, 256, 1024, 4096] {
-        let g = generators::cycle(n);
-        let vt = vt_runner.run(&g, 7).unwrap();
-        let nv = nv_runner.run(&g, 7).unwrap();
+    let grid = run_grid(&GridSpec {
+        algorithms: default_registry().resolve_list("vt,naive").expect("builtin specs"),
+        families: vec![Family::Cycle],
+        sizes: vec![64, 256, 1024, 4096],
+        seeds: vec![7],
+        threads: 0,
+    });
+    // Points are algorithm-major: all VT-MIS sizes, then all naive sizes.
+    let per_alg = grid.spec.sizes.len();
+    for (i, &n) in grid.spec.sizes.iter().enumerate() {
+        let vt = &grid.points[i];
+        let nv = &grid.points[per_alg + i];
         t.row(vec![
             n.to_string(),
             vt.awake_max.to_string(),
@@ -431,7 +444,8 @@ fn e6() {
     println!();
 }
 
-/// E7 — Lemma 11: LDT-MIS awake complexity decomposition.
+/// E7 — Lemma 11: LDT-MIS awake complexity decomposition. Rides the
+/// registry + grid harness on the `Cycle` family axis.
 fn e7() {
     header(
         "E7 (Lemma 11)",
@@ -444,18 +458,22 @@ fn e7() {
         "c2·n'·log n'/log I term",
         "ok",
     ]);
-    let ldt_runner = default_registry().resolve("ldt").expect("builtin");
-    for &n in &[16usize, 64, 256, 1024] {
-        let g = generators::cycle(n);
-        let r = ldt_runner.run(&g, 9).unwrap();
+    let grid = run_grid(&GridSpec {
+        algorithms: default_registry().resolve_list("ldt").expect("builtin specs"),
+        families: vec![Family::Cycle],
+        sizes: vec![16, 64, 256, 1024],
+        seeds: vec![9],
+        threads: 0,
+    });
+    for (p, &n) in grid.points.iter().zip(&grid.spec.sizes) {
         let log2n = (n as f64).log2();
         let log2i = 3.0 * (n as f64).log2();
         t.row(vec![
             n.to_string(),
-            r.awake_max.to_string(),
+            p.awake_max.to_string(),
             format!("{:.0}", 11.0 * log2n),
             format!("{:.0}", 2.0 * (n as f64) * log2n / log2i),
-            r.correct.to_string(),
+            p.correct.to_string(),
         ]);
     }
     print!("{}", t.render());
@@ -591,6 +609,9 @@ fn e10() {
 }
 
 /// E11 — ablation: virtual-tree comm schedule vs always-awake comm.
+/// Rides `analysis::sweep`: the ablation is just the spec point
+/// `awake?always_awake_comm=true` next to the default `awake`, one cell
+/// per size.
 fn e11() {
     header(
         "E11 (ablation)",
@@ -599,26 +620,24 @@ fn e11() {
     let mut t = Table::new(vec![
         "n", "awake (vtree)", "awake (always)", "factor", "P (phases)",
     ]);
-    for &n in &[1024usize, 4096, 16384] {
-        let g = Family::Er.generate(n, 3);
-        let base = {
-            let nodes = (0..n).map(|_| AwakeMis::new(AwakeMisConfig::default())).collect();
-            Simulator::new(g.clone(), nodes, SimConfig::seeded(3)).run().unwrap()
-        };
-        let abl = {
-            let cfg = AwakeMisConfig { always_awake_comm: true, ..Default::default() };
-            let nodes = (0..n).map(|_| AwakeMis::new(cfg)).collect();
-            Simulator::new(g.clone(), nodes, SimConfig::seeded(3)).run().unwrap()
-        };
-        let params = awake_mis_core::derive_params(n, &AwakeMisConfig::default());
+    let sweep = run_sweep(&SweepSpec {
+        specs: vec!["awake".to_string(), "awake?always_awake_comm=true".to_string()],
+        families: vec![Family::Er],
+        sizes: vec![1024, 4096, 16384],
+        seeds: vec![3],
+        threads: 0,
+        energy: EnergyModel::default(),
+    })
+    .expect("builtin specs sweep");
+    for cell in &sweep.cells {
+        let (base, abl) = (&cell.entries[0], &cell.entries[1]);
+        assert_eq!(abl.algorithm.key(), "awake?always_awake_comm=true");
+        let params = awake_mis_core::derive_params(cell.n, &AwakeMisConfig::default());
         t.row(vec![
-            n.to_string(),
-            base.metrics.awake_complexity().to_string(),
-            abl.metrics.awake_complexity().to_string(),
-            format!(
-                "{:.1}x",
-                abl.metrics.awake_complexity() as f64 / base.metrics.awake_complexity() as f64
-            ),
+            cell.n.to_string(),
+            format!("{:.0}", base.awake_max.mean),
+            format!("{:.0}", abl.awake_max.mean),
+            format!("{:.1}x", abl.awake_max.mean / base.awake_max.mean),
             params.phases.to_string(),
         ]);
     }

@@ -1,0 +1,151 @@
+//! Energy-frontier sweep runner: expands range-valued algorithm specs
+//! (`le?bits=2..10&step=2`, `gp-avg?balance=0,2,4,8`), fans
+//! `{spec point × family × n × seed}` across OS threads, prices every
+//! run with the energy model, computes the per-cell Pareto frontier over
+//! `(rounds, max awake, mean awake, worst-node energy)`, and writes the
+//! machine-readable `BENCH_sweep.json` (schema `awake-mis/bench-sweep/v1`)
+//! plus a human-readable frontier table.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin sweep -- \
+//!     [--spec SPEC]... [--specs 'SPEC;SPEC;…'] \
+//!     [--families er,tree] [--sizes 256,1024] [--seeds 4] \
+//!     [--threads 0] [--out BENCH_sweep.json]
+//! ```
+//!
+//! Each `--spec` takes ONE sweep spec (repeat the flag to add more);
+//! `--specs` takes a `;`-separated list — a separate separator because
+//! `,` is part of the sweep grammar (`balance=0,2,4`). Quote `?`/`&`
+//! for your shell. Run with no arguments to reproduce the committed
+//! `BENCH_sweep.json`. The JSON payload (everything except `meta` and
+//! `timing`) is byte-identical for any thread count.
+
+use analysis::spec::default_registry;
+use analysis::sweep::{expand, run_sweep, SweepSpec};
+use analysis::{EnergyModel, GridMeta, Table};
+use bench::Family;
+use sleeping_congest::batch::resolve_threads;
+use std::time::Instant;
+
+/// The default sweep: both awake measures, the GP balance dial, and the
+/// LE time/energy dial, on the workhorse sparse family and the dense
+/// family where symmetry breaking is hard. This is what the committed
+/// `BENCH_sweep.json` pins.
+const DEFAULT_SPECS: [&str; 6] =
+    ["awake", "luby", "vt", "na", "gp-avg?balance=0..8&step=4", "le?bits=4..10&step=2"];
+
+fn parse_list<T>(arg: &str, parse: impl Fn(&str) -> Option<T>, what: &str) -> Vec<T> {
+    arg.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s).unwrap_or_else(|| panic!("unknown {what} {s:?}")))
+        .collect()
+}
+
+fn main() {
+    let mut specs: Vec<String> = Vec::new();
+    let mut families = vec![Family::Er, Family::Dense];
+    let mut sizes = vec![1024usize, 4096];
+    let mut seed_count = 4u64;
+    let mut threads = 0usize;
+    let mut out_path = String::from("BENCH_sweep.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> &str {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| panic!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--spec" => specs.push(value(&mut i).to_string()),
+            "--specs" => specs.extend(
+                value(&mut i).split(';').filter(|s| !s.trim().is_empty()).map(str::to_string),
+            ),
+            "--families" => families = parse_list(value(&mut i), Family::parse, "family"),
+            "--sizes" => sizes = parse_list(value(&mut i), |s| s.parse().ok(), "size"),
+            "--seeds" => seed_count = value(&mut i).parse().expect("--seeds takes a count"),
+            "--threads" => threads = value(&mut i).parse().expect("--threads takes a count"),
+            "--out" => out_path = value(&mut i).to_string(),
+            other => panic!("unknown argument {other:?} (see the doc comment for usage)"),
+        }
+        i += 1;
+    }
+    if specs.is_empty() {
+        specs = DEFAULT_SPECS.iter().map(|s| s.to_string()).collect();
+    }
+
+    // Expand up front so a bad spec fails before any work runs.
+    let registry = default_registry();
+    let mut expanded_total = 0;
+    for raw in &specs {
+        let group = expand(registry, raw).unwrap_or_else(|e| panic!("--spec {raw:?}: {e}"));
+        expanded_total += group.runners.len();
+    }
+
+    let spec = SweepSpec {
+        specs,
+        families,
+        sizes,
+        seeds: (1..=seed_count).collect(),
+        threads,
+        energy: EnergyModel::default(),
+    };
+    let jobs =
+        expanded_total * spec.families.len() * spec.sizes.len() * spec.seeds.len();
+    let threads_used = resolve_threads(spec.threads);
+    println!(
+        "running {jobs} sweep jobs ({expanded_total} algorithm points) over {threads_used} threads…"
+    );
+
+    let start = Instant::now();
+    let result = run_sweep(&spec).unwrap_or_else(|e| panic!("sweep: {e}"));
+    let wall = start.elapsed();
+
+    let mut t = Table::new(vec![
+        "family", "n", "spec point", "awake max", "awake avg", "rounds (mean)",
+        "energy max (mJ)", "energy mean (mJ)", "frontier", "ok",
+    ]);
+    for c in &result.cells {
+        for e in &c.entries {
+            t.row(vec![
+                c.family.name().to_string(),
+                c.n.to_string(),
+                e.algorithm.key().to_string(),
+                format!("{:.1}", e.awake_max.mean),
+                format!("{:.2}", e.awake_avg.mean),
+                format!("{:.3e}", e.rounds.mean),
+                format!("{:.3}", e.energy_max_mj.mean),
+                format!("{:.3}", e.energy_mean_mj.mean),
+                match (&e.pareto, &e.dominated_by) {
+                    (true, _) => "*".to_string(),
+                    (false, Some(d)) => format!("≺ {d}"),
+                    (false, None) => "-".to_string(),
+                },
+                if e.all_correct { "yes".into() } else { "NO".to_string() },
+            ]);
+        }
+    }
+    print!("{}", t.render());
+
+    let meta = GridMeta { threads: threads_used, wall_ms: wall.as_millis() };
+    std::fs::write(&out_path, result.to_json(&meta)).expect("write sweep JSON");
+    let bad = result.points.iter().filter(|p| !p.point.correct).count();
+    let frontier_sizes: Vec<String> = result
+        .cells
+        .iter()
+        .map(|c| format!("{}/{}:{}", c.family.key(), c.n, c.frontier().len()))
+        .collect();
+    println!(
+        "\nwrote {out_path}: {} points, {} cells, frontier sizes [{}], {} incorrect, {:.1}s wall",
+        result.points.len(),
+        result.cells.len(),
+        frontier_sizes.join(", "),
+        bad,
+        wall.as_secs_f64()
+    );
+    if bad > 0 {
+        std::process::exit(1);
+    }
+}

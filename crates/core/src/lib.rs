@@ -15,10 +15,14 @@
 //! | [`Luby`] | classical baseline | `Θ(log n)` | `Θ(log n)` |
 //! | [`NaMis`] (`NA-MIS`) | CGP, arXiv:2006.07449 | `O(1)` **node-averaged**, `Θ(log n)` worst case | `Θ(log n)` |
 //! | [`AvgMis`] (`GP-Avg-MIS`) | GP, arXiv:2305.06120 | low average, worst case capped `2·balance + O(log N)` | `O(N³)` |
+//! | [`LeMis`] (`LE-MIS`) | GP, arXiv:2305.11639 | `≈ epochs·(bits + 2)` — the **energy** dial | `≈ epochs·2^bits` — the **time** dial |
 //!
-//! The last two rows optimize the *node-averaged* awake complexity
-//! `(1/n)·Σ_v A_v` instead of (or alongside) the worst case — see
-//! [`na_mis`] and [`avg_mis`] for the two measures and their trade-off.
+//! The `NA-MIS`/`GP-Avg-MIS` rows optimize the *node-averaged* awake
+//! complexity `(1/n)·Σ_v A_v` instead of (or alongside) the worst case —
+//! see [`na_mis`] and [`avg_mis`] for the two measures and their
+//! trade-off. `LE-MIS` ([`low_energy_mis`]) makes the *time vs energy*
+//! trade-off itself the tunable quantity: sweeping its `bits` knob traces
+//! the frontier between round complexity and awake complexity.
 //!
 //! # Example: Awake-MIS on a random graph
 //!
@@ -45,6 +49,7 @@ pub mod awake_mis;
 pub mod coloring;
 pub mod greedy;
 pub mod ldt_mis;
+pub mod low_energy_mis;
 pub mod luby;
 pub mod matching;
 pub mod na_mis;
@@ -57,9 +62,10 @@ pub use avg_mis::{AvgMis, AvgMisConfig, AvgMisOutput, AvgMsg};
 pub use awake_mis::{derive_params, AwakeMis, AwakeMisConfig, AwakeMisOutput, DerivedParams};
 pub use coloring::{coloring, colors_used, is_proper_coloring, ColoringResult};
 pub use ldt_mis::{LdtMis, LdtMisOutput, LdtMisParams, LdtStrategy};
+pub use low_energy_mis::{LeMis, LeMisConfig, LeMisOutput, LeMsg, LE_MAX_BITS};
 pub use luby::Luby;
 pub use na_mis::{NaMis, NaMisConfig, NaMsg};
-pub use matching::{is_matching, is_maximal_matching, maximal_matching, MatchingResult};
+pub use matching::{is_matching, is_maximal_matching, maximal_matching, na_maximal_matching, MatchingResult};
 pub use naive::NaiveGreedy;
 pub use state::{MisMsg, MisState};
 pub use verify::{check_maximal, check_mis, is_independent, is_lfmis, is_maximal, is_mis, states_to_set};

@@ -1,0 +1,433 @@
+//! `LE-MIS` — an explicit **time/energy trade-off** MIS, after
+//! Ghaffari–Portmann, *"Distributed MIS with Low Energy and Time
+//! Complexities"* (PODC 2023, arXiv:2305.11639).
+//!
+//! GP's theme: energy (awake rounds) and time (total rounds) are *both*
+//! dials, and an algorithm family can move along the frontier between
+//! them instead of optimizing one endpoint. This protocol realizes that
+//! trade-off from the repo's own building blocks. Computation proceeds
+//! in **epochs**; each epoch runs a [`VtMis`](crate::vt_mis::VtMis)-style
+//! ranked schedule over a *small* rank space `[1, M]`, `M = 2^bits`:
+//!
+//! * Every undecided node draws a fresh random rank `k ∈ [1, M]` and
+//!   wakes only in the virtual-binary-tree communication set
+//!   `S_k([1, M])` — at most `⌈log₂ M⌉ + 1 = bits + 1` awake rounds.
+//! * The epoch computes the LFMIS of the undecided subgraph under the
+//!   rank order: a node joins at its rank round unless it heard a
+//!   neighbor join first (Observation 5 guarantees the announcement
+//!   arrives in time), and a node that hears a neighbor join leaves as
+//!   `NotInMis` **immediately** — it pays nothing more this epoch.
+//! * Ranks are *not* distinct: messages carry the sender's rank, and a
+//!   node that ever hears **its own rank** from a neighbor has lost
+//!   symmetry breaking for this epoch. It *defers* — sleeps straight to
+//!   the epoch's resolve round and redraws next epoch. (Contrast
+//!   [`AvgMis`](crate::avg_mis::AvgMis), where the rank space is `[1, N³]`
+//!   and a collision is a Monte Carlo *failure*; here collisions are the
+//!   expected cost of a small rank space, and retrying is the design.)
+//! * A final **resolve** round per epoch: epoch winners broadcast `Win`
+//!   once; every still-undecided node wakes to listen, so no node enters
+//!   the next epoch adjacent to an MIS node.
+//!
+//! # The `bits` dial
+//!
+//! An epoch costs every *surviving* node at most `bits + 2` awake rounds
+//! and `2^bits + 1` total rounds, and the only nodes that survive an
+//! epoch are those that collided (probability `≤ deg/2^bits` with fresh
+//! ranks each epoch). Measured over a seed grid the dial has three
+//! regimes:
+//!
+//! * **tiny `bits` (≈ 1–2)** — epochs are a handful of rounds, so even
+//!   several collision retries finish in very few *total* rounds; but
+//!   every retry adds awake rounds, so the energy bill is the highest.
+//!   The time-optimal, energy-hungry end of the frontier.
+//! * **moderate `bits`** — collisions die out after an epoch or two
+//!   while the wake sets (`≤ bits + 1` rounds) are still small: the
+//!   energy-optimal region, at a round cost that grows with `2^bits`.
+//! * **large `bits`** — one epoch always suffices, but every survivor
+//!   pays its full `⌈log₂ M⌉ + 1` wake set and the epoch spans `2^bits`
+//!   rounds: awake *and* time grow together, converging on `VT-MIS`
+//!   (plus a resolve round) at `M = N³`. The Pareto analysis marks this
+//!   tail as dominated — the measured reason the GP trade-off family
+//!   works over *small* rank spaces.
+//!
+//! Sweeping `le?bits=…` traces exactly that frontier; the sweep is the
+//! flagship axis of `analysis::sweep`.
+//!
+//! # Monte Carlo failure mode
+//!
+//! Progress is randomized: with pathologically small rank spaces (say
+//! `bits=1` on a dense graph) a node can collide epoch after epoch. A
+//! node still undecided after `max_epochs` epochs terminates with
+//! [`LeMisOutput::failed`] set, and the runner reports it like any other
+//! Monte Carlo failure (`AlgoResult::failures`, `correct = false`) — the
+//! same convention `Awake-MIS` and `GP-Avg-MIS` use.
+
+use crate::state::MisState;
+use graphgen::Port;
+use rand::Rng;
+use sleeping_congest::{bits_for_value, Action, MessageSize, NodeCtx, Outbox, Protocol, Round};
+
+/// Knobs of [`LeMis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeMisConfig {
+    /// Rank bits per epoch: ranks are drawn from `[1, 2^bits]`, an epoch
+    /// spans `2^bits + 1` rounds, and a surviving node is awake at most
+    /// `bits + 2` rounds per epoch. `0` means *auto*: `⌈log₂ n_upper⌉`,
+    /// clamped to `[4, 40]` — wide enough that collisions die out in an
+    /// epoch or two even on dense graphs. This is the time/energy dial
+    /// (see the module docs for the three regimes).
+    pub bits: u32,
+    /// Epoch budget: a node still undecided after this many epochs gives
+    /// up and reports a Monte Carlo failure.
+    pub max_epochs: u64,
+}
+
+/// Upper bound accepted for [`LeMisConfig::bits`] (an epoch must fit
+/// comfortably under the engine's round counter).
+pub const LE_MAX_BITS: u32 = 40;
+
+impl Default for LeMisConfig {
+    fn default() -> Self {
+        LeMisConfig { bits: 0, max_epochs: 64 }
+    }
+}
+
+/// Wire message of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeMsg {
+    /// Ranked-schedule broadcast: "my rank this epoch, my state". The
+    /// rank makes collisions detectable (see the module docs).
+    State(u64, MisState),
+    /// Resolve round: "I joined the MIS this epoch".
+    Win,
+}
+
+impl MessageSize for LeMsg {
+    fn bits(&self) -> usize {
+        1 + match self {
+            LeMsg::State(rank, _) => bits_for_value(*rank) + 2,
+            LeMsg::Win => 1,
+        }
+    }
+}
+
+/// A node's final output: its decision, the Monte Carlo flag (epoch
+/// budget exhausted while undecided), and the number of epochs it
+/// participated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeMisOutput {
+    /// The MIS decision (`Undecided` only when `failed`).
+    pub state: MisState,
+    /// True if the node exhausted [`LeMisConfig::max_epochs`].
+    pub failed: bool,
+    /// Epochs this node was still undecided at the start of (≥ 1).
+    pub epochs: u64,
+}
+
+/// The `LE-MIS` protocol for one node.
+#[derive(Debug, Clone)]
+pub struct LeMis {
+    cfg: LeMisConfig,
+    /// Rank-space size `M = 2^bits`, resolved from `n_upper` on first
+    /// activation when `cfg.bits == 0`.
+    space: u64,
+    state: MisState,
+    rank: u64,
+    /// This epoch's wake rounds (0-based local), ascending.
+    wakes: Vec<Round>,
+    collided: bool,
+    epoch: u64,
+    failed: bool,
+    finished: bool,
+}
+
+impl LeMis {
+    /// Creates a node with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.bits > LE_MAX_BITS` or `cfg.max_epochs == 0`.
+    pub fn new(cfg: LeMisConfig) -> LeMis {
+        assert!(cfg.bits <= LE_MAX_BITS, "bits {} above the {LE_MAX_BITS} cap", cfg.bits);
+        assert!(cfg.max_epochs >= 1, "at least one epoch is required");
+        LeMis {
+            cfg,
+            space: 0,
+            state: MisState::Undecided,
+            rank: 0,
+            wakes: Vec::new(),
+            collided: false,
+            epoch: 0,
+            failed: false,
+            finished: false,
+        }
+    }
+
+    /// Rank bits actually in use for a given network bound.
+    pub fn resolved_bits(cfg: LeMisConfig, n_upper: usize) -> u32 {
+        if cfg.bits > 0 {
+            return cfg.bits;
+        }
+        let n = n_upper.max(2) as u64;
+        let ceil_log2 = 64 - (n - 1).leading_zeros();
+        ceil_log2.clamp(4, LE_MAX_BITS)
+    }
+
+    /// Epoch length in rounds: the `M`-round schedule plus the resolve
+    /// round.
+    fn epoch_len(&self) -> Round {
+        self.space + 1
+    }
+
+    /// Draws a fresh rank and builds this epoch's wake schedule.
+    fn enter_epoch(&mut self, ctx: &mut NodeCtx) {
+        debug_assert_eq!(self.state, MisState::Undecided);
+        self.rank = ctx.rng.gen_range(1..=self.space);
+        self.wakes = vtree::wake_rounds(self.rank, self.space)
+            .into_iter()
+            .map(|r| r - 1)
+            .collect();
+        self.collided = false;
+    }
+}
+
+impl Protocol for LeMis {
+    type Msg = LeMsg;
+    type Output = LeMisOutput;
+
+    fn send(&mut self, ctx: &mut NodeCtx) -> Outbox<LeMsg> {
+        if self.space == 0 {
+            // First activation (round 0, everyone awake): size the rank
+            // space and enter epoch 0.
+            self.space = 1u64 << Self::resolved_bits(self.cfg, ctx.n_upper);
+            self.enter_epoch(ctx);
+        }
+        let lr = ctx.round % self.epoch_len();
+        if lr == self.space {
+            // Resolve round: only epoch winners speak.
+            if self.state == MisState::InMis {
+                Outbox::Broadcast(LeMsg::Win)
+            } else {
+                Outbox::Silent
+            }
+        } else if !self.collided && self.wakes.binary_search(&lr).is_ok() {
+            Outbox::Broadcast(LeMsg::State(self.rank, self.state))
+        } else {
+            // A stray awake round (round 0 before the first wake).
+            Outbox::Silent
+        }
+    }
+
+    fn receive(&mut self, ctx: &mut NodeCtx, inbox: &[(Port, LeMsg)]) -> Action {
+        let lr = ctx.round % self.epoch_len();
+        let base = ctx.round - lr;
+        if lr == self.space {
+            // Resolve round.
+            if self.state == MisState::InMis {
+                self.finished = true;
+                return Action::Terminate;
+            }
+            if inbox.iter().any(|&(_, m)| m == LeMsg::Win) {
+                self.state = MisState::NotInMis;
+                self.finished = true;
+                return Action::Terminate;
+            }
+            self.epoch += 1;
+            if self.epoch >= self.cfg.max_epochs {
+                self.failed = true;
+                self.finished = true;
+                return Action::Terminate;
+            }
+            self.enter_epoch(ctx);
+            return Action::SleepUntil(base + self.epoch_len() + self.wakes[0]);
+        }
+        // Ranked-schedule round.
+        let mut heard_in = false;
+        for &(_, m) in inbox {
+            if let LeMsg::State(rank, s) = m {
+                if s == MisState::InMis {
+                    heard_in = true;
+                }
+                if rank == self.rank {
+                    // A neighbor shares my whole wake schedule: symmetry
+                    // is unbreakable this epoch — defer to the next.
+                    self.collided = true;
+                }
+            }
+        }
+        if self.state == MisState::Undecided && heard_in {
+            // Decided against: leave immediately, like the dropout
+            // algorithms — this is what keeps the energy bill low.
+            self.state = MisState::NotInMis;
+            self.finished = true;
+            return Action::Terminate;
+        }
+        if self.state == MisState::Undecided && !self.collided && lr + 1 == self.rank {
+            self.state = MisState::InMis;
+        }
+        if self.collided {
+            // Nothing left to say or decide before the resolve round.
+            return Action::SleepUntil(base + self.space);
+        }
+        match self.wakes.iter().find(|&&w| w > lr) {
+            // Keep attending the schedule (an InMis node must announce
+            // itself to higher-ranked neighbors at the common rounds).
+            Some(&w) => Action::SleepUntil(base + w),
+            // Past the last wake: attend the resolve round.
+            None => Action::SleepUntil(base + self.space),
+        }
+    }
+
+    fn output(&self) -> LeMisOutput {
+        assert!(self.finished, "LE-MIS output read before completion");
+        debug_assert!(self.failed || self.state.is_decided());
+        LeMisOutput { state: self.state, failed: self.failed, epochs: self.epoch + 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_maximal, check_mis};
+    use graphgen::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sleeping_congest::{SimConfig, Simulator};
+
+    fn run(
+        g: &graphgen::Graph,
+        cfg: LeMisConfig,
+        seed: u64,
+    ) -> sleeping_congest::RunReport<LeMisOutput> {
+        let nodes = (0..g.n()).map(|_| LeMis::new(cfg)).collect();
+        Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().expect("run")
+    }
+
+    fn states(report: &sleeping_congest::RunReport<LeMisOutput>) -> Vec<MisState> {
+        assert_eq!(
+            report.outputs.iter().filter(|o| o.failed).count(),
+            0,
+            "unexpected epoch-budget exhaustion"
+        );
+        report.outputs.iter().map(|o| o.state).collect()
+    }
+
+    #[test]
+    fn computes_mis_across_the_bits_dial() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for trial in 0..8 {
+            let g = generators::gnp(50, 0.1, &mut rng);
+            for bits in [0, 4, 6, 10, 16] {
+                let report = run(&g, LeMisConfig { bits, ..Default::default() }, trial);
+                let s = states(&report);
+                check_mis(&g, &s).unwrap_or_else(|e| panic!("trial {trial} bits {bits}: {e}"));
+                check_maximal(&g, &s)
+                    .unwrap_or_else(|e| panic!("trial {trial} bits {bits}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn bits_trade_rounds_against_awake() {
+        // The defining frontier shape, seed-averaged. Low end of the
+        // dial: tiny rank spaces retry often — fewest total rounds,
+        // most awake rounds. Moderate spaces: the opposite. And the
+        // large-bits tail is worse than moderate on *both* measures
+        // (the reason the Pareto sweep marks it dominated).
+        let mut rng = SmallRng::seed_from_u64(23);
+        let g = generators::gnp_avg_degree(512, 8.0, &mut rng);
+        let mean = |bits: u32| -> (f64, f64) {
+            let mut awake = 0.0;
+            let mut rounds = 0.0;
+            for seed in 0..8u64 {
+                let report = run(&g, LeMisConfig { bits, ..Default::default() }, seed);
+                check_mis(&g, &states(&report)).unwrap();
+                awake += report.metrics.awake_complexity() as f64 / 8.0;
+                rounds += report.metrics.round_complexity() as f64 / 8.0;
+            }
+            (awake, rounds)
+        };
+        let (awake_tiny, rounds_tiny) = mean(2);
+        let (awake_mid, rounds_mid) = mean(6);
+        let (awake_large, rounds_large) = mean(14);
+        assert!(
+            rounds_tiny * 2.0 < rounds_mid,
+            "tiny rank spaces must be much faster: {rounds_tiny} vs {rounds_mid}"
+        );
+        assert!(
+            awake_mid < awake_tiny,
+            "moderate rank spaces must be awake-cheaper: {awake_mid} vs {awake_tiny}"
+        );
+        assert!(
+            awake_large > awake_mid && rounds_large > rounds_mid,
+            "the large-bits tail must be dominated: awake {awake_large} vs {awake_mid}, \
+             rounds {rounds_large} vs {rounds_mid}"
+        );
+    }
+
+    #[test]
+    fn awake_is_bounded_by_epochs_times_bits() {
+        // Per epoch a node is awake ≤ bits + 2 rounds (schedule + resolve),
+        // plus the round-0 activation.
+        let mut rng = SmallRng::seed_from_u64(29);
+        let g = generators::gnp_avg_degree(256, 8.0, &mut rng);
+        let cfg = LeMisConfig { bits: 10, ..Default::default() };
+        for seed in 0..4u64 {
+            let report = run(&g, cfg, seed);
+            check_mis(&g, &states(&report)).unwrap();
+            let max_epochs = report.outputs.iter().map(|o| o.epochs).max().unwrap();
+            let cap = max_epochs * u64::from(cfg.bits + 2) + 1;
+            assert!(
+                report.metrics.awake_complexity() <= cap,
+                "seed {seed}: awake {} above cap {cap} ({} epochs)",
+                report.metrics.awake_complexity(),
+                max_epochs
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_budget_exhaustion_is_flagged_not_wrong() {
+        // bits=1 on a clique: two ranks for eight mutually-adjacent
+        // nodes, one epoch allowed — collisions are near-certain, and
+        // they must surface as Monte Carlo failures, never as an
+        // invalid MIS.
+        let g = generators::complete(8);
+        let mut saw_failure = false;
+        for seed in 0..8u64 {
+            let report = run(&g, LeMisConfig { bits: 1, max_epochs: 1 }, seed);
+            let failed: Vec<bool> = report.outputs.iter().map(|o| o.failed).collect();
+            if failed.iter().any(|&f| f) {
+                saw_failure = true;
+                continue;
+            }
+            let s: Vec<MisState> = report.outputs.iter().map(|o| o.state).collect();
+            check_mis(&g, &s).unwrap();
+            check_maximal(&g, &s).unwrap();
+        }
+        assert!(saw_failure, "one-epoch bits=1 on K8 should fail sometimes");
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        for cfg in [LeMisConfig::default(), LeMisConfig { bits: 3, ..Default::default() }] {
+            let g = graphgen::Graph::empty(3);
+            let report = run(&g, cfg, 1);
+            assert!(report.outputs.iter().all(|o| o.state == MisState::InMis && !o.failed));
+            let g = generators::path(2);
+            let report = run(&g, cfg, 1);
+            check_mis(&g, &states(&report)).unwrap();
+        }
+    }
+
+    #[test]
+    fn auto_bits_track_the_network_bound() {
+        assert_eq!(LeMis::resolved_bits(LeMisConfig::default(), 2), 4);
+        assert_eq!(LeMis::resolved_bits(LeMisConfig::default(), 1024), 10);
+        assert_eq!(LeMis::resolved_bits(LeMisConfig::default(), 1025), 11);
+        assert_eq!(LeMis::resolved_bits(LeMisConfig::default(), usize::MAX), LE_MAX_BITS);
+        // An explicit value wins.
+        let cfg = LeMisConfig { bits: 7, ..Default::default() };
+        assert_eq!(LeMis::resolved_bits(cfg, 1 << 20), 7);
+    }
+}

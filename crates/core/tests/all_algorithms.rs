@@ -1,15 +1,15 @@
-//! Differential property oracle over **all eight** MIS algorithms: for
+//! Differential property oracle over **all nine** MIS algorithms: for
 //! arbitrary generated graphs and seeds, every algorithm's output must
 //! pass both `check_mis` and `check_maximal`. The seed tests only cover
 //! two algorithms this way; this test pins the full comparison surface
-//! the experiment harness reports on — both the worst-case algorithms
-//! of the paper and the node-averaged entrants (`NA-MIS`,
-//! `GP-Avg-MIS`).
+//! the experiment harness reports on — the worst-case algorithms of the
+//! paper, the node-averaged entrants (`NA-MIS`, `GP-Avg-MIS`), and the
+//! time/energy trade-off entrant (`LE-MIS`).
 
 use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams};
 use awake_mis_core::{
-    check_maximal, check_mis, AvgMis, AvgMisConfig, AwakeMis, AwakeMisConfig, LdtStrategy, Luby,
-    MisState, NaMis, NaMisConfig, NaiveGreedy, VtMis,
+    check_maximal, check_mis, AvgMis, AvgMisConfig, AwakeMis, AwakeMisConfig, LdtStrategy, LeMis,
+    LeMisConfig, Luby, MisState, NaMis, NaMisConfig, NaiveGreedy, VtMis,
 };
 use graphgen::Graph;
 use proptest::prelude::*;
@@ -95,11 +95,17 @@ fn run_one(name: &str, g: &Graph, seed: u64) -> (Vec<MisState>, usize) {
             let failures = report.outputs.iter().filter(|o| o.failed).count();
             (report.outputs.iter().map(|o| o.state).collect(), failures)
         }
+        "le-mis" => {
+            let nodes = (0..n).map(|_| LeMis::new(LeMisConfig::default())).collect();
+            let report = Simulator::new(g.clone(), nodes, cfg).run().expect(name);
+            let failures = report.outputs.iter().filter(|o| o.failed).count();
+            (report.outputs.iter().map(|o| o.state).collect(), failures)
+        }
         other => panic!("unknown algorithm {other}"),
     }
 }
 
-const ALL: [&str; 8] = [
+const ALL: [&str; 9] = [
     "awake-mis",
     "awake-mis-round",
     "ldt-mis",
@@ -108,6 +114,7 @@ const ALL: [&str; 8] = [
     "luby",
     "na-mis",
     "gp-avg-mis",
+    "le-mis",
 ];
 
 proptest! {

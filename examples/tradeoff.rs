@@ -32,6 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("vt", "Θ(I) rounds, O(log I) awake"),
         ("naive", "Θ(I) both — the strawman"),
         ("luby", "few rounds, all of them awake"),
+        ("le?bits=4", "GP-LE time end: tiny epochs, collision retries"),
+        ("le?bits=12", "GP-LE energy end: long epochs, near one-shot"),
     ];
     for (spec, note) in spectrum {
         let alg = default_registry().resolve(spec)?;
@@ -45,9 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print!("{}", table.render());
 
-    println!("\nno point dominates Awake-MIS on awake complexity; nothing with small");
-    println!("awake complexity comes close to Luby's round count — the open problem the");
-    println!("paper closes with (an O(log log n)-awake, O(log n)-round algorithm) would");
-    println!("occupy the empty corner of this table.");
+    println!("\nthe open problem the paper closes with — an O(log log n)-awake,");
+    println!("O(log n)-round algorithm — would occupy the empty corner of this table.");
+    println!("at laptop scale the LE-MIS dial (GP 2023, arXiv:2305.11639) sits nearest");
+    println!("that corner, but its guarantee is Monte Carlo retries, not a deterministic");
+    println!("awake bound; sweep the dial with `cargo run --release -p bench --bin sweep`");
+    println!("to see the whole frontier with energy pricing.");
     Ok(())
 }
