@@ -107,10 +107,16 @@ pub struct GridPoint {
     pub max_message_bits: usize,
     /// Size of the computed MIS.
     pub mis_size: usize,
-    /// Whether the output verified as a correct MIS.
+    /// Whether the output verified as a correct MIS — of the survivor
+    /// subgraph when the run's fault model crashed nodes.
     pub correct: bool,
     /// Number of nodes reporting a Monte Carlo failure.
     pub failures: usize,
+    /// Number of nodes crashed by the fault model (0 on clean runs).
+    pub crashed: usize,
+    /// Deliverable message copies dropped by the fault model's lossy
+    /// links (0 on clean runs).
+    pub faulted: u64,
     /// Engine-level error, if the run aborted (correct is false then).
     pub sim_error: Option<String>,
     /// Wall-clock time of this point (generation + run), in
@@ -144,6 +150,14 @@ pub struct GridCell {
     pub max_message_bits: usize,
     /// Whether every seed verified correct with zero failures.
     pub all_correct: bool,
+    /// Fraction of seeds that did **not** verify correct — the
+    /// robustness headline under a fault model (0.0 on clean cells).
+    pub failure_rate: f64,
+    /// Total nodes crashed across seeds (0 on clean cells).
+    pub crashed: u64,
+    /// Total deliverable message copies dropped across seeds (0 on
+    /// clean cells).
+    pub faulted: u64,
 }
 
 /// The outcome of [`run_grid`]: the spec, every point, every cell.
@@ -198,6 +212,8 @@ pub fn run_point_detailed(
                 mis_size: r.mis_size,
                 correct: r.correct,
                 failures: r.failures,
+                crashed: r.crashed,
+                faulted: r.faulted,
                 sim_error: None,
                 elapsed_ns: 0,
             },
@@ -217,6 +233,8 @@ pub fn run_point_detailed(
                 mis_size: 0,
                 correct: false,
                 failures: 0,
+                crashed: 0,
+                faulted: 0,
                 sim_error: Some(e.to_string()),
                 elapsed_ns: 0,
             },
@@ -266,6 +284,10 @@ fn aggregate(spec: &GridSpec, points: &[GridPoint]) -> Vec<GridCell> {
                 rounds: Summary::of_u64(&rounds),
                 max_message_bits: chunk.iter().map(|p| p.max_message_bits).max().unwrap_or(0),
                 all_correct: chunk.iter().all(|p| p.correct),
+                failure_rate: chunk.iter().filter(|p| !p.correct).count() as f64
+                    / runs as f64,
+                crashed: chunk.iter().map(|p| p.crashed as u64).sum(),
+                faulted: chunk.iter().map(|p| p.faulted).sum(),
             }
         })
         .collect()
@@ -302,12 +324,16 @@ fn dist_json(d: &AwakeDistribution) -> String {
 }
 
 impl GridPoint {
-    pub(crate) fn json(&self) -> String {
+    /// The point's deterministic JSON object — one line of the
+    /// `points` section of `BENCH_grid.json` (and of the fault
+    /// document, which reuses the format so clean fault levels are
+    /// byte-comparable against the grid).
+    pub fn json(&self) -> String {
         let mut out = format!(
             "{{\"algorithm\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\"nodes\":{},\
              \"awake_max\":{},\"awake_avg\":{},\"awake_dist\":{},\"rounds\":{},\
              \"active_rounds\":{},\"messages\":{},\"max_message_bits\":{},\"mis_size\":{},\
-             \"correct\":{},\"failures\":{}",
+             \"correct\":{},\"failures\":{},\"crashed\":{},\"faulted\":{}",
             json_escape(self.job.algorithm.key()),
             self.job.family.key(),
             self.job.n,
@@ -323,6 +349,8 @@ impl GridPoint {
             self.mis_size,
             self.correct,
             self.failures,
+            self.crashed,
+            self.faulted,
         );
         if let Some(e) = &self.sim_error {
             out.push_str(&format!(",\"sim_error\":\"{}\"", json_escape(e)));
@@ -337,7 +365,8 @@ impl GridCell {
         format!(
             "{{\"algorithm\":\"{}\",\"family\":\"{}\",\"n\":{},\"runs\":{},\
              \"awake_max\":{},\"awake_avg\":{},\"awake_p95\":{},\"awake_gini\":{},\
-             \"rounds\":{},\"max_message_bits\":{},\"all_correct\":{}}}",
+             \"rounds\":{},\"max_message_bits\":{},\"all_correct\":{},\
+             \"failure_rate\":{},\"crashed\":{},\"faulted\":{}}}",
             json_escape(self.algorithm.key()),
             self.family.key(),
             self.n,
@@ -349,6 +378,9 @@ impl GridCell {
             summary_json(&self.rounds),
             self.max_message_bits,
             self.all_correct,
+            self.failure_rate,
+            self.crashed,
+            self.faulted,
         )
     }
 }
@@ -368,7 +400,7 @@ impl GridResult {
     }
 
     fn json_with_meta(&self, meta: Option<&GridMeta>) -> String {
-        let mut out = String::from("{\n  \"schema\": \"awake-mis/bench-grid/v2\",\n");
+        let mut out = String::from("{\n  \"schema\": \"awake-mis/bench-grid/v3\",\n");
         if let Some(m) = meta {
             out.push_str(&format!(
                 "  \"meta\": {{\"threads\": {}, \"wall_ms\": {}}},\n",
@@ -449,12 +481,14 @@ mod tests {
         let a = run_grid(&spec).payload_json();
         let b = run_grid(&spec).payload_json();
         assert_eq!(a, b, "payload must be reproducible");
-        assert!(a.contains("\"schema\": \"awake-mis/bench-grid/v2\""));
+        assert!(a.contains("\"schema\": \"awake-mis/bench-grid/v3\""));
         assert!(a.contains("\"cells\""));
         assert!(a.contains("\"points\""));
         assert!(a.contains("\"awake_dist\":{\"mean\":"), "points carry the distribution");
         assert!(a.contains("\"awake_p95\":{\"mean\":"), "cells summarize p95");
         assert!(a.contains("\"awake_gini\":{\"mean\":"), "cells summarize gini");
+        assert!(a.contains("\"crashed\":0,\"faulted\":0"), "points carry fault counters");
+        assert!(a.contains("\"failure_rate\":0,"), "cells carry the failure rate");
         assert!(!a.contains("wall_ms"), "payload must not carry wall-clock fields");
         assert!(!a.contains("elapsed_ns"), "payload must not carry per-point timing");
         // Balanced braces/brackets as a cheap well-formedness check.

@@ -12,13 +12,17 @@
 //! [`sweep`] expands *range-valued* specs (`le?bits=6..14&step=4`) into
 //! spec families, runs them with energy pricing, and computes per-cell
 //! Pareto frontiers over `(rounds, max awake, mean awake, energy)` — the
-//! `BENCH_sweep.json` energy-frontier payload; [`stats`] summarizes
+//! `BENCH_sweep.json` energy-frontier payload; [`faults`] sweeps the
+//! fault-model knobs (`loss`, `crash`, `jitter` — parameters every
+//! builtin accepts) into robustness surfaces with survivor-aware
+//! verification — the `BENCH_faults.json` payload; [`stats`] summarizes
 //! repeated runs; [`fit`] decides which growth law (`log n` vs
 //! `log log n`) a measured curve follows; [`table`] renders the
 //! paper-style tables; and [`energy`] converts awake/sleeping rounds
 //! into the energy figures that motivate the sleeping model (paper §1.2).
 
 pub mod energy;
+pub mod faults;
 pub mod fit;
 pub mod grid;
 pub mod runners;
@@ -30,6 +34,7 @@ pub mod table;
 pub mod timeline;
 
 pub use energy::EnergyModel;
+pub use faults::{fault_axis, run_faults, FaultAxis, FaultCell, FaultResult, FaultSweepSpec};
 pub use fit::{fit_linear, growth_exponent, Fit};
 pub use grid::{run_grid, GridCell, GridJob, GridMeta, GridPoint, GridResult, GridSpec};
 pub use runners::AlgoResult;

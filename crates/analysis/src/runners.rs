@@ -17,11 +17,20 @@
 //! (`le`, [`awake_mis_core::low_energy_mis`]), whose `bits` parameter is
 //! the flagship axis of the [`crate::sweep`] energy-frontier harness.
 //!
+//! Every builtin additionally accepts the shared **fault-model
+//! parameters** `loss=P`, `crash=P`, `crash_from=R`, `crash_until=R`
+//! and `jitter=J` (see [`read_fault`] and
+//! [`sleeping_congest::FaultModel`]), and the ID-based runners (`vt`,
+//! `naive`, `ldt`) accept `adv_ids=random|worst` for adversarial ID
+//! assignment. Fault parameters spelling their defaults are dropped
+//! from the runner key, so `awake?loss=0` *is* `awake` — clean levels
+//! of a fault sweep reuse the fault-free identity and payloads.
+//!
 //! The `Algorithm` enum and the `run_algorithm(_with_scratch)` shims
 //! that used to live here were deprecated in favor of the registry and
 //! have been removed; resolve a [`RunnerHandle`] instead.
 
-use crate::spec::{AlgorithmSpec, DynRunner, Registry, RunnerHandle, SpecError};
+use crate::spec::{AlgorithmSpec, DynRunner, ParamReader, Registry, RunnerHandle, SpecError};
 use awake_mis_core::ldt_mis::{LdtMis, LdtMisParams};
 use awake_mis_core::{
     AvgMis, AvgMisConfig, AwakeMis, AwakeMisConfig, LdtStrategy, LeMis, LeMisConfig, Luby,
@@ -31,7 +40,9 @@ use graphgen::Graph;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sleeping_congest::{Metrics, ScratchArena, SimConfig, SimError, Simulator, Standalone};
+use sleeping_congest::{
+    FaultModel, Metrics, ScratchArena, SimConfig, SimError, Simulator, Standalone,
+};
 
 /// Normalized result of one run.
 #[derive(Debug, Clone)]
@@ -53,10 +64,18 @@ pub struct AlgoResult {
     pub max_message_bits: usize,
     /// Size of the computed MIS.
     pub mis_size: usize,
-    /// Whether the output verified as a correct MIS.
+    /// Whether the output verified as a correct MIS — on the survivor
+    /// subgraph when the run crashed nodes, on the whole graph otherwise
+    /// (see [`awake_mis_core::check_mis_survivors`]).
     pub correct: bool,
-    /// Number of nodes that reported a Monte Carlo failure.
+    /// Number of nodes that reported a Monte Carlo failure. Crashes are
+    /// *not* failures; they are counted in [`AlgoResult::crashed`].
     pub failures: usize,
+    /// Number of nodes crashed by the fault model (0 on clean runs).
+    pub crashed: usize,
+    /// Number of deliverable message copies dropped by the fault model's
+    /// lossy links (0 on clean runs).
+    pub faulted: u64,
     /// Full engine metrics (per-node awake counts live here; see
     /// [`Metrics::awake_distribution`]).
     pub metrics: Metrics,
@@ -69,6 +88,12 @@ impl AlgoResult {
     /// states against `g`, counts the MIS, and copies the headline
     /// numbers out of `metrics`. This is the constructor custom
     /// [`DynRunner`]s should use.
+    ///
+    /// Verification is survivor-aware: nodes crashed by the engine's
+    /// [`FaultModel`] (per `metrics.crashed_at`) are exempt, and the
+    /// remaining states must form an MIS of the subgraph induced by the
+    /// survivors. With no crashes this is exactly the classic
+    /// [`awake_mis_core::check_mis`].
     pub fn from_states(
         name: impl Into<String>,
         key: impl Into<String>,
@@ -77,8 +102,14 @@ impl AlgoResult {
         failures: usize,
         metrics: Metrics,
     ) -> AlgoResult {
-        let correct = failures == 0 && awake_mis_core::check_mis(g, &states).is_ok();
-        let mis_size = states.iter().filter(|&&s| s == MisState::InMis).count();
+        let alive = metrics.alive();
+        let correct =
+            failures == 0 && awake_mis_core::check_mis_survivors(g, &states, &alive).is_ok();
+        let mis_size = states
+            .iter()
+            .zip(&alive)
+            .filter(|&(&s, &a)| a && s == MisState::InMis)
+            .count();
         AlgoResult {
             algorithm: name.into(),
             key: key.into(),
@@ -90,6 +121,8 @@ impl AlgoResult {
             mis_size,
             correct,
             failures,
+            crashed: metrics.crashed_count(),
+            faulted: metrics.messages_faulted,
             metrics,
             states,
         }
@@ -107,6 +140,131 @@ fn draw_distinct_ids(n: usize, upper: u64, rng: &mut impl Rng) -> Vec<u64> {
         }
     }
     ids
+}
+
+// ---------------------------------------------------------------------------
+// Fault-model parameters (shared by every builtin)
+// ---------------------------------------------------------------------------
+
+/// Reads a probability-valued fault parameter, rejecting anything
+/// outside `[0, 1]`.
+fn read_prob(p: &mut ParamReader<'_>, name: &'static str) -> Result<Option<f64>, SpecError> {
+    match p.f64(name)? {
+        None => Ok(None),
+        Some(v) if v.is_finite() && (0.0..=1.0).contains(&v) => Ok(Some(v)),
+        Some(v) => Err(SpecError::BadValue {
+            param: name.to_string(),
+            value: v.to_string(),
+            expected: "a probability in [0, 1]".to_string(),
+        }),
+    }
+}
+
+/// Reads the fault-model parameters every builtin accepts:
+/// `loss=P` (per-copy i.i.d. message loss), `crash=P` (per-node
+/// per-round crash probability), `crash_from=R`/`crash_until=R`
+/// (inclusive round window for crashes), `jitter=J` (late-wake jitter:
+/// node `v` starts up to `J` rounds late, deterministically per seed).
+pub(crate) fn read_fault(p: &mut ParamReader<'_>) -> Result<FaultModel, SpecError> {
+    let mut fault = FaultModel::none();
+    if let Some(v) = read_prob(p, "loss")? {
+        fault.loss = v;
+    }
+    if let Some(v) = read_prob(p, "crash")? {
+        fault.crash = v;
+    }
+    if let Some(v) = p.u64("crash_from")? {
+        fault.crash_from = v;
+    }
+    if let Some(v) = p.u64("crash_until")? {
+        fault.crash_until = v;
+    }
+    if fault.crash_from > fault.crash_until {
+        return Err(SpecError::BadValue {
+            param: "crash_until".to_string(),
+            value: fault.crash_until.to_string(),
+            expected: format!("a round >= crash_from ({})", fault.crash_from),
+        });
+    }
+    if let Some(v) = p.u64("jitter")? {
+        fault.wake_jitter = v;
+    }
+    Ok(fault)
+}
+
+/// Canonical runner key for `spec`: the spec as written, minus fault
+/// parameters spelling their default values. `awake?loss=0` keys as
+/// `awake`, so a fault sweep's clean level is *the same runner
+/// identity* as the fault-free builtin and its grid payloads are
+/// byte-identical to the clean grid's.
+fn runner_key(spec: &AlgorithmSpec) -> String {
+    let kept: Vec<String> = spec
+        .params()
+        .iter()
+        .filter(|(name, value)| {
+            let is_default = match name.as_str() {
+                "loss" | "crash" => value.parse::<f64>().map(|v| v == 0.0).unwrap_or(false),
+                "crash_from" | "jitter" => {
+                    value.parse::<u64>().map(|v| v == 0).unwrap_or(false)
+                }
+                "crash_until" => value.parse::<u64>().map(|v| v == u64::MAX).unwrap_or(false),
+                "adv_ids" => value.eq_ignore_ascii_case("random"),
+                _ => false,
+            };
+            !is_default
+        })
+        .map(|(name, value)| format!("{name}={value}"))
+        .collect();
+    if kept.is_empty() {
+        spec.key().to_string()
+    } else {
+        format!("{}?{}", spec.key(), kept.join("&"))
+    }
+}
+
+/// A [`SimConfig`] carrying the runner's fault model.
+fn sim_config(seed: u64, fault: &FaultModel) -> SimConfig {
+    SimConfig { fault: fault.clone(), ..SimConfig::seeded(seed) }
+}
+
+/// How ID-based runners (`vt`, `naive`, `ldt`) assign their IDs:
+/// seeded-random (the default) or the deterministic adversarial
+/// worst case (`adv_ids=worst`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IdAssignment {
+    Random,
+    Worst,
+}
+
+/// Reads the optional `adv_ids=random|worst` parameter.
+fn read_adv_ids(p: &mut ParamReader<'_>) -> Result<IdAssignment, SpecError> {
+    match p.str("adv_ids") {
+        None => Ok(IdAssignment::Random),
+        Some(s) => match s.to_ascii_lowercase().as_str() {
+            "random" => Ok(IdAssignment::Random),
+            "worst" => Ok(IdAssignment::Worst),
+            other => Err(SpecError::BadValue {
+                param: "adv_ids".to_string(),
+                value: other.to_string(),
+                expected: "random or worst".to_string(),
+            }),
+        },
+    }
+}
+
+/// The adversarial ID multiset for `VT-MIS`: the `n` IDs in
+/// `[1, upper]` with the *longest* virtual-tree wake schedules,
+/// assigned to nodes in ascending order. VT-MIS nodes attend their full
+/// schedule (no early exit), so per-node awake cost is exactly the
+/// schedule length — an adversary controlling the ID assignment
+/// maximizes the worst case by handing out the longest schedules,
+/// which random draws from a wide ID space are unlikely to hit.
+fn worst_vt_ids(n: usize, upper: u64) -> Vec<u64> {
+    let mut ranked: Vec<u64> = (1..=upper).collect();
+    ranked.sort_by_key(|&k| (std::cmp::Reverse(vtree::wake_count(k, upper)), k));
+    ranked.truncate(n);
+    ranked.sort_unstable();
+    ranked
 }
 
 // ---------------------------------------------------------------------------
@@ -138,6 +296,7 @@ struct AwakeRunner {
     name: &'static str,
     key: String,
     cfg: AwakeMisConfig,
+    fault: FaultModel,
 }
 
 impl AwakeRunner {
@@ -181,12 +340,13 @@ impl AwakeRunner {
         if let Some(b) = p.bool("uniform_batches")? {
             cfg.uniform_batches = b;
         }
+        let fault = read_fault(&mut p)?;
         p.finish()?;
         let name = match cfg.strategy {
             LdtStrategy::Awake => "Awake-MIS",
             LdtStrategy::Round => "Awake-MIS-Round",
         };
-        Ok(RunnerHandle::new(AwakeRunner { name, key: spec.canonical(), cfg }))
+        Ok(RunnerHandle::new(AwakeRunner { name, key: runner_key(spec), cfg, fault }))
     }
 }
 
@@ -206,22 +366,27 @@ impl DynRunner for AwakeRunner {
         scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| AwakeMis::new(self.cfg)).collect();
-        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        let report =
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
         let failures = report.outputs.iter().filter(|o| o.failed).count();
         let states = report.outputs.iter().map(|o| o.state).collect();
         Ok(AlgoResult::from_states(self.name, &self.key, g, states, failures, report.metrics))
     }
 }
 
-/// Luby's classical algorithm (always awake); takes no parameters.
+/// Luby's classical algorithm (always awake); takes only the shared
+/// fault parameters.
 struct LubyRunner {
     key: String,
+    fault: FaultModel,
 }
 
 impl LubyRunner {
     fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
-        spec.reader().finish()?;
-        Ok(RunnerHandle::new(LubyRunner { key: spec.canonical() }))
+        let mut p = spec.reader();
+        let fault = read_fault(&mut p)?;
+        p.finish()?;
+        Ok(RunnerHandle::new(LubyRunner { key: runner_key(spec), fault }))
     }
 }
 
@@ -241,7 +406,8 @@ impl DynRunner for LubyRunner {
         scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| Luby::new()).collect();
-        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        let report =
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
         Ok(AlgoResult::from_states("Luby", &self.key, g, report.outputs, 0, report.metrics))
     }
 }
@@ -253,6 +419,7 @@ impl DynRunner for LubyRunner {
 struct NaRunner {
     key: String,
     cfg: NaMisConfig,
+    fault: FaultModel,
 }
 
 impl NaRunner {
@@ -269,8 +436,9 @@ impl NaRunner {
             }
             cfg.stride = v;
         }
+        let fault = read_fault(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(NaRunner { key: spec.canonical(), cfg }))
+        Ok(RunnerHandle::new(NaRunner { key: runner_key(spec), cfg, fault }))
     }
 }
 
@@ -290,7 +458,8 @@ impl DynRunner for NaRunner {
         scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| NaMis::new(self.cfg)).collect();
-        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        let report =
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
         Ok(AlgoResult::from_states("NA-MIS", &self.key, g, report.outputs, 0, report.metrics))
     }
 }
@@ -302,6 +471,7 @@ impl DynRunner for NaRunner {
 struct AvgRunner {
     key: String,
     cfg: AvgMisConfig,
+    fault: FaultModel,
 }
 
 impl AvgRunner {
@@ -311,8 +481,9 @@ impl AvgRunner {
         if let Some(v) = p.u64("balance")? {
             cfg.balance = v;
         }
+        let fault = read_fault(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(AvgRunner { key: spec.canonical(), cfg }))
+        Ok(RunnerHandle::new(AvgRunner { key: runner_key(spec), cfg, fault }))
     }
 }
 
@@ -332,7 +503,8 @@ impl DynRunner for AvgRunner {
         scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| AvgMis::new(self.cfg)).collect();
-        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        let report =
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
         // An adjacent rank collision is a Monte Carlo failure (module
         // docs of `awake_mis_core::avg_mis`), reported like Awake-MIS's.
         let failures = report.outputs.iter().filter(|o| o.failed).count();
@@ -350,6 +522,7 @@ impl DynRunner for AvgRunner {
 struct LeRunner {
     key: String,
     cfg: LeMisConfig,
+    fault: FaultModel,
 }
 
 impl LeRunner {
@@ -376,8 +549,9 @@ impl LeRunner {
             }
             cfg.max_epochs = v;
         }
+        let fault = read_fault(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(LeRunner { key: spec.canonical(), cfg }))
+        Ok(RunnerHandle::new(LeRunner { key: runner_key(spec), cfg, fault }))
     }
 }
 
@@ -397,7 +571,8 @@ impl DynRunner for LeRunner {
         scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| LeMis::new(self.cfg)).collect();
-        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        let report =
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
         // Epoch-budget exhaustion is a Monte Carlo failure (module docs
         // of `awake_mis_core::low_energy_mis`), reported like Awake-MIS's.
         let failures = report.outputs.iter().filter(|o| o.failed).count();
@@ -409,17 +584,23 @@ impl DynRunner for LeRunner {
 /// `VT-MIS`: random ID permutation over `[1, n]` by default; the
 /// `id_upper=U` parameter sweeps the ID space instead (distinct random
 /// IDs in `[1, max(U, n)]`, so awake complexity scales with `log U`).
+/// `adv_ids=worst` replaces the random draw with the adversarial
+/// assignment: the `n` longest-schedule IDs (see [`worst_vt_ids`]).
 struct VtRunner {
     key: String,
     id_upper: Option<u64>,
+    adv_ids: IdAssignment,
+    fault: FaultModel,
 }
 
 impl VtRunner {
     fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
         let mut p = spec.reader();
         let id_upper = p.u64("id_upper")?;
+        let adv_ids = read_adv_ids(&mut p)?;
+        let fault = read_fault(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(VtRunner { key: spec.canonical(), id_upper }))
+        Ok(RunnerHandle::new(VtRunner { key: runner_key(spec), id_upper, adv_ids, fault }))
     }
 }
 
@@ -440,33 +621,40 @@ impl DynRunner for VtRunner {
     ) -> Result<AlgoResult, SimError> {
         let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
-        let (ids, i_upper) = match self.id_upper {
-            None => {
+        let upper = self.id_upper.map_or(n as u64, |u| u.max(n as u64));
+        let ids = match (self.adv_ids, self.id_upper) {
+            (IdAssignment::Worst, _) => worst_vt_ids(n, upper),
+            (IdAssignment::Random, None) => {
                 let mut ids: Vec<u64> = (1..=n as u64).collect();
                 ids.shuffle(&mut rng);
-                (ids, n as u64)
+                ids
             }
-            Some(u) => {
-                let upper = u.max(n as u64);
-                (draw_distinct_ids(n, upper, &mut rng), upper)
-            }
+            (IdAssignment::Random, Some(_)) => draw_distinct_ids(n, upper, &mut rng),
         };
-        let nodes =
-            (0..n).map(|v| Standalone::new(VtMis::new(ids[v], i_upper, None))).collect();
-        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        let nodes = (0..n).map(|v| Standalone::new(VtMis::new(ids[v], upper, None))).collect();
+        let report =
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
         Ok(AlgoResult::from_states("VT-MIS", &self.key, g, report.outputs, 0, report.metrics))
     }
 }
 
-/// Naive distributed greedy baseline; takes no parameters.
+/// Naive distributed greedy baseline. `adv_ids=worst` pins the
+/// adversarial sequential assignment `id[v] = v + 1` (ID order
+/// correlated with node numbering — on path/grid families this chains
+/// the greedy dependencies) instead of a random permutation.
 struct NaiveRunner {
     key: String,
+    adv_ids: IdAssignment,
+    fault: FaultModel,
 }
 
 impl NaiveRunner {
     fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
-        spec.reader().finish()?;
-        Ok(RunnerHandle::new(NaiveRunner { key: spec.canonical() }))
+        let mut p = spec.reader();
+        let adv_ids = read_adv_ids(&mut p)?;
+        let fault = read_fault(&mut p)?;
+        p.finish()?;
+        Ok(RunnerHandle::new(NaiveRunner { key: runner_key(spec), adv_ids, fault }))
     }
 }
 
@@ -486,11 +674,14 @@ impl DynRunner for NaiveRunner {
         scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError> {
         let n = g.n();
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
         let mut ids: Vec<u64> = (1..=n as u64).collect();
-        ids.shuffle(&mut rng);
+        if self.adv_ids == IdAssignment::Random {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+            ids.shuffle(&mut rng);
+        }
         let nodes = (0..n).map(|v| NaiveGreedy::new(ids[v], n as u64)).collect();
-        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        let report =
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
         Ok(AlgoResult::from_states(
             "Naive-Greedy",
             &self.key,
@@ -503,18 +694,24 @@ impl DynRunner for NaiveRunner {
 }
 
 /// `LDT-MIS` on the whole graph; `strategy=awake|round` picks the LDT
-/// construction (Lemma 6/7 vs Lemma 15).
+/// construction (Lemma 6/7 vs Lemma 15). `adv_ids=worst` packs the IDs
+/// into the bottom of the huge ID space (`1..=n`, maximal shared
+/// prefixes in the labeling tree) instead of random distinct draws.
 struct LdtRunner {
     key: String,
     strategy: LdtStrategy,
+    adv_ids: IdAssignment,
+    fault: FaultModel,
 }
 
 impl LdtRunner {
     fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
         let mut p = spec.reader();
         let strategy = read_strategy(&mut p)?.unwrap_or(LdtStrategy::Awake);
+        let adv_ids = read_adv_ids(&mut p)?;
+        let fault = read_fault(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(LdtRunner { key: spec.canonical(), strategy }))
+        Ok(RunnerHandle::new(LdtRunner { key: runner_key(spec), strategy, adv_ids, fault }))
     }
 }
 
@@ -535,8 +732,13 @@ impl DynRunner for LdtRunner {
     ) -> Result<AlgoResult, SimError> {
         let n = g.n();
         let id_upper = (n.max(4) as u64).pow(3).max(1 << 24);
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
-        let ids = draw_distinct_ids(n, id_upper, &mut rng);
+        let ids = match self.adv_ids {
+            IdAssignment::Random => {
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+                draw_distinct_ids(n, id_upper, &mut rng)
+            }
+            IdAssignment::Worst => (1..=n as u64).collect(),
+        };
         let nodes = (0..n)
             .map(|v| {
                 Standalone::new(LdtMis::new(LdtMisParams {
@@ -547,7 +749,8 @@ impl DynRunner for LdtRunner {
                 }))
             })
             .collect();
-        let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run_in(scratch)?;
+        let report =
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
         let failures = report.outputs.iter().filter(|o| o.failed).count();
         let states = report.outputs.iter().map(|o| o.state).collect();
         Ok(AlgoResult::from_states("LDT-MIS", &self.key, g, states, failures, report.metrics))
@@ -573,19 +776,22 @@ pub(crate) fn register_builtins(reg: &mut Registry) {
     .expect("builtin keys are distinct");
     reg.register_aliased(
         &["ldt", "ldt-mis"],
-        "LDT-MIS on the whole graph (Lemma 11). Params: strategy=awake|round",
+        "LDT-MIS on the whole graph (Lemma 11). Params: strategy=awake|round, \
+         adv_ids=random|worst",
         LdtRunner::from_spec,
     )
     .expect("builtin keys are distinct");
     reg.register_aliased(
         &["vt", "vt-mis"],
-        "VT-MIS (Lemma 10): O(log I) awake. Params: id_upper=U (ID-space sweep)",
+        "VT-MIS (Lemma 10): O(log I) awake. Params: id_upper=U (ID-space sweep), \
+         adv_ids=random|worst (adversarial longest-schedule IDs)",
         VtRunner::from_spec,
     )
     .expect("builtin keys are distinct");
     reg.register_aliased(
         &["naive", "naive-greedy"],
-        "Naive distributed greedy baseline (always awake, Θ(I) rounds). No params",
+        "Naive distributed greedy baseline (always awake, Θ(I) rounds). Params: \
+         adv_ids=random|worst",
         NaiveRunner::from_spec,
     )
     .expect("builtin keys are distinct");
@@ -831,5 +1037,129 @@ mod tests {
         let (awake_cheap, rounds_cheap) = mean("le?bits=6");
         assert!(rounds_fast * 2.0 < rounds_cheap, "{rounds_fast} vs {rounds_cheap}");
         assert!(awake_cheap < awake_fast, "{awake_cheap} vs {awake_fast}");
+    }
+
+    #[test]
+    fn default_fault_params_collapse_to_the_clean_key() {
+        let reg = default_registry();
+        // Spelled-out defaults are the same runner identity as the bare key.
+        for (spec, clean) in [
+            ("awake?loss=0", "awake"),
+            ("awake?loss=0.0&crash=0&jitter=0", "awake"),
+            ("luby?crash=0.0&crash_from=0", "luby"),
+            ("vt?adv_ids=random", "vt"),
+            ("vt?id_upper=4096&loss=0", "vt?id_upper=4096"),
+        ] {
+            assert_eq!(reg.resolve(spec).unwrap().key(), clean, "{spec}");
+        }
+        // Non-default fault params stay in the key, as written.
+        assert_eq!(reg.resolve("awake?loss=0.05").unwrap().key(), "awake?loss=0.05");
+        assert_eq!(
+            reg.resolve("vt?id_upper=6144&adv_ids=worst").unwrap().key(),
+            "vt?id_upper=6144&adv_ids=worst"
+        );
+    }
+
+    #[test]
+    fn fault_params_are_validated() {
+        let reg = default_registry();
+        for bad in ["awake?loss=1.5", "awake?loss=-0.1", "luby?crash=2", "vt?loss=nan"] {
+            assert!(
+                matches!(reg.resolve(bad), Err(SpecError::BadValue { .. })),
+                "{bad} must be rejected"
+            );
+        }
+        assert!(matches!(
+            reg.resolve("awake?crash=0.1&crash_from=9&crash_until=3"),
+            Err(SpecError::BadValue { ref param, .. }) if param == "crash_until"
+        ));
+        assert!(matches!(
+            reg.resolve("vt?adv_ids=sideways"),
+            Err(SpecError::BadValue { ref param, .. }) if param == "adv_ids"
+        ));
+        // Every builtin accepts the shared fault params.
+        for key in default_registry().keys() {
+            assert!(
+                reg.resolve(&format!("{key}?loss=0.01&crash=0.0001&jitter=2")).is_ok(),
+                "{key} must accept fault params"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rate_fault_runs_are_byte_identical_to_clean_runs() {
+        let g = generators::gnp(80, 0.1, &mut SmallRng::seed_from_u64(21));
+        let reg = default_registry();
+        for key in ["awake", "luby", "vt", "na"] {
+            let clean = reg.resolve(key).unwrap().run(&g, 13).unwrap();
+            let zeroed =
+                reg.resolve(&format!("{key}?loss=0&crash=0&jitter=0")).unwrap().run(&g, 13).unwrap();
+            assert_eq!(clean.key, zeroed.key, "{key}: keys must collapse");
+            assert_eq!(clean.states, zeroed.states, "{key}: states diverged");
+            assert_eq!(clean.awake_max, zeroed.awake_max);
+            assert_eq!(clean.rounds, zeroed.rounds);
+            assert_eq!(clean.messages, zeroed.messages);
+            assert_eq!(zeroed.crashed, 0);
+            assert_eq!(zeroed.faulted, 0);
+        }
+    }
+
+    #[test]
+    fn lossy_links_are_observable_and_runs_stay_reproducible() {
+        let g = generators::gnp(96, 0.1, &mut SmallRng::seed_from_u64(30));
+        let reg = default_registry();
+        let lossy = reg.resolve("luby?loss=0.05").unwrap();
+        let a = lossy.run(&g, 3).unwrap();
+        let b = lossy.run(&g, 3).unwrap();
+        assert!(a.faulted > 0, "5% loss on a dense run must drop something");
+        assert_eq!(a.states, b.states, "lossy runs are deterministic per seed");
+        assert_eq!(a.faulted, b.faulted);
+        // Luby with message loss mis-coordinates: the detection machinery
+        // (survivor-aware check with an all-alive mask = classic check)
+        // must notice rather than report a clean MIS, at least for some
+        // seeds. Loss never crashes nodes.
+        assert_eq!(a.crashed, 0);
+        let broken = (0..8u64).filter(|&s| !lossy.run(&g, s).unwrap().correct).count();
+        assert!(broken > 0, "5% loss must break Luby on some of 8 seeds");
+    }
+
+    #[test]
+    fn crashes_are_exempted_by_survivor_verification() {
+        let g = generators::gnp(120, 0.08, &mut SmallRng::seed_from_u64(31));
+        let reg = default_registry();
+        // A crash window confined to the early rounds of Luby: crashed
+        // nodes abort mid-protocol, survivors still finish an MIS of the
+        // induced subgraph.
+        let runner = reg.resolve("luby?crash=0.02&crash_until=3").unwrap();
+        let mut crashed_total = 0;
+        for seed in 0..6u64 {
+            let r = runner.run(&g, seed).unwrap();
+            crashed_total += r.crashed;
+            assert!(
+                r.correct,
+                "seed {seed}: survivors must verify (crashed {})",
+                r.crashed
+            );
+            let alive = r.metrics.alive();
+            assert_eq!(alive.iter().filter(|&&a| !a).count(), r.crashed);
+            awake_mis_core::check_mis_survivors(&g, &r.states, &alive).unwrap();
+        }
+        assert!(crashed_total > 0, "2% x 4 rounds x 120 nodes x 6 seeds must crash someone");
+    }
+
+    #[test]
+    fn worst_vt_ids_have_the_longest_schedules() {
+        let upper = 6144u64;
+        let ids = worst_vt_ids(64, upper);
+        assert_eq!(ids.len(), 64);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+        let floor = ids.iter().map(|&k| vtree::wake_count(k, upper)).min().unwrap();
+        // Every ID *not* selected has a schedule no longer than the
+        // shortest selected one.
+        for k in (1..=upper).step_by(37) {
+            if !ids.contains(&k) {
+                assert!(vtree::wake_count(k, upper) <= floor, "id {k} beats the selection");
+            }
+        }
     }
 }

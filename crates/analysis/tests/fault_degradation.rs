@@ -1,0 +1,125 @@
+//! The robustness claims, measured.
+//!
+//! Two statistical pins on the fault model's *effect*, in the style of
+//! `node_averaged.rs`: (1) message loss degrades `Awake-MIS` the way a
+//! robustness surface expects — a failure fraction of exactly 0 at
+//! `loss=0`, monotone non-decreasing as the loss level rises; and
+//! (2) adversarial ID assignment is a real adversary — `adv_ids=worst`
+//! hands `VT-MIS` the longest virtual-tree schedules in the ID space
+//! and measurably inflates its seed-averaged worst-case awake
+//! complexity over the random assignment the harness defaults to.
+
+use analysis::spec::default_registry;
+use graphgen::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const GRAPH_SEEDS: [u64; 3] = [500, 501, 502];
+const RUN_SEEDS: std::ops::Range<u64> = 4..12;
+
+#[test]
+fn awake_failure_fraction_is_monotone_in_loss() {
+    let reg = default_registry();
+    let levels = ["awake", "awake?loss=0.01", "awake?loss=0.05", "awake?loss=0.2"];
+    let n = 96;
+    let fractions: Vec<f64> = levels
+        .iter()
+        .map(|spec| {
+            let runner = reg.resolve(spec).unwrap();
+            let mut bad = 0u32;
+            let mut runs = 0u32;
+            for gseed in GRAPH_SEEDS {
+                let mut rng = SmallRng::seed_from_u64(gseed);
+                let g = generators::gnp_avg_degree(n, 8.0, &mut rng);
+                for seed in RUN_SEEDS {
+                    let r = runner.run(&g, seed).expect("run");
+                    if !r.correct {
+                        bad += 1;
+                    }
+                    if spec.contains("loss") {
+                        assert!(r.faulted > 0, "{spec} seed {seed}: loss level dropped nothing");
+                    } else {
+                        assert_eq!(r.faulted, 0, "clean runs must drop nothing");
+                    }
+                    runs += 1;
+                }
+            }
+            f64::from(bad) / f64::from(runs)
+        })
+        .collect();
+    println!("awake failure fraction by loss level: {fractions:?}");
+
+    assert_eq!(fractions[0], 0.0, "the clean anchor must never fail");
+    for w in fractions.windows(2) {
+        assert!(
+            w[1] >= w[0],
+            "failure fraction must be monotone non-decreasing in loss: {fractions:?}"
+        );
+    }
+    assert!(
+        fractions[3] > 0.0,
+        "20% loss must break some Awake-MIS run: {fractions:?}"
+    );
+}
+
+#[test]
+fn adversarial_ids_inflate_vt_mis_worst_case_awake() {
+    // VT-MIS attends its entire virtual-tree schedule, so its awake
+    // complexity is the schedule length of its assigned ID — Θ(log I)
+    // for an ID space [1, I]. The model allows IDs up to poly(n), and
+    // that room IS the adversary's power: `adv_ids=worst` hands the n
+    // nodes the longest schedules of a sparse space (I = 6144 ≫ n =
+    // 64), while the harness's random default assigns a compact
+    // shuffle of 1..n. The inflation is structural (log 6144 vs
+    // log 64), not noise.
+    let reg = default_registry();
+    let random = reg.resolve("vt").unwrap();
+    let worst = reg.resolve("vt?id_upper=6144&adv_ids=worst").unwrap();
+    let n = 64;
+    let (mut awake_random, mut awake_worst) = (0.0f64, 0.0f64);
+    let mut runs = 0u32;
+    for gseed in GRAPH_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(gseed);
+        let g = generators::gnp_avg_degree(n, 8.0, &mut rng);
+        for seed in RUN_SEEDS {
+            let r = random.run(&g, seed).expect("random");
+            let w = worst.run(&g, seed).expect("worst");
+            assert!(r.correct, "random IDs must still verify (seed {seed})");
+            assert!(w.correct, "adversarial IDs break schedules, not correctness (seed {seed})");
+            assert!(
+                w.awake_max > r.awake_max,
+                "seed {seed}: adversarial {} ≤ random {}",
+                w.awake_max,
+                r.awake_max
+            );
+            awake_random += r.awake_max as f64;
+            awake_worst += w.awake_max as f64;
+            runs += 1;
+        }
+    }
+    awake_random /= f64::from(runs);
+    awake_worst /= f64::from(runs);
+    println!("vt awake_max seed-averaged: random={awake_random:.2} worst={awake_worst:.2}");
+    assert!(
+        awake_worst >= awake_random * 1.5,
+        "adversarial IDs must inflate worst-case awake: random={awake_random:.2} \
+         worst={awake_worst:.2}"
+    );
+
+    // Within the same sparse space, `adv_ids=worst` still orders above
+    // a random draw on the node-averaged measure: it selects exactly
+    // the IDs with the longest schedules, so no draw can beat it.
+    let sparse_random = reg.resolve("vt?id_upper=6144").unwrap();
+    let mut rng = SmallRng::seed_from_u64(GRAPH_SEEDS[0]);
+    let g = generators::gnp_avg_degree(n, 8.0, &mut rng);
+    for seed in RUN_SEEDS {
+        let r = sparse_random.run(&g, seed).expect("sparse random");
+        let w = worst.run(&g, seed).expect("worst");
+        assert!(
+            w.awake_avg >= r.awake_avg,
+            "seed {seed}: worst-schedule selection averaged {} below a random draw's {}",
+            w.awake_avg,
+            r.awake_avg
+        );
+    }
+}

@@ -1,5 +1,5 @@
-//! `bench-diff` — compare two `BENCH_grid.json` **or** `BENCH_sweep.json`
-//! files and flag regressions.
+//! `bench-diff` — compare two `BENCH_grid.json`, `BENCH_sweep.json`,
+//! **or** `BENCH_faults.json` files and flag regressions.
 //!
 //! For grid documents: prints, per `(algorithm, family, n)` cell present
 //! in both files, the delta in mean worst-case awake rounds, in mean
@@ -16,6 +16,15 @@
 //! mean worst-case awake, node-averaged awake, or worst-node energy
 //! regresses beyond the threshold. New frontier points are reported as
 //! coverage, not failures.
+//!
+//! For fault documents (`awake-mis/bench-faults/v1`): compares, per
+//! `(fault level, family, n)` cell, the **failure rate** (fraction of
+//! seeds that did not verify on the survivor subgraph) and the mean
+//! awake measures. This is the robustness gate: a failure-rate increase
+//! beyond `--threshold` percentage points at *any* swept loss/crash
+//! level is a regression and exits 1, as is lost cell coverage. Lossy
+//! cells legitimately contain incorrect runs, so — unlike the grid path
+//! — incorrectness alone is not "BROKEN" here; only its growth is.
 //!
 //! Usage:
 //!
@@ -39,10 +48,11 @@
 //! new file are reported but don't fail the run. Both files must be the
 //! same kind of document.
 //!
-//! Both `awake-mis/bench-grid/v2` documents and legacy `v1` documents
-//! (which predate the per-point `awake_dist` object) are accepted; the
-//! node-averaged and p95 columns show `-` where a side lacks the data,
-//! and those comparisons are skipped for that cell.
+//! `awake-mis/bench-grid/v3` documents and legacy `v2`/`v1` documents
+//! (v2 predates the per-point fault counters, v1 the `awake_dist`
+//! object) are accepted; the node-averaged and p95 columns show `-`
+//! where a side lacks the data, and those comparisons are skipped for
+//! that cell.
 //!
 //! Exit codes: `0` no regression, `1` regression or `--exact` mismatch,
 //! `2` usage or parse error.
@@ -65,17 +75,22 @@ fn fail_usage(msg: &str) -> ExitCode {
 enum DocKind {
     Grid,
     Sweep,
+    Faults,
 }
 
 fn load(path: &str) -> Result<(DocKind, Value), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     let kind = match doc.get("schema").and_then(Value::as_str) {
-        Some("awake-mis/bench-grid/v2" | "awake-mis/bench-grid/v1") => DocKind::Grid,
+        Some(
+            "awake-mis/bench-grid/v3" | "awake-mis/bench-grid/v2" | "awake-mis/bench-grid/v1",
+        ) => DocKind::Grid,
         Some("awake-mis/bench-sweep/v1") => DocKind::Sweep,
+        Some("awake-mis/bench-faults/v1") => DocKind::Faults,
         _ => {
             return Err(format!(
-                "{path}: not an awake-mis/bench-grid/v1|v2 or bench-sweep/v1 document"
+                "{path}: not an awake-mis/bench-grid/v1|v2|v3, bench-sweep/v1, or \
+                 bench-faults/v1 document"
             ))
         }
     };
@@ -171,7 +186,7 @@ fn main() -> ExitCode {
         (Err(e), _) | (_, Err(e)) => return fail_usage(&e),
     };
     if old_kind != new_kind {
-        return fail_usage("cannot compare a grid document with a sweep document");
+        return fail_usage("cannot compare documents of different kinds (grid/sweep/faults)");
     }
 
     let mut failed = match old_kind {
@@ -181,6 +196,7 @@ fn main() -> ExitCode {
         DocKind::Sweep => {
             diff_sweep(&old_doc, &new_doc, old_path, new_path, threshold, bits_slack)
         }
+        DocKind::Faults => diff_faults(&old_doc, &new_doc, old_path, new_path, threshold),
     };
     if exact {
         // The deterministic payload is everything but meta/timing.
@@ -457,4 +473,103 @@ fn diff_sweep(
          baseline cells missing (threshold {threshold}%, bits slack {bits_slack})"
     );
     regressions > 0 || missing_cells > 0
+}
+
+/// Fraction of a cell's points that did not verify correct.
+fn failure_rate(points: &[&Value]) -> f64 {
+    let bad = points
+        .iter()
+        .filter(|p| {
+            p.get("correct").and_then(Value::as_bool) != Some(true)
+                || p.get("sim_error").is_some()
+        })
+        .count();
+    bad as f64 / points.len().max(1) as f64
+}
+
+/// Fault-document comparison: per `(fault level, family, n)` cell, the
+/// failure rate must not grow by more than `threshold` percentage
+/// points, and the awake means must not regress beyond `threshold`
+/// percent. Unlike [`diff_grid`], incorrect points are expected here
+/// (that is what a robustness surface measures) — only their *growth*
+/// fails the diff. Returns whether anything regressed.
+fn diff_faults(
+    old_doc: &Value,
+    new_doc: &Value,
+    old_path: &str,
+    new_path: &str,
+    threshold: f64,
+) -> bool {
+    let old_points = old_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
+    let new_points = new_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
+    let key_fields = ["algorithm", "family", "n"];
+    let old_cells = json::index_by(old_points, &key_fields);
+    let new_cells: Vec<(Vec<String>, Vec<&Value>)> = json::index_by(new_points, &key_fields);
+    let new_by_key: HashMap<&[String], &Vec<&Value>> =
+        new_cells.iter().map(|(k, v)| (k.as_slice(), v)).collect();
+
+    let mut t = Table::new(vec![
+        "fault level", "family", "n", "rate old", "rate new", "Δpp", "awake old", "awake new",
+        "crashed old", "crashed new", "verdict",
+    ]);
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (key, old_pts) in &old_cells {
+        let Some(new_pts) = new_by_key.get(key.as_slice()) else {
+            continue;
+        };
+        compared += 1;
+        let (r_old, r_new) = (failure_rate(old_pts), failure_rate(new_pts));
+        let delta_pp = 100.0 * (r_new - r_old);
+        let (a_old, a_new) = (mean(old_pts, "awake_max"), mean(new_pts, "awake_max"));
+        let (c_old, c_new) = (mean(old_pts, "crashed"), mean(new_pts, "crashed"));
+        let rate_bad = delta_pp > threshold;
+        let awake_bad = regressed(Some(a_old), Some(a_new), threshold);
+        let verdict = if rate_bad {
+            regressions += 1;
+            "REGRESSED (failure rate)"
+        } else if awake_bad {
+            regressions += 1;
+            "REGRESSED"
+        } else if r_new < r_old || a_new < a_old {
+            "improved"
+        } else {
+            "ok"
+        };
+        t.row(vec![
+            key[0].clone(),
+            key[1].clone(),
+            key[2].clone(),
+            format!("{r_old:.3}"),
+            format!("{r_new:.3}"),
+            format!("{delta_pp:+.1}"),
+            format!("{a_old:.2}"),
+            format!("{a_new:.2}"),
+            format!("{c_old:.2}"),
+            format!("{c_new:.2}"),
+            verdict.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let old_keys: HashSet<&[String]> = old_cells.iter().map(|(k, _)| k.as_slice()).collect();
+    let only_old: Vec<&Vec<String>> = old_cells
+        .iter()
+        .map(|(k, _)| k)
+        .filter(|k| !new_by_key.contains_key(k.as_slice()))
+        .collect();
+    for k in &only_old {
+        println!("MISSING: cell {} only in {old_path}", k.join("/"));
+    }
+    for (k, _) in &new_cells {
+        if !old_keys.contains(k.as_slice()) {
+            println!("cell {} only in {new_path} (new coverage, not a failure)", k.join("/"));
+        }
+    }
+    println!(
+        "\ncompared {compared} fault cells: {regressions} robustness regressions, {} baseline \
+         cells missing (threshold {threshold} pp / %)",
+        only_old.len()
+    );
+    regressions > 0 || !only_old.is_empty()
 }

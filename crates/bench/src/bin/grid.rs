@@ -1,7 +1,7 @@
 //! Batched seed-grid experiment runner: fans a cartesian grid of
 //! `{algorithm × graph family × n × seed}` across OS threads and writes
 //! the machine-readable `BENCH_grid.json` (schema
-//! `awake-mis/bench-grid/v2`) plus a human-readable summary table.
+//! `awake-mis/bench-grid/v3`) plus a human-readable summary table.
 //!
 //! Usage:
 //!

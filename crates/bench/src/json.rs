@@ -365,9 +365,9 @@ mod tests {
         let v = parse(doc).unwrap();
         assert_eq!(
             v.get("schema").and_then(Value::as_str),
-            Some("awake-mis/bench-grid/v2")
+            Some("awake-mis/bench-grid/v3")
         );
-        // Every point of a v2 document carries the distribution object.
+        // Every point of a v2+ document carries the distribution object.
         let first = v.get("points").and_then(Value::as_arr).unwrap().first().unwrap();
         assert!(first.get("awake_dist").and_then(|d| d.get("gini")).is_some());
         let points = v.get("points").and_then(Value::as_arr).unwrap();

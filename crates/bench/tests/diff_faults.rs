@@ -1,0 +1,110 @@
+//! End-to-end gate check for `bench-diff` on fault documents: a
+//! synthetic robustness regression (failure rate growing past the
+//! threshold at one swept loss level) must exit nonzero, while an
+//! unchanged surface — and one whose failure rate *improves* — must
+//! pass. Exercises the real binary, not the library, because the exit
+//! code IS the CI contract.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A minimal `awake-mis/bench-faults/v1` document with one
+/// `luby?loss=0.05 / er / 64` cell whose four seeds have the given
+/// correctness outcomes.
+fn faults_doc(correct: &[bool]) -> String {
+    let points: Vec<String> = correct
+        .iter()
+        .enumerate()
+        .map(|(i, &ok)| {
+            format!(
+                "{{\"algorithm\":\"luby?loss=0.05\",\"family\":\"er\",\"n\":64,\
+                 \"seed\":{},\"rounds\":12,\"awake_max\":9,\"awake_avg\":4.5,\
+                 \"correct\":{ok},\"failures\":{},\"crashed\":0,\"faulted\":3}}",
+                i + 1,
+                if ok { 0 } else { 1 },
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\": \"awake-mis/bench-faults/v1\",\n\
+         \"spec\": {{\"specs\": [\"luby?loss=0.05\"]}},\n\
+         \"cells\": [],\n\"points\": [{}]}}\n",
+        points.join(",")
+    )
+}
+
+fn write_doc(name: &str, body: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("bench-diff-{}-{name}", std::process::id()));
+    std::fs::write(&path, body).expect("write temp doc");
+    path
+}
+
+fn run_diff(old: &PathBuf, new: &PathBuf, extra: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-diff"))
+        .arg(old)
+        .arg(new)
+        .args(extra)
+        .output()
+        .expect("run bench-diff");
+    let text = String::from_utf8_lossy(&out.stdout).into_owned()
+        + &String::from_utf8_lossy(&out.stderr);
+    (out.status.code(), text)
+}
+
+#[test]
+fn a_failure_rate_regression_exits_nonzero() {
+    // Baseline: 1/4 seeds fail under loss. Candidate: 3/4 fail — a
+    // +50pp jump, far past the default 5pp threshold.
+    let old = write_doc("reg-old.json", &faults_doc(&[true, true, true, false]));
+    let new = write_doc("reg-new.json", &faults_doc(&[true, false, false, false]));
+    let (code, text) = run_diff(&old, &new, &[]);
+    assert_eq!(code, Some(1), "robustness regression must exit 1:\n{text}");
+    assert!(text.contains("REGRESSED"), "verdict column must say so:\n{text}");
+}
+
+#[test]
+fn an_unchanged_surface_passes() {
+    let old = write_doc("same-old.json", &faults_doc(&[true, true, true, false]));
+    let new = write_doc("same-new.json", &faults_doc(&[true, true, true, false]));
+    let (code, text) = run_diff(&old, &new, &[]);
+    assert_eq!(code, Some(0), "identical surfaces must pass:\n{text}");
+
+    // --exact agrees: same payload sections.
+    let (code, text) = run_diff(&old, &new, &["--exact"]);
+    assert_eq!(code, Some(0), "--exact on identical docs must pass:\n{text}");
+    assert!(text.contains("payloads identical"));
+}
+
+#[test]
+fn an_improved_surface_passes_and_a_raised_threshold_forgives() {
+    // Failure rate falls 25pp: an improvement, never a regression.
+    let old = write_doc("imp-old.json", &faults_doc(&[true, true, false, false]));
+    let new = write_doc("imp-new.json", &faults_doc(&[true, true, true, false]));
+    let (code, text) = run_diff(&old, &new, &[]);
+    assert_eq!(code, Some(0), "an improvement must pass:\n{text}");
+
+    // The same +25pp jump in reverse passes once the threshold allows it.
+    let (code, text) = run_diff(&new, &old, &["--threshold", "30"]);
+    assert_eq!(code, Some(0), "+25pp under a 30pp threshold must pass:\n{text}");
+    let (code, _) = run_diff(&new, &old, &[]);
+    assert_eq!(code, Some(1), "+25pp under the default 5pp threshold must fail");
+}
+
+#[test]
+fn lost_cell_coverage_fails_the_diff() {
+    let two_cells = faults_doc(&[true, true, true, true]).replace(
+        "\"points\": [",
+        "\"points\": [{\"algorithm\":\"luby\",\"family\":\"er\",\"n\":64,\"seed\":1,\
+         \"rounds\":12,\"awake_max\":9,\"awake_avg\":4.5,\"correct\":true,\"failures\":0,\
+         \"crashed\":0,\"faulted\":0},",
+    );
+    let old = write_doc("cov-old.json", &two_cells);
+    let new = write_doc("cov-new.json", &faults_doc(&[true, true, true, true]));
+    let (code, text) = run_diff(&old, &new, &[]);
+    assert_eq!(code, Some(1), "a vanished baseline cell must fail:\n{text}");
+    assert!(text.contains("MISSING"), "missing cells are called out:\n{text}");
+    // The reverse direction is new coverage, which passes.
+    let (code, text) = run_diff(&new, &old, &[]);
+    assert_eq!(code, Some(0), "new coverage must pass:\n{text}");
+    assert!(text.contains("new coverage"));
+}

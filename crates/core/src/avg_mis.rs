@@ -230,6 +230,14 @@ impl Protocol for AvgMis {
         };
         AvgMisOutput { state, failed: self.collided }
     }
+
+    fn aborted_output(&self) -> AvgMisOutput {
+        let state = match &self.ranked {
+            Some(vt) => vt.aborted_output(),
+            None => self.dropout.state(),
+        };
+        AvgMisOutput { state, failed: self.collided }
+    }
 }
 
 #[cfg(test)]

@@ -262,7 +262,10 @@ impl Protocol for AwakeMis {
 
     fn send(&mut self, ctx: &mut NodeCtx) -> Outbox<AwakeMisMsg> {
         let r = ctx.round;
-        if r == 0 {
+        if self.params.is_none() {
+            // First activation — round 0 normally, later under the
+            // fault model's wake jitter (any comm rounds already missed
+            // stay missed, an observable failure mode like loss).
             self.setup(ctx);
             return Outbox::Silent; // nobody is decided in phase 1
         }
@@ -347,6 +350,15 @@ impl Protocol for AwakeMis {
 
     fn output(&self) -> AwakeMisOutput {
         assert!(self.finished, "Awake-MIS output read before termination");
+        AwakeMisOutput {
+            state: self.state,
+            failed: self.failed,
+            batch: self.batch,
+            comp_size: self.comp_size,
+        }
+    }
+
+    fn aborted_output(&self) -> AwakeMisOutput {
         AwakeMisOutput {
             state: self.state,
             failed: self.failed,

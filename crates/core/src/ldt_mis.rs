@@ -272,7 +272,9 @@ impl LdtMis {
 
     /// Transition after ranking completes.
     fn after_rank(&mut self, r0: Round, ctx: &mut NodeCtx) -> SubAction {
-        let rank = self.rank_sub.as_ref().expect("rank sub exists").output();
+        let Some(rank) = self.rank_sub.as_ref().expect("rank sub exists").try_output() else {
+            return self.fail(); // rank wave never reached us (lost message)
+        };
         self.rank = Some(rank);
         self.comp_size = rank.total;
         let p0 = r0 + ranking_len(self.params.k);
@@ -455,6 +457,10 @@ impl SubProtocol for LdtMis {
 
     fn output(&self) -> LdtMisOutput {
         assert!(self.finished, "LDT-MIS output read before completion");
+        LdtMisOutput { state: self.state, failed: self.failed, comp_size: self.comp_size }
+    }
+
+    fn aborted_output(&self) -> LdtMisOutput {
         LdtMisOutput { state: self.state, failed: self.failed, comp_size: self.comp_size }
     }
 }

@@ -68,5 +68,8 @@ pub use na_mis::{NaMis, NaMisConfig, NaMsg};
 pub use matching::{is_matching, is_maximal_matching, maximal_matching, na_maximal_matching, MatchingResult};
 pub use naive::NaiveGreedy;
 pub use state::{MisMsg, MisState};
-pub use verify::{check_maximal, check_mis, is_independent, is_lfmis, is_maximal, is_mis, states_to_set};
+pub use verify::{
+    check_maximal, check_mis, check_mis_survivors, is_independent, is_lfmis, is_maximal, is_mis,
+    states_to_set,
+};
 pub use vt_mis::VtMis;

@@ -283,6 +283,10 @@ impl Protocol for LeMis {
         debug_assert!(self.failed || self.state.is_decided());
         LeMisOutput { state: self.state, failed: self.failed, epochs: self.epoch + 1 }
     }
+
+    fn aborted_output(&self) -> LeMisOutput {
+        LeMisOutput { state: self.state, failed: self.failed, epochs: self.epoch + 1 }
+    }
 }
 
 #[cfg(test)]

@@ -100,6 +100,10 @@ impl Protocol for Luby {
         assert!(self.finished, "Luby output read before completion");
         self.state
     }
+
+    fn aborted_output(&self) -> MisState {
+        self.state
+    }
 }
 
 #[cfg(test)]

@@ -211,6 +211,10 @@ impl Protocol for NaMis {
         assert!(self.finished, "NA-MIS output read before completion");
         self.dropout.state()
     }
+
+    fn aborted_output(&self) -> MisState {
+        self.dropout.state()
+    }
 }
 
 #[cfg(test)]

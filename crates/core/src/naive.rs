@@ -61,4 +61,8 @@ impl Protocol for NaiveGreedy {
         assert!(self.finished, "naive greedy output read before completion");
         self.state
     }
+
+    fn aborted_output(&self) -> MisState {
+        self.state
+    }
 }

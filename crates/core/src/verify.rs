@@ -79,6 +79,54 @@ pub fn check_mis(g: &Graph, states: &[MisState]) -> Result<(), String> {
     maximality_of_set(g, &set)
 }
 
+/// Survivor-aware MIS check for runs under a crash fault model: verifies
+/// that the alive nodes' states form an MIS **of the subgraph induced by
+/// `alive`**. Crashed nodes (`alive[v] == false`) are exempt from every
+/// requirement — their states, including `Undecided`, are ignored; edges
+/// into them neither violate independence nor provide domination.
+///
+/// With an all-true `alive` mask this coincides exactly with
+/// [`check_mis`], so fault-free verification is unchanged.
+///
+/// # Errors
+///
+/// Describes the first violation among survivors: an undecided alive
+/// node, an alive-alive intra-set edge, or an alive node that is neither
+/// in the set nor adjacent to an alive set member.
+///
+/// # Panics
+///
+/// Panics if `alive.len()` differs from `states.len()` or `g.n()`.
+pub fn check_mis_survivors(g: &Graph, states: &[MisState], alive: &[bool]) -> Result<(), String> {
+    assert_eq!(alive.len(), states.len(), "alive mask / states length mismatch");
+    assert_eq!(alive.len(), g.n(), "alive mask / graph size mismatch");
+    let mut set = vec![false; states.len()];
+    for (v, s) in states.iter().enumerate() {
+        if !alive[v] {
+            continue;
+        }
+        match s {
+            MisState::InMis => set[v] = true,
+            MisState::NotInMis => {}
+            MisState::Undecided => return Err(format!("node {v} is undecided")),
+        }
+    }
+    for (u, v) in g.edges() {
+        if alive[u as usize] && alive[v as usize] && set[u as usize] && set[v as usize] {
+            return Err(format!("nodes {u} and {v} are adjacent and both in the set"));
+        }
+    }
+    for v in 0..g.n() as NodeId {
+        if alive[v as usize]
+            && !set[v as usize]
+            && !g.neighbors(v).iter().any(|&u| alive[u as usize] && set[u as usize])
+        {
+            return Err(format!("node {v} is neither in the set nor dominated"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +159,56 @@ mod tests {
         assert!(check_mis(&g, &[NotInMis, NotInMis, InMis]).unwrap_err().contains("dominated"));
         assert_eq!(states_to_set(&[InMis, NotInMis]), Ok(vec![true, false]));
         assert_eq!(states_to_set(&[InMis, Undecided]), Err(1));
+    }
+
+    #[test]
+    fn survivor_check_coincides_with_check_mis_when_all_alive() {
+        use MisState::*;
+        let g = generators::path(4);
+        let all = vec![true; 4];
+        for states in [
+            vec![InMis, NotInMis, InMis, NotInMis],
+            vec![InMis, InMis, NotInMis, InMis],
+            vec![NotInMis, NotInMis, InMis, NotInMis],
+            vec![InMis, Undecided, InMis, NotInMis],
+        ] {
+            assert_eq!(
+                check_mis(&g, &states).is_ok(),
+                check_mis_survivors(&g, &states, &all).is_ok(),
+                "divergence on {states:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn survivor_check_exempts_crashed_nodes() {
+        use MisState::*;
+        let g = generators::path(4);
+        // Node 1 crashed undecided: survivors 0, 2, 3 must form an MIS
+        // of the induced subgraph {0} ∪ {2-3}.
+        let states = [InMis, Undecided, InMis, NotInMis];
+        let alive = [true, false, true, true];
+        check_mis_survivors(&g, &states, &alive).unwrap();
+        // A crashed InMis neighbor does not violate independence...
+        let states = [InMis, InMis, InMis, NotInMis];
+        let alive = [true, false, true, true];
+        check_mis_survivors(&g, &states, &alive).unwrap();
+        // ...and does not dominate: node 0 relying on crashed node 1's
+        // membership is a real coverage hole among survivors.
+        let states = [NotInMis, InMis, InMis, NotInMis];
+        let alive = [true, false, true, true];
+        let err = check_mis_survivors(&g, &states, &alive).unwrap_err();
+        assert!(err.contains("dominated"), "unexpected error: {err}");
+        // Alive-alive violations are still caught.
+        let states = [InMis, NotInMis, InMis, InMis];
+        let alive = [true, false, true, true];
+        let err = check_mis_survivors(&g, &states, &alive).unwrap_err();
+        assert!(err.contains("adjacent"), "unexpected error: {err}");
+        // An undecided survivor is still an error.
+        let states = [InMis, NotInMis, Undecided, InMis];
+        let alive = [true, false, true, true];
+        let err = check_mis_survivors(&g, &states, &alive).unwrap_err();
+        assert!(err.contains("undecided"), "unexpected error: {err}");
     }
 
     #[test]

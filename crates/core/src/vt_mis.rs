@@ -96,6 +96,10 @@ impl SubProtocol for VtMis {
         debug_assert!(self.state.is_decided(), "VT-MIS must decide by its last wake");
         self.state
     }
+
+    fn aborted_output(&self) -> MisState {
+        self.state
+    }
 }
 
 #[cfg(test)]

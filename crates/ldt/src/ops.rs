@@ -112,6 +112,15 @@ impl<T: Clone + MessageSize> SubProtocol for LdtBroadcast<T> {
     }
 }
 
+impl<T: Clone + MessageSize> LdtBroadcast<T> {
+    /// The received value, or `None` when the schedule completed
+    /// without it (possible only under message loss — [`Self::output`]
+    /// panics in that case, so fault-tolerant callers use this).
+    pub fn try_output(&self) -> Option<T> {
+        self.finished.then(|| self.value.clone()).flatten()
+    }
+}
+
 /// A node's result from [`LdtRanking`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RankResult {
@@ -221,7 +230,10 @@ impl SubProtocol for LdtRanking {
         } else if Some(lr) == self.wave.down_send(d) && !self.tree.children_ports.is_empty() {
             let (x, total) = match self.result {
                 Some(r) => (r.rank - 1 - self.child_sizes.first().map_or(0, |&(_, s)| s), r.total),
-                None => unreachable!("down wave reached a node before its rank was set"),
+                // Our own rank never arrived (possible only under
+                // message loss): stay silent and let the subtree fail
+                // observably too.
+                None => return Outbox::Silent,
             };
             Outbox::Unicast(
                 self.child_offsets(x)
@@ -270,5 +282,14 @@ impl SubProtocol for LdtRanking {
     fn output(&self) -> RankResult {
         assert!(self.finished, "ranking output read before completion");
         self.result.expect("ranking did not reach this node")
+    }
+}
+
+impl LdtRanking {
+    /// The computed rank, or `None` when the schedule completed without
+    /// one (possible only under message loss — [`SubProtocol::output`]
+    /// panics in that case, so fault-tolerant callers use this).
+    pub fn try_output(&self) -> Option<RankResult> {
+        self.finished.then_some(self.result).flatten()
     }
 }

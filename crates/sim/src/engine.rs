@@ -1,8 +1,9 @@
 //! The round engine.
 
+use crate::fault::FaultModel;
 use crate::metrics::{Metrics, RunReport};
 use crate::protocol::{Action, NodeCtx, Outbox, Protocol};
-use crate::rng::node_rng;
+use crate::rng::{fault_draw, fault_unit, node_rng, FAULT_CRASH, FAULT_LOSS, FAULT_WAKE};
 use crate::Round;
 use graphgen::{Graph, NodeId, Port};
 use rand::rngs::SmallRng;
@@ -36,6 +37,10 @@ pub struct SimConfig {
     /// Record, per node, the exact list of rounds it was awake in
     /// (costs memory; intended for tests).
     pub record_wake_history: bool,
+    /// Fault injection knobs (lossy links, crashing nodes, wake jitter).
+    /// The default injects nothing and is bit-for-bit identical to runs
+    /// from before the fault subsystem existed; see [`FaultModel`].
+    pub fault: FaultModel,
 }
 
 impl Default for SimConfig {
@@ -47,6 +52,7 @@ impl Default for SimConfig {
             max_rounds: u64::MAX / 4,
             max_active_rounds: 500_000_000,
             record_wake_history: false,
+            fault: FaultModel::default(),
         }
     }
 }
@@ -100,6 +106,12 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Site key for a message-loss draw: one directed edge endpoint,
+/// identified by the sending node and its port.
+fn loss_site(v: NodeId, p: Port) -> u64 {
+    ((v as u64) << 32) | p as u64
+}
 
 /// Width of the calendar's near window: wake-ups within this many rounds
 /// of the current minimum live in per-round ring buckets indexed by a
@@ -250,13 +262,19 @@ impl<M> SimScratch<M> {
         SimScratch::default()
     }
 
-    /// Prepares the scratch for a run over `n` nodes with the given seed.
-    fn reset(&mut self, n: usize, seed: u64) {
+    /// Prepares the scratch for a run over `n` nodes with the given seed,
+    /// scheduling initial wake-ups (jittered when the fault model says so).
+    fn reset(&mut self, n: usize, seed: u64, fault: &FaultModel) {
         self.rngs.clear();
         self.rngs.extend((0..n as u32).map(|v| node_rng(seed, v)));
         self.queue.clear();
         for v in 0..n as NodeId {
-            self.queue.push(0, v);
+            let at = if fault.wake_jitter > 0 {
+                fault_draw(seed, FAULT_WAKE, v as u64, 0) % (fault.wake_jitter + 1)
+            } else {
+                0
+            };
+            self.queue.push(at, v);
         }
         self.batch.clear();
         self.awake_stamp.clear();
@@ -340,8 +358,10 @@ impl<P: Protocol> Simulator<P> {
             return Err(SimError::NodeCountMismatch { nodes: n, protocols: self.nodes.len() });
         }
         let n_upper = self.config.n_upper.unwrap_or(n);
+        let seed = self.config.seed;
+        let fault = self.config.fault.clone();
         let mut metrics = Metrics::new(n, self.config.record_wake_history);
-        scratch.reset(n, self.config.seed);
+        scratch.reset(n, seed, &fault);
         let SimScratch { rngs, queue, batch, awake_stamp, inboxes } = scratch;
         let mut live = n;
 
@@ -355,6 +375,24 @@ impl<P: Protocol> Simulator<P> {
             metrics.active_rounds += 1;
             if metrics.active_rounds > self.config.max_active_rounds {
                 return Err(SimError::ActiveRoundLimit(metrics.active_rounds));
+            }
+
+            // Crash faults strike at wake-up time: a node drawn against
+            // the crash probability inside the window stops *before*
+            // executing the round — it never sends, receives, or
+            // reschedules again. Draws are keyed `(node, round)`, so the
+            // outcome is independent of batch order.
+            if fault.crash > 0.0 && round >= fault.crash_from && round <= fault.crash_until {
+                batch.retain(|&v| {
+                    if fault_unit(seed, FAULT_CRASH, v as u64, round) < fault.crash {
+                        metrics.crashed_at[v as usize] = Some(round);
+                        metrics.terminated_at[v as usize] = round;
+                        live -= 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
             }
 
             batch.sort_unstable();
@@ -381,8 +419,17 @@ impl<P: Protocol> Simulator<P> {
                         for p in 0..self.graph.degree(v) as Port {
                             let (u, q) = self.graph.endpoint(v, p);
                             if awake_stamp[u as usize] == stamp {
-                                inboxes[u as usize].push((q, msg.clone()));
-                                metrics.messages_delivered += 1;
+                                // Lossy links drop deliverable copies
+                                // i.i.d., keyed by (sender, port, round).
+                                if fault.loss > 0.0
+                                    && fault_unit(seed, FAULT_LOSS, loss_site(v, p), round)
+                                        < fault.loss
+                                {
+                                    metrics.messages_faulted += 1;
+                                } else {
+                                    inboxes[u as usize].push((q, msg.clone()));
+                                    metrics.messages_delivered += 1;
+                                }
                             } else {
                                 metrics.messages_lost += 1;
                             }
@@ -394,8 +441,15 @@ impl<P: Protocol> Simulator<P> {
                             self.account(&mut metrics, v, round, bits, 1)?;
                             let (u, q) = self.graph.endpoint(v, p);
                             if awake_stamp[u as usize] == stamp {
-                                inboxes[u as usize].push((q, msg));
-                                metrics.messages_delivered += 1;
+                                if fault.loss > 0.0
+                                    && fault_unit(seed, FAULT_LOSS, loss_site(v, p), round)
+                                        < fault.loss
+                                {
+                                    metrics.messages_faulted += 1;
+                                } else {
+                                    inboxes[u as usize].push((q, msg));
+                                    metrics.messages_delivered += 1;
+                                }
                             } else {
                                 metrics.messages_lost += 1;
                             }
@@ -443,7 +497,18 @@ impl<P: Protocol> Simulator<P> {
             }
         }
 
-        let outputs = self.nodes.iter().map(|p| p.output()).collect();
+        let outputs = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(v, p)| {
+                if metrics.crashed_at[v].is_some() {
+                    p.aborted_output()
+                } else {
+                    p.output()
+                }
+            })
+            .collect();
         Ok(RunReport { outputs, metrics })
     }
 
@@ -769,6 +834,119 @@ mod tests {
         }
         assert_eq!(q.pop_round(&mut out), None);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn lossy_links_drop_deliverable_messages() {
+        use crate::fault::FaultModel;
+        // All three nodes awake together in round 5: cleanly, 4 copies
+        // deliver. With loss = 1 every deliverable copy is faulted away.
+        let mk = || (0..3).map(|_| Sleeper { wake_at: 5, phase: 0, heard: 0 }).collect();
+        let g = generators::path(3);
+        let cfg = SimConfig {
+            fault: FaultModel { loss: 1.0, ..FaultModel::none() },
+            ..SimConfig::seeded(9)
+        };
+        let report = Simulator::new(g.clone(), mk(), cfg).run().unwrap();
+        assert_eq!(report.outputs, vec![0, 0, 0]);
+        assert_eq!(report.metrics.messages_delivered, 0);
+        assert_eq!(report.metrics.messages_faulted, 4);
+        assert_eq!(report.metrics.messages_lost, 0);
+
+        // loss = 0 leaves the run bit-for-bit clean, faulted counter and all.
+        let clean = Simulator::new(g, mk(), SimConfig::seeded(9)).run().unwrap();
+        assert_eq!(clean.outputs, vec![1, 2, 1]);
+        assert_eq!(clean.metrics.messages_faulted, 0);
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic() {
+        use crate::fault::FaultModel;
+        let run = |seed: u64| {
+            let g = generators::gnp(40, 0.3, &mut {
+                use rand::SeedableRng;
+                rand::rngs::SmallRng::seed_from_u64(1)
+            });
+            let nodes = (0..g.n()).map(|_| Sleeper { wake_at: 5, phase: 0, heard: 0 }).collect();
+            let cfg = SimConfig {
+                fault: FaultModel { loss: 0.5, ..FaultModel::none() },
+                ..SimConfig::seeded(seed)
+            };
+            Simulator::new(g, nodes, cfg).run().unwrap()
+        };
+        let a = run(3);
+        let b = run(3);
+        assert_eq!(a.outputs, b.outputs, "same seed must reproduce identical fault draws");
+        assert_eq!(a.metrics.messages_faulted, b.metrics.messages_faulted);
+        assert!(a.metrics.messages_faulted > 0, "loss 0.5 must drop something");
+        assert!(a.metrics.messages_delivered > 0, "loss 0.5 must deliver something");
+        let c = run(4);
+        assert_ne!(
+            a.metrics.messages_faulted, c.metrics.messages_faulted,
+            "different seeds draw different fault streams (overwhelmingly likely)"
+        );
+    }
+
+    #[test]
+    fn crashes_stop_nodes_and_collect_aborted_outputs() {
+        use crate::fault::FaultModel;
+        // crash = 1 in window [0, 0]: every node crashes in round 0,
+        // before executing anything.
+        let g = generators::path(4);
+        let nodes = (0..4).map(|v| Flood::start(v == 0)).collect();
+        let cfg = SimConfig {
+            fault: FaultModel { crash: 1.0, crash_from: 0, crash_until: 0, ..FaultModel::none() },
+            ..SimConfig::seeded(2)
+        };
+        let report = Simulator::new(g, nodes, cfg).run().unwrap();
+        assert_eq!(report.metrics.crashed_count(), 4);
+        assert_eq!(report.metrics.alive(), vec![false; 4]);
+        assert_eq!(report.metrics.crashed_at, vec![Some(0); 4]);
+        // Outputs are the initial states: only the seeded node has the token.
+        assert_eq!(report.outputs, vec![Some(0), None, None, None]);
+        assert_eq!(report.metrics.awake_rounds, vec![0; 4]);
+        assert_eq!(report.metrics.messages_sent, 0);
+    }
+
+    #[test]
+    fn crash_window_limits_the_exposure() {
+        use crate::fault::FaultModel;
+        // Window [1, ∞) with crash = 1: round 0 executes cleanly, every
+        // node that wakes again afterwards crashes then.
+        let g = generators::path(3);
+        let nodes =
+            (0..3).map(|v| Sleeper { wake_at: 10 * (v + 1) as Round, phase: 0, heard: 0 }).collect();
+        let cfg = SimConfig {
+            fault: FaultModel { crash: 1.0, crash_from: 1, ..FaultModel::none() },
+            ..SimConfig::seeded(2)
+        };
+        let report = Simulator::new(g, nodes, cfg).run().unwrap();
+        assert_eq!(report.metrics.crashed_at, vec![Some(10), Some(20), Some(30)]);
+        // Everyone executed round 0 (awake once) and died at their wake round.
+        assert_eq!(report.metrics.awake_rounds, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn wake_jitter_staggers_the_start() {
+        use crate::fault::FaultModel;
+        let g = generators::path(6);
+        let mk = || (0..6).map(|_| Sleeper { wake_at: 100, phase: 0, heard: 0 }).collect::<Vec<_>>();
+        let cfg = SimConfig {
+            record_wake_history: true,
+            fault: FaultModel { wake_jitter: 8, ..FaultModel::none() },
+            ..SimConfig::seeded(7)
+        };
+        let report = Simulator::new(g.clone(), mk(), cfg.clone()).run().unwrap();
+        let h = report.metrics.wake_history.as_ref().unwrap();
+        let starts: Vec<Round> = h.iter().map(|w| w[0]).collect();
+        assert!(starts.iter().all(|&s| s <= 8), "jitter must stay in 0..=8: {starts:?}");
+        assert!(
+            starts.iter().any(|&s| s > 0),
+            "with jitter 8 over 6 nodes some node starts late (overwhelmingly likely): {starts:?}"
+        );
+        // Deterministic in the seed.
+        let again = Simulator::new(g, mk(), cfg).run().unwrap();
+        assert_eq!(again.metrics.wake_history.as_ref().unwrap(), h);
     }
 
     #[test]

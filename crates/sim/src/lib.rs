@@ -74,6 +74,7 @@
 pub mod arena;
 pub mod batch;
 pub mod engine;
+pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod protocol;
@@ -82,6 +83,7 @@ pub mod rng;
 pub use arena::ScratchArena;
 pub use batch::{available_threads, resolve_threads, run_batch};
 pub use engine::{SimConfig, SimError, SimScratch, Simulator, SLEEP_FOREVER};
+pub use fault::FaultModel;
 pub use message::{bits_for_value, MessageSize};
 pub use metrics::{AwakeDistribution, Metrics, RunReport};
 pub use protocol::{Action, NodeCtx, Outbox, Protocol, Standalone, SubAction, SubProtocol};

@@ -93,6 +93,12 @@ pub struct Metrics {
     pub messages_delivered: u64,
     /// Messages lost because the receiving endpoint was asleep.
     pub messages_lost: u64,
+    /// Deliverable messages dropped by the fault model's lossy links
+    /// (counted separately from the model-inherent `messages_lost`).
+    pub messages_faulted: u64,
+    /// Per-node crash round under the fault model (`None` = the node
+    /// survived). Always all-`None` without an active fault model.
+    pub crashed_at: Vec<Option<Round>>,
     /// Largest single message observed, in bits.
     pub max_message_bits: usize,
     /// Sum of bits over all sent messages.
@@ -111,6 +117,8 @@ impl Metrics {
             messages_sent: 0,
             messages_delivered: 0,
             messages_lost: 0,
+            messages_faulted: 0,
+            crashed_at: vec![None; n],
             max_message_bits: 0,
             total_message_bits: 0,
             wake_history: if record_history { Some(vec![Vec::new(); n]) } else { None },
@@ -148,6 +156,18 @@ impl Metrics {
     pub fn round_complexity(&self) -> u64 {
         self.terminated_at.iter().copied().max().map_or(0, |r| r + 1)
     }
+
+    /// Number of nodes crash-stopped by the fault model.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed_at.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Survivor mask: `alive[v]` iff node `v` was not crashed by the
+    /// fault model. All-true for fault-free runs — feed this to
+    /// survivor-aware verifiers.
+    pub fn alive(&self) -> Vec<bool> {
+        self.crashed_at.iter().map(|c| c.is_none()).collect()
+    }
 }
 
 /// The result of a completed run: per-node outputs plus [`Metrics`].
@@ -172,6 +192,11 @@ mod tests {
         assert!((m.awake_average() - 10.0 / 3.0).abs() < 1e-12);
         assert_eq!(m.awake_total(), 10);
         assert_eq!(m.round_complexity(), 10);
+        assert_eq!(m.crashed_count(), 0);
+        assert_eq!(m.alive(), vec![true, true, true]);
+        m.crashed_at[1] = Some(4);
+        assert_eq!(m.crashed_count(), 1);
+        assert_eq!(m.alive(), vec![true, false, true]);
     }
 
     #[test]

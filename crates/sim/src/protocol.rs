@@ -90,6 +90,16 @@ pub trait Protocol {
     ///
     /// Implementations may panic if called before the node terminated.
     fn output(&self) -> Self::Output;
+
+    /// Best-effort output for a node the *harness* stopped before it
+    /// terminated — e.g. crash-stopped by a
+    /// [`FaultModel`](crate::FaultModel). Defaults to
+    /// [`output`](Protocol::output); implementations whose `output`
+    /// panics before termination must override this to report their
+    /// current partial state instead.
+    fn aborted_output(&self) -> Self::Output {
+        self.output()
+    }
 }
 
 /// Outcome of a [`SubProtocol`] round.
@@ -128,6 +138,14 @@ pub trait SubProtocol {
     /// Implementations may panic if called before [`SubAction::Done`] was
     /// returned.
     fn output(&self) -> Self::Output;
+
+    /// Best-effort output for a harness-aborted node (see
+    /// [`Protocol::aborted_output`]). Defaults to
+    /// [`output`](SubProtocol::output); override when `output` panics
+    /// before completion.
+    fn aborted_output(&self) -> Self::Output {
+        self.output()
+    }
 }
 
 /// Adapter running a [`SubProtocol`] as a standalone [`Protocol`]
@@ -176,5 +194,13 @@ impl<S: SubProtocol> Protocol for Standalone<S> {
     fn output(&self) -> Self::Output {
         assert!(self.done, "Standalone output read before completion");
         self.inner.output()
+    }
+
+    fn aborted_output(&self) -> Self::Output {
+        if self.done {
+            self.inner.output()
+        } else {
+            self.inner.aborted_output()
+        }
     }
 }

@@ -21,6 +21,35 @@ pub fn node_rng(seed: u64, node: u32) -> SmallRng {
     SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(node as u64 + 1)))
 }
 
+/// Domain salt for message-loss draws (ASCII `"LOSS"`).
+pub const FAULT_LOSS: u64 = 0x4C4F_5353;
+/// Domain salt for crash draws (ASCII `"CRSH"`).
+pub const FAULT_CRASH: u64 = 0x4352_5348;
+/// Domain salt for wake-jitter draws (ASCII `"WAKE"`).
+pub const FAULT_WAKE: u64 = 0x5741_4B45;
+
+/// One draw from the dedicated fault RNG stream.
+///
+/// A *stateless* pure function of `(seed, domain, site, round)`: every
+/// fault decision is keyed by where and when it happens rather than by
+/// draw order, so results are independent of scheduling, thread count,
+/// and whether other fault knobs are active — and the per-node protocol
+/// RNGs ([`node_rng`]) are never perturbed. The `domain` salt
+/// ([`FAULT_LOSS`], [`FAULT_CRASH`], [`FAULT_WAKE`]) separates the
+/// streams of the different fault kinds.
+pub fn fault_draw(seed: u64, domain: u64, site: u64, round: u64) -> u64 {
+    let h = splitmix64(seed ^ splitmix64(domain));
+    let h = splitmix64(h ^ splitmix64(site.wrapping_add(1)));
+    splitmix64(h ^ splitmix64(round.wrapping_add(1)))
+}
+
+/// [`fault_draw`] mapped to a uniform `f64` in `[0, 1)` (53-bit
+/// mantissa construction). An event with probability `p` fires iff
+/// `fault_unit(..) < p`, so `p = 0` never fires and `p = 1` always does.
+pub fn fault_unit(seed: u64, domain: u64, site: u64, round: u64) -> f64 {
+    (fault_draw(seed, domain, site, round) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -35,6 +64,31 @@ mod tests {
         assert_ne!(a, c);
         let d: u64 = node_rng(8, 0).gen();
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn fault_stream_is_pure_and_separated() {
+        // Pure function: same key, same draw.
+        assert_eq!(fault_draw(7, FAULT_LOSS, 3, 9), fault_draw(7, FAULT_LOSS, 3, 9));
+        // Every key component matters.
+        assert_ne!(fault_draw(7, FAULT_LOSS, 3, 9), fault_draw(8, FAULT_LOSS, 3, 9));
+        assert_ne!(fault_draw(7, FAULT_LOSS, 3, 9), fault_draw(7, FAULT_CRASH, 3, 9));
+        assert_ne!(fault_draw(7, FAULT_LOSS, 3, 9), fault_draw(7, FAULT_LOSS, 4, 9));
+        assert_ne!(fault_draw(7, FAULT_LOSS, 3, 9), fault_draw(7, FAULT_LOSS, 3, 10));
+        // Unit draws land in [0, 1) and respect the threshold convention.
+        for site in 0..64 {
+            let u = fault_unit(42, FAULT_WAKE, site, 0);
+            assert!((0.0..1.0).contains(&u), "unit draw {u} out of range");
+            assert!(u < 1.0); // p = 1 always fires
+        }
+    }
+
+    #[test]
+    fn fault_unit_is_roughly_uniform() {
+        // 10_000 draws: the mean of U[0,1) concentrates near 0.5.
+        let n = 10_000;
+        let mean = (0..n).map(|i| fault_unit(1, FAULT_LOSS, i, 0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
     }
 
     #[test]

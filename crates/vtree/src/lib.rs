@@ -101,6 +101,31 @@ pub fn wake_rounds(k: u64, i: u64) -> Vec<u64> {
     s
 }
 
+/// `|wake_rounds(k, i)|` without allocating: the number of rounds in
+/// `[1, i]` in which the node with ID `k` is awake. Useful for ranking
+/// IDs by schedule length (e.g. adversarial worst-case ID assignment)
+/// where materializing every schedule would be wasteful.
+///
+/// # Panics
+///
+/// Panics if `k` is not in `[1, i]`.
+pub fn wake_count(k: u64, i: u64) -> usize {
+    assert!(k >= 1 && k <= i, "k = {k} out of range [1, {i}]");
+    let d = depth(i);
+    let x = 2 * k - 1;
+    // At most 65 ancestor labels (d <= 64); dedup in a fixed buffer.
+    let mut seen = [0u64; 65];
+    let mut count = 0usize;
+    for h in 0..=d {
+        let lab = g(ancestor_label(x, h));
+        if lab <= i && !seen[..count].contains(&lab) {
+            seen[count] = lab;
+            count += 1;
+        }
+    }
+    count
+}
+
 /// A common label `r ∈ S_k ∩ S_k′` with `k < r ≤ k′` as guaranteed by
 /// Observation 5 — the `B*` label of the lowest common ancestor of leaves
 /// `k` and `k′`.
@@ -185,6 +210,19 @@ mod tests {
                     // And r is usable as a round: r <= i because r <= k' <= i.
                     assert!(r <= i);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn wake_count_matches_wake_rounds() {
+        for i in [1u64, 2, 3, 6, 7, 8, 9, 64, 100, 127, 128, 129, 1000, 6144] {
+            for k in (1..=i).step_by((i as usize / 97).max(1)) {
+                assert_eq!(
+                    wake_count(k, i),
+                    wake_rounds(k, i).len(),
+                    "mismatch at k={k} i={i}"
+                );
             }
         }
     }

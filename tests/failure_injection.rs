@@ -2,107 +2,86 @@
 //! verify that the *detection machinery* (verifiers, metrics, failure
 //! flags) catches the breakage — guarding the simulator's message-loss
 //! semantics and the harness's ability to see real failures.
+//!
+//! Lost announcements used to be staged by a bespoke `SabotagedVtMis`
+//! protocol that skipped its communication-set wake-ups. The fault
+//! model makes the same breakage a first-class knob: `vt?loss=…` drops
+//! InMis announcements in transit, which is exactly the failure the
+//! virtual-tree schedule exists to prevent.
 
-use awake_mis::core::{check_mis, is_mis, states_to_set, MisMsg, MisState};
+use awake_mis::analysis::default_registry;
+use awake_mis::core::{check_mis, states_to_set, VtMis};
 use awake_mis::graphs::{generators, Port};
-use awake_mis::sim::{Action, NodeCtx, Outbox, Protocol, SimConfig, Simulator};
-
-/// `VT-MIS` with sabotage: the saboteur node skips its communication-set
-/// wake-ups after deciding, so later neighbors never hear its InMis
-/// announcement — exactly the failure the virtual-tree schedule exists
-/// to prevent.
-struct SabotagedVtMis {
-    id: u64,
-    saboteur: bool,
-    state: MisState,
-    wakes: Vec<u64>,
-    idx: usize,
-    finished: bool,
-}
-
-impl SabotagedVtMis {
-    fn new(id: u64, i_max: u64, saboteur: bool) -> Self {
-        let wakes: Vec<u64> = vtree::wake_rounds(id, i_max).into_iter().map(|r| r - 1).collect();
-        let _ = i_max; // wake schedule already encodes the horizon
-        SabotagedVtMis { id, saboteur, state: MisState::Undecided, wakes, idx: 0, finished: false }
-    }
-}
-
-impl Protocol for SabotagedVtMis {
-    type Msg = MisMsg;
-    type Output = MisState;
-
-    fn send(&mut self, ctx: &mut NodeCtx) -> Outbox<MisMsg> {
-        if self.wakes.get(self.idx) == Some(&ctx.round) {
-            Outbox::Broadcast(MisMsg(self.state))
-        } else {
-            Outbox::Silent
-        }
-    }
-
-    fn receive(&mut self, ctx: &mut NodeCtx, inbox: &[(Port, MisMsg)]) -> Action {
-        if self.wakes.get(self.idx) == Some(&ctx.round) {
-            if self.state == MisState::Undecided
-                && inbox.iter().any(|&(_, MisMsg(s))| s == MisState::InMis)
-            {
-                self.state = MisState::NotInMis;
-            }
-            if ctx.round + 1 == self.id && self.state == MisState::Undecided {
-                self.state = MisState::InMis;
-            }
-            self.idx += 1;
-        }
-        // The saboteur goes to sleep for good once decided: its remaining
-        // communication-set rounds are skipped.
-        if self.saboteur && self.state.is_decided() {
-            self.finished = true;
-            return Action::Terminate;
-        }
-        match self.wakes.get(self.idx) {
-            Some(&w) => Action::SleepUntil(w.max(ctx.round + 1)),
-            None => {
-                self.finished = true;
-                Action::Terminate
-            }
-        }
-    }
-
-    fn output(&self) -> MisState {
-        assert!(self.finished);
-        self.state
-    }
-}
+use awake_mis::sim::{
+    Action, FaultModel, NodeCtx, Outbox, Protocol, SimConfig, Simulator, Standalone,
+};
 
 #[test]
-fn skipping_comm_rounds_breaks_independence_detectably() {
-    // Path 0-1-2-...: give node 0 the smallest ID and make it the
-    // saboteur. Node 0 joins the MIS in round 1 but never announces —
-    // its neighbor (next in ID order) will wrongly join too.
+fn lost_announcements_break_independence_detectably() {
+    // Path graph, IDs 1..n along it: every node conflicts with its
+    // predecessor unless the predecessor's InMis announcement arrives.
+    // With 30% message loss some announcement is eventually dropped and
+    // the successor wrongly joins — the verifier must name that
+    // violation precisely.
     let n = 8usize;
     let g = generators::path(n);
-    // IDs along the path: 1, 2, ..., n → everyone conflicts with the
-    // previous node unless announcements work.
-    let nodes = (0..n)
-        .map(|v| SabotagedVtMis::new(v as u64 + 1, n as u64, v == 0))
-        .collect();
-    let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(1)).run().unwrap();
-    let set = states_to_set(&report.outputs).unwrap();
+    let fault = FaultModel { loss: 0.3, ..FaultModel::none() };
+    let mut broken = 0usize;
+    let mut saw_adjacent = false;
+    for seed in 1..=20u64 {
+        let nodes =
+            (0..n).map(|v| Standalone::new(VtMis::new(v as u64 + 1, n as u64, None))).collect();
+        let cfg = SimConfig { fault: fault.clone(), ..SimConfig::seeded(seed) };
+        let report = Simulator::new(g.clone(), nodes, cfg).run().unwrap();
+        if let Err(err) = check_mis(&g, &report.outputs) {
+            broken += 1;
+            // Loss only suppresses InMis announcements, so the one
+            // reachable violation is two adjacent set members.
+            assert!(err.contains("adjacent"), "unexpected error: {err}");
+            saw_adjacent = true;
+            assert!(
+                report.metrics.messages_faulted > 0,
+                "a broken run must show dropped messages in the metrics"
+            );
+        }
+    }
     assert!(
-        !is_mis(&g, &set),
-        "sabotage must produce an invalid MIS (got {set:?}) — otherwise the \
+        broken > 0 && saw_adjacent,
+        "30% loss over 20 seeds must break some run — otherwise the \
          communication schedule wasn't actually needed"
     );
-    // And the verifier names the violation precisely.
-    let err = check_mis(&g, &report.outputs).unwrap_err();
-    assert!(err.contains("adjacent"), "unexpected error: {err}");
 }
 
 #[test]
-fn control_without_sabotage_is_correct() {
-    // Identical setup minus the sabotage: a valid LFMIS of the ID order.
+fn the_registry_surfaces_the_same_breakage_as_vt_loss_points() {
+    // Same scenario through the public spec grammar: the `vt?loss=…`
+    // level reports incorrect runs with dropped messages, while the
+    // clean `vt` control verifies on every seed.
+    let registry = default_registry();
+    let lossy = registry.resolve("vt?loss=0.3").unwrap();
+    let clean = registry.resolve("vt").unwrap();
+    let g = generators::path(24);
+    let mut broken = 0usize;
+    for seed in 1..=10u64 {
+        let r = lossy.run(&g, seed).unwrap();
+        if !r.correct {
+            broken += 1;
+            assert!(r.faulted > 0, "incorrect lossy runs must show dropped messages");
+        }
+        let c = clean.run(&g, seed).unwrap();
+        assert!(c.correct, "the loss-free control must verify (seed {seed})");
+        assert_eq!(c.faulted, 0, "the control drops nothing");
+    }
+    assert!(broken > 0, "30% loss over 10 seeds must break some run");
+}
+
+#[test]
+fn control_without_loss_is_correct() {
+    // Identical setup minus the faults: a valid LFMIS of the ID order.
     let n = 8usize;
     let g = generators::path(n);
-    let nodes = (0..n).map(|v| SabotagedVtMis::new(v as u64 + 1, n as u64, false)).collect();
+    let nodes =
+        (0..n).map(|v| Standalone::new(VtMis::new(v as u64 + 1, n as u64, None))).collect();
     let report = Simulator::new(g.clone(), nodes, SimConfig::seeded(1)).run().unwrap();
     check_mis(&g, &report.outputs).unwrap();
     // Alternating pattern: LFMIS of 1..n on a path.
