@@ -420,6 +420,7 @@ mod tests {
             families,
             sizes,
             seeds,
+            tiers: Vec::new(),
             threads: 1,
         });
         // Fault-sweep points are level-major, so the clean level is the

@@ -40,28 +40,70 @@ pub struct GridSpec {
     /// generation and the run randomness, so any point is reproducible
     /// from its coordinates alone.
     pub seeds: Vec<u64>,
+    /// Extra coordinate blocks appended after the base grid, each with
+    /// its own axes (see [`GridTier`]). Empty for a plain cartesian
+    /// grid; the payload spec echoes a `tiers` array only when this is
+    /// non-empty, so pre-tier documents are byte-unchanged.
+    pub tiers: Vec<GridTier>,
     /// Worker threads; `0` means all available hardware threads. Does
     /// not affect results.
     pub threads: usize,
 }
 
+/// A named block of grid coordinates with its own axes, appended after
+/// the base cartesian product.
+///
+/// This is how `BENCH_grid.json` carries the `large` tier: million-node
+/// points for the fast algorithms (`luby`, `awake`) on one family with
+/// few seeds, without multiplying the full base grid by a size nobody
+/// wants to run the slow baselines at. Tier points obey the same
+/// determinism contract as base points — their coordinates fully
+/// reproduce them.
+#[derive(Debug, Clone)]
+pub struct GridTier {
+    /// Tier name, echoed in the payload spec (e.g. `"large"`).
+    pub name: String,
+    /// Algorithms of this tier.
+    pub algorithms: Vec<RunnerHandle>,
+    /// Graph families of this tier.
+    pub families: Vec<GraphFamily>,
+    /// Node counts of this tier.
+    pub sizes: Vec<usize>,
+    /// Seeds of this tier.
+    pub seeds: Vec<u64>,
+}
+
 impl GridSpec {
     /// The grid flattened to jobs, in deterministic grid order
-    /// (algorithm-major, seed-minor).
+    /// (algorithm-major, seed-minor): the base cartesian product first,
+    /// then each tier's, in declaration order.
     pub fn jobs(&self) -> Vec<GridJob> {
         let mut jobs = Vec::with_capacity(
             self.algorithms.len() * self.families.len() * self.sizes.len() * self.seeds.len(),
         );
-        for algorithm in &self.algorithms {
-            for &family in &self.families {
-                for &n in &self.sizes {
-                    for &seed in &self.seeds {
-                        jobs.push(GridJob { algorithm: algorithm.clone(), family, n, seed });
-                    }
+        push_jobs(&mut jobs, &self.algorithms, &self.families, &self.sizes, &self.seeds);
+        for tier in &self.tiers {
+            push_jobs(&mut jobs, &tier.algorithms, &tier.families, &tier.sizes, &tier.seeds);
+        }
+        jobs
+    }
+}
+
+fn push_jobs(
+    jobs: &mut Vec<GridJob>,
+    algorithms: &[RunnerHandle],
+    families: &[GraphFamily],
+    sizes: &[usize],
+    seeds: &[u64],
+) {
+    for algorithm in algorithms {
+        for &family in families {
+            for &n in sizes {
+                for &seed in seeds {
+                    jobs.push(GridJob { algorithm: algorithm.clone(), family, n, seed });
                 }
             }
         }
-        jobs
     }
 }
 
@@ -259,38 +301,70 @@ pub fn run_grid(spec: &GridSpec) -> GridResult {
 }
 
 fn aggregate(spec: &GridSpec, points: &[GridPoint]) -> Vec<GridCell> {
-    let runs = spec.seeds.len();
-    if runs == 0 {
-        return Vec::new();
+    // Points arrive in job order: the base grid's segment first, then
+    // one segment per tier — each chunked by its own seed count.
+    let mut cells = Vec::new();
+    let base_cells = spec.algorithms.len() * spec.families.len() * spec.sizes.len();
+    let (segment, mut rest) = points.split_at((base_cells * spec.seeds.len()).min(points.len()));
+    aggregate_segment(segment, spec.seeds.len(), &mut cells);
+    for tier in &spec.tiers {
+        let tier_cells = tier.algorithms.len() * tier.families.len() * tier.sizes.len();
+        let (segment, r) = rest.split_at((tier_cells * tier.seeds.len()).min(rest.len()));
+        aggregate_segment(segment, tier.seeds.len(), &mut cells);
+        rest = r;
     }
-    points
-        .chunks(runs)
-        .map(|chunk| {
-            let head = &chunk[0].job;
-            let awake_max: Vec<u64> = chunk.iter().map(|p| p.awake_max).collect();
-            let awake_avg: Vec<f64> = chunk.iter().map(|p| p.awake_avg).collect();
-            let awake_p95: Vec<f64> = chunk.iter().map(|p| p.awake_dist.p95).collect();
-            let awake_gini: Vec<f64> = chunk.iter().map(|p| p.awake_dist.gini).collect();
-            let rounds: Vec<u64> = chunk.iter().map(|p| p.rounds).collect();
-            GridCell {
-                algorithm: head.algorithm.clone(),
-                family: head.family,
-                n: head.n,
-                runs,
-                awake_max: Summary::of_u64(&awake_max),
-                awake_avg: Summary::of(&awake_avg),
-                awake_p95: Summary::of(&awake_p95),
-                awake_gini: Summary::of(&awake_gini),
-                rounds: Summary::of_u64(&rounds),
-                max_message_bits: chunk.iter().map(|p| p.max_message_bits).max().unwrap_or(0),
-                all_correct: chunk.iter().all(|p| p.correct),
-                failure_rate: chunk.iter().filter(|p| !p.correct).count() as f64
-                    / runs as f64,
-                crashed: chunk.iter().map(|p| p.crashed as u64).sum(),
-                faulted: chunk.iter().map(|p| p.faulted).sum(),
-            }
-        })
-        .collect()
+    cells
+}
+
+fn aggregate_segment(points: &[GridPoint], runs: usize, cells: &mut Vec<GridCell>) {
+    if runs == 0 {
+        return;
+    }
+    cells.extend(points.chunks(runs).map(|chunk| {
+        let head = &chunk[0].job;
+        let awake_max: Vec<u64> = chunk.iter().map(|p| p.awake_max).collect();
+        let awake_avg: Vec<f64> = chunk.iter().map(|p| p.awake_avg).collect();
+        let awake_p95: Vec<f64> = chunk.iter().map(|p| p.awake_dist.p95).collect();
+        let awake_gini: Vec<f64> = chunk.iter().map(|p| p.awake_dist.gini).collect();
+        let rounds: Vec<u64> = chunk.iter().map(|p| p.rounds).collect();
+        GridCell {
+            algorithm: head.algorithm.clone(),
+            family: head.family,
+            n: head.n,
+            runs,
+            awake_max: Summary::of_u64(&awake_max),
+            awake_avg: Summary::of(&awake_avg),
+            awake_p95: Summary::of(&awake_p95),
+            awake_gini: Summary::of(&awake_gini),
+            rounds: Summary::of_u64(&rounds),
+            max_message_bits: chunk.iter().map(|p| p.max_message_bits).max().unwrap_or(0),
+            all_correct: chunk.iter().all(|p| p.correct),
+            failure_rate: chunk.iter().filter(|p| !p.correct).count() as f64 / runs as f64,
+            crashed: chunk.iter().map(|p| p.crashed as u64).sum(),
+            faulted: chunk.iter().map(|p| p.faulted).sum(),
+        }
+    }));
+}
+
+/// One axes block of the spec echo, shared by the base grid and tiers.
+fn axes_json(
+    algorithms: &[RunnerHandle],
+    families: &[GraphFamily],
+    sizes: &[usize],
+    seeds: &[u64],
+) -> String {
+    let algorithms: Vec<String> =
+        algorithms.iter().map(|a| format!("\"{}\"", json_escape(a.key()))).collect();
+    let families: Vec<String> = families.iter().map(|f| format!("\"{}\"", f.key())).collect();
+    let sizes: Vec<String> = sizes.iter().map(|n| n.to_string()).collect();
+    let seeds: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
+    format!(
+        "\"algorithms\": [{}], \"families\": [{}], \"sizes\": [{}], \"seeds\": [{}]",
+        algorithms.join(", "),
+        families.join(", "),
+        sizes.join(", "),
+        seeds.join(", "),
+    )
 }
 
 pub(crate) fn json_escape(s: &str) -> String {
@@ -412,23 +486,30 @@ impl GridResult {
             let ns: Vec<String> = self.points.iter().map(|p| p.elapsed_ns.to_string()).collect();
             out.push_str(&format!("  \"timing\": {{\"elapsed_ns\": [{}]}},\n", ns.join(", ")));
         }
-        let algorithms: Vec<String> = self
-            .spec
-            .algorithms
-            .iter()
-            .map(|a| format!("\"{}\"", json_escape(a.key())))
-            .collect();
-        let families: Vec<String> =
-            self.spec.families.iter().map(|f| format!("\"{}\"", f.key())).collect();
-        let sizes: Vec<String> = self.spec.sizes.iter().map(|n| n.to_string()).collect();
-        let seeds: Vec<String> = self.spec.seeds.iter().map(|s| s.to_string()).collect();
-        out.push_str(&format!(
-            "  \"spec\": {{\"algorithms\": [{}], \"families\": [{}], \"sizes\": [{}], \"seeds\": [{}]}},\n",
-            algorithms.join(", "),
-            families.join(", "),
-            sizes.join(", "),
-            seeds.join(", "),
-        ));
+        let mut spec_body = axes_json(
+            &self.spec.algorithms,
+            &self.spec.families,
+            &self.spec.sizes,
+            &self.spec.seeds,
+        );
+        // `tiers` is echoed only when present, so pre-tier documents
+        // (and every small explicit-axes grid) stay byte-unchanged.
+        if !self.spec.tiers.is_empty() {
+            let tiers: Vec<String> = self
+                .spec
+                .tiers
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{{\"name\": \"{}\", {}}}",
+                        json_escape(&t.name),
+                        axes_json(&t.algorithms, &t.families, &t.sizes, &t.seeds)
+                    )
+                })
+                .collect();
+            spec_body.push_str(&format!(", \"tiers\": [{}]", tiers.join(", ")));
+        }
+        out.push_str(&format!("  \"spec\": {{{spec_body}}},\n"));
         out.push_str("  \"cells\": [\n");
         let cells: Vec<String> = self.cells.iter().map(|c| format!("    {}", c.json())).collect();
         out.push_str(&cells.join(",\n"));
@@ -451,6 +532,7 @@ mod tests {
             families: vec![GraphFamily::Er, GraphFamily::Cycle],
             sizes: vec![32, 64],
             seeds: vec![1, 2, 3],
+            tiers: Vec::new(),
             threads,
         }
     }
@@ -523,6 +605,7 @@ mod tests {
             families: vec![GraphFamily::Er],
             sizes: vec![48],
             seeds: vec![1, 2],
+            tiers: Vec::new(),
             threads: 1,
         };
         let result = run_grid(&spec);
@@ -553,10 +636,56 @@ mod tests {
             families: vec![GraphFamily::Cycle],
             sizes: vec![24],
             seeds: vec![1, 2],
+            tiers: Vec::new(),
             threads: 1,
         };
         let result = run_grid(&spec);
         assert!(result.cells[0].all_correct);
         assert!(result.payload_json().contains("\"vt?id_upper=4096\""));
+    }
+
+    #[test]
+    fn tiers_append_points_and_cells_after_the_base_grid() {
+        let spec = GridSpec {
+            algorithms: default_registry().resolve_list("luby").unwrap(),
+            families: vec![GraphFamily::Er],
+            sizes: vec![32],
+            seeds: vec![1, 2],
+            tiers: vec![GridTier {
+                name: "big".to_string(),
+                algorithms: default_registry().resolve_list("vt,luby").unwrap(),
+                families: vec![GraphFamily::Cycle],
+                sizes: vec![24],
+                seeds: vec![9],
+            }],
+            threads: 1,
+        };
+        // Jobs: the base product first, then the tier's, in tier order.
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 2 + 2);
+        assert_eq!(jobs[0].family, GraphFamily::Er);
+        assert_eq!(jobs[2].family, GraphFamily::Cycle);
+        assert_eq!(jobs[2].algorithm.key(), "vt");
+        assert_eq!(jobs[3].algorithm.key(), "luby");
+
+        let result = run_grid(&spec);
+        assert_eq!(result.points.len(), 4);
+        // Aggregation is segment-aware: the base cell averages the base
+        // seeds, each tier cell averages only its own tier's seeds.
+        assert_eq!(result.cells.len(), 1 + 2);
+        assert_eq!(result.cells[0].runs, 2);
+        assert_eq!(result.cells[1].runs, 1);
+        assert_eq!(result.cells[1].algorithm.key(), "vt");
+        assert!(result.cells.iter().all(|c| c.all_correct));
+
+        // The tier is echoed in the payload spec; tier-free specs stay
+        // byte-compatible with pre-tier documents.
+        let payload = result.payload_json();
+        assert!(payload.contains(
+            "\"tiers\": [{\"name\": \"big\", \"algorithms\": [\"vt\", \"luby\"], \
+             \"families\": [\"cycle\"], \"sizes\": [24], \"seeds\": [9]}]"
+        ));
+        let plain = GridSpec { tiers: Vec::new(), ..spec };
+        assert!(!run_grid(&plain).payload_json().contains("tiers"));
     }
 }

@@ -20,11 +20,16 @@
 //! Every builtin additionally accepts the shared **fault-model
 //! parameters** `loss=P`, `crash=P`, `crash_from=R`, `crash_until=R`
 //! and `jitter=J` (see [`read_fault`] and
-//! [`sleeping_congest::FaultModel`]), and the ID-based runners (`vt`,
-//! `naive`, `ldt`) accept `adv_ids=random|worst` for adversarial ID
-//! assignment. Fault parameters spelling their defaults are dropped
+//! [`sleeping_congest::FaultModel`]), the **execution parameter**
+//! `shards=K` (intra-run engine parallelism, `0` = auto; see
+//! [`sleeping_congest::SimConfig::shards`]), and the ID-based runners
+//! (`vt`, `naive`, `ldt`) accept `adv_ids=random|worst` for adversarial
+//! ID assignment. Fault parameters spelling their defaults are dropped
 //! from the runner key, so `awake?loss=0` *is* `awake` — clean levels
-//! of a fault sweep reuse the fault-free identity and payloads.
+//! of a fault sweep reuse the fault-free identity and payloads. The
+//! `shards` parameter never enters the key at all: sharding cannot
+//! change results, so `luby?shards=8` *is* `luby` and its payloads stay
+//! byte-comparable across machines.
 //!
 //! The `Algorithm` enum and the `run_algorithm(_with_scratch)` shims
 //! that used to live here were deprecated in favor of the registry and
@@ -192,6 +197,25 @@ pub(crate) fn read_fault(p: &mut ParamReader<'_>) -> Result<FaultModel, SpecErro
     Ok(fault)
 }
 
+/// Execution knobs shared by every builtin: the fault model plus the
+/// engine's intra-run shard count. Parsed after algorithm-specific
+/// parameters, see [`read_exec`].
+#[derive(Debug, Clone)]
+pub(crate) struct ExecParams {
+    pub(crate) fault: FaultModel,
+    pub(crate) shards: usize,
+}
+
+/// Reads the shared execution parameters: the fault model
+/// ([`read_fault`]) and `shards=K` — the engine's intra-run shard count
+/// (`1` = serial, `0` = one shard per hardware thread; results are
+/// byte-identical either way).
+pub(crate) fn read_exec(p: &mut ParamReader<'_>) -> Result<ExecParams, SpecError> {
+    let fault = read_fault(p)?;
+    let shards = p.u64("shards")?.unwrap_or(1) as usize;
+    Ok(ExecParams { fault, shards })
+}
+
 /// Canonical runner key for `spec`: the spec as written, minus fault
 /// parameters spelling their default values. `awake?loss=0` keys as
 /// `awake`, so a fault sweep's clean level is *the same runner
@@ -209,6 +233,9 @@ fn runner_key(spec: &AlgorithmSpec) -> String {
                 }
                 "crash_until" => value.parse::<u64>().map(|v| v == u64::MAX).unwrap_or(false),
                 "adv_ids" => value.eq_ignore_ascii_case("random"),
+                // Sharding is pure execution: it can never change
+                // results, so it never enters the identity.
+                "shards" => true,
                 _ => false,
             };
             !is_default
@@ -222,9 +249,9 @@ fn runner_key(spec: &AlgorithmSpec) -> String {
     }
 }
 
-/// A [`SimConfig`] carrying the runner's fault model.
-fn sim_config(seed: u64, fault: &FaultModel) -> SimConfig {
-    SimConfig { fault: fault.clone(), ..SimConfig::seeded(seed) }
+/// A [`SimConfig`] carrying the runner's fault model and shard count.
+fn sim_config(seed: u64, exec: &ExecParams) -> SimConfig {
+    SimConfig { fault: exec.fault.clone(), shards: exec.shards, ..SimConfig::seeded(seed) }
 }
 
 /// How ID-based runners (`vt`, `naive`, `ldt`) assign their IDs:
@@ -296,7 +323,7 @@ struct AwakeRunner {
     name: &'static str,
     key: String,
     cfg: AwakeMisConfig,
-    fault: FaultModel,
+    exec: ExecParams,
 }
 
 impl AwakeRunner {
@@ -340,13 +367,13 @@ impl AwakeRunner {
         if let Some(b) = p.bool("uniform_batches")? {
             cfg.uniform_batches = b;
         }
-        let fault = read_fault(&mut p)?;
+        let exec = read_exec(&mut p)?;
         p.finish()?;
         let name = match cfg.strategy {
             LdtStrategy::Awake => "Awake-MIS",
             LdtStrategy::Round => "Awake-MIS-Round",
         };
-        Ok(RunnerHandle::new(AwakeRunner { name, key: runner_key(spec), cfg, fault }))
+        Ok(RunnerHandle::new(AwakeRunner { name, key: runner_key(spec), cfg, exec }))
     }
 }
 
@@ -367,7 +394,7 @@ impl DynRunner for AwakeRunner {
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| AwakeMis::new(self.cfg)).collect();
         let report =
-            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.exec)).run_in(scratch)?;
         let failures = report.outputs.iter().filter(|o| o.failed).count();
         let states = report.outputs.iter().map(|o| o.state).collect();
         Ok(AlgoResult::from_states(self.name, &self.key, g, states, failures, report.metrics))
@@ -378,15 +405,15 @@ impl DynRunner for AwakeRunner {
 /// fault parameters.
 struct LubyRunner {
     key: String,
-    fault: FaultModel,
+    exec: ExecParams,
 }
 
 impl LubyRunner {
     fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
         let mut p = spec.reader();
-        let fault = read_fault(&mut p)?;
+        let exec = read_exec(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(LubyRunner { key: runner_key(spec), fault }))
+        Ok(RunnerHandle::new(LubyRunner { key: runner_key(spec), exec }))
     }
 }
 
@@ -407,7 +434,7 @@ impl DynRunner for LubyRunner {
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| Luby::new()).collect();
         let report =
-            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.exec)).run_in(scratch)?;
         Ok(AlgoResult::from_states("Luby", &self.key, g, report.outputs, 0, report.metrics))
     }
 }
@@ -419,7 +446,7 @@ impl DynRunner for LubyRunner {
 struct NaRunner {
     key: String,
     cfg: NaMisConfig,
-    fault: FaultModel,
+    exec: ExecParams,
 }
 
 impl NaRunner {
@@ -436,9 +463,9 @@ impl NaRunner {
             }
             cfg.stride = v;
         }
-        let fault = read_fault(&mut p)?;
+        let exec = read_exec(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(NaRunner { key: runner_key(spec), cfg, fault }))
+        Ok(RunnerHandle::new(NaRunner { key: runner_key(spec), cfg, exec }))
     }
 }
 
@@ -459,7 +486,7 @@ impl DynRunner for NaRunner {
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| NaMis::new(self.cfg)).collect();
         let report =
-            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.exec)).run_in(scratch)?;
         Ok(AlgoResult::from_states("NA-MIS", &self.key, g, report.outputs, 0, report.metrics))
     }
 }
@@ -471,7 +498,7 @@ impl DynRunner for NaRunner {
 struct AvgRunner {
     key: String,
     cfg: AvgMisConfig,
-    fault: FaultModel,
+    exec: ExecParams,
 }
 
 impl AvgRunner {
@@ -481,9 +508,9 @@ impl AvgRunner {
         if let Some(v) = p.u64("balance")? {
             cfg.balance = v;
         }
-        let fault = read_fault(&mut p)?;
+        let exec = read_exec(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(AvgRunner { key: runner_key(spec), cfg, fault }))
+        Ok(RunnerHandle::new(AvgRunner { key: runner_key(spec), cfg, exec }))
     }
 }
 
@@ -504,7 +531,7 @@ impl DynRunner for AvgRunner {
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| AvgMis::new(self.cfg)).collect();
         let report =
-            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.exec)).run_in(scratch)?;
         // An adjacent rank collision is a Monte Carlo failure (module
         // docs of `awake_mis_core::avg_mis`), reported like Awake-MIS's.
         let failures = report.outputs.iter().filter(|o| o.failed).count();
@@ -522,7 +549,7 @@ impl DynRunner for AvgRunner {
 struct LeRunner {
     key: String,
     cfg: LeMisConfig,
-    fault: FaultModel,
+    exec: ExecParams,
 }
 
 impl LeRunner {
@@ -549,9 +576,9 @@ impl LeRunner {
             }
             cfg.max_epochs = v;
         }
-        let fault = read_fault(&mut p)?;
+        let exec = read_exec(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(LeRunner { key: runner_key(spec), cfg, fault }))
+        Ok(RunnerHandle::new(LeRunner { key: runner_key(spec), cfg, exec }))
     }
 }
 
@@ -572,7 +599,7 @@ impl DynRunner for LeRunner {
     ) -> Result<AlgoResult, SimError> {
         let nodes = (0..g.n()).map(|_| LeMis::new(self.cfg)).collect();
         let report =
-            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.exec)).run_in(scratch)?;
         // Epoch-budget exhaustion is a Monte Carlo failure (module docs
         // of `awake_mis_core::low_energy_mis`), reported like Awake-MIS's.
         let failures = report.outputs.iter().filter(|o| o.failed).count();
@@ -590,7 +617,7 @@ struct VtRunner {
     key: String,
     id_upper: Option<u64>,
     adv_ids: IdAssignment,
-    fault: FaultModel,
+    exec: ExecParams,
 }
 
 impl VtRunner {
@@ -598,9 +625,9 @@ impl VtRunner {
         let mut p = spec.reader();
         let id_upper = p.u64("id_upper")?;
         let adv_ids = read_adv_ids(&mut p)?;
-        let fault = read_fault(&mut p)?;
+        let exec = read_exec(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(VtRunner { key: runner_key(spec), id_upper, adv_ids, fault }))
+        Ok(RunnerHandle::new(VtRunner { key: runner_key(spec), id_upper, adv_ids, exec }))
     }
 }
 
@@ -633,7 +660,7 @@ impl DynRunner for VtRunner {
         };
         let nodes = (0..n).map(|v| Standalone::new(VtMis::new(ids[v], upper, None))).collect();
         let report =
-            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.exec)).run_in(scratch)?;
         Ok(AlgoResult::from_states("VT-MIS", &self.key, g, report.outputs, 0, report.metrics))
     }
 }
@@ -645,16 +672,16 @@ impl DynRunner for VtRunner {
 struct NaiveRunner {
     key: String,
     adv_ids: IdAssignment,
-    fault: FaultModel,
+    exec: ExecParams,
 }
 
 impl NaiveRunner {
     fn from_spec(spec: &AlgorithmSpec) -> Result<RunnerHandle, SpecError> {
         let mut p = spec.reader();
         let adv_ids = read_adv_ids(&mut p)?;
-        let fault = read_fault(&mut p)?;
+        let exec = read_exec(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(NaiveRunner { key: runner_key(spec), adv_ids, fault }))
+        Ok(RunnerHandle::new(NaiveRunner { key: runner_key(spec), adv_ids, exec }))
     }
 }
 
@@ -681,7 +708,7 @@ impl DynRunner for NaiveRunner {
         }
         let nodes = (0..n).map(|v| NaiveGreedy::new(ids[v], n as u64)).collect();
         let report =
-            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.exec)).run_in(scratch)?;
         Ok(AlgoResult::from_states(
             "Naive-Greedy",
             &self.key,
@@ -701,7 +728,7 @@ struct LdtRunner {
     key: String,
     strategy: LdtStrategy,
     adv_ids: IdAssignment,
-    fault: FaultModel,
+    exec: ExecParams,
 }
 
 impl LdtRunner {
@@ -709,9 +736,9 @@ impl LdtRunner {
         let mut p = spec.reader();
         let strategy = read_strategy(&mut p)?.unwrap_or(LdtStrategy::Awake);
         let adv_ids = read_adv_ids(&mut p)?;
-        let fault = read_fault(&mut p)?;
+        let exec = read_exec(&mut p)?;
         p.finish()?;
-        Ok(RunnerHandle::new(LdtRunner { key: runner_key(spec), strategy, adv_ids, fault }))
+        Ok(RunnerHandle::new(LdtRunner { key: runner_key(spec), strategy, adv_ids, exec }))
     }
 }
 
@@ -750,7 +777,7 @@ impl DynRunner for LdtRunner {
             })
             .collect();
         let report =
-            Simulator::new(g.clone(), nodes, sim_config(seed, &self.fault)).run_in(scratch)?;
+            Simulator::new(g.clone(), nodes, sim_config(seed, &self.exec)).run_in(scratch)?;
         let failures = report.outputs.iter().filter(|o| o.failed).count();
         let states = report.outputs.iter().map(|o| o.state).collect();
         Ok(AlgoResult::from_states("LDT-MIS", &self.key, g, states, failures, report.metrics))
@@ -1077,12 +1104,33 @@ mod tests {
             reg.resolve("vt?adv_ids=sideways"),
             Err(SpecError::BadValue { ref param, .. }) if param == "adv_ids"
         ));
-        // Every builtin accepts the shared fault params.
+        // Every builtin accepts the shared fault and execution params.
         for key in default_registry().keys() {
             assert!(
-                reg.resolve(&format!("{key}?loss=0.01&crash=0.0001&jitter=2")).is_ok(),
+                reg.resolve(&format!("{key}?loss=0.01&crash=0.0001&jitter=2&shards=2")).is_ok(),
                 "{key} must accept fault params"
             );
+        }
+    }
+
+    #[test]
+    fn shards_param_is_execution_only() {
+        let reg = default_registry();
+        // Any shard count collapses to the bare key — including auto (0).
+        assert_eq!(reg.resolve("luby?shards=8").unwrap().key(), "luby");
+        assert_eq!(reg.resolve("awake?shards=0").unwrap().key(), "awake");
+        assert_eq!(reg.resolve("vt?id_upper=4096&shards=2").unwrap().key(), "vt?id_upper=4096");
+        // …and runs are byte-identical to the serial engine, faults and all.
+        let g = generators::gnp(80, 0.1, &mut SmallRng::seed_from_u64(33));
+        for (serial, sharded) in [
+            ("luby", "luby?shards=8"),
+            ("awake?loss=0.02&jitter=2", "awake?loss=0.02&jitter=2&shards=4"),
+        ] {
+            let a = reg.resolve(serial).unwrap().run(&g, 7).unwrap();
+            let b = reg.resolve(sharded).unwrap().run(&g, 7).unwrap();
+            assert_eq!(a.key, b.key, "{sharded}: key must collapse");
+            assert_eq!(a.states, b.states, "{sharded}: states diverged");
+            assert_eq!(a.metrics, b.metrics, "{sharded}: metrics diverged");
         }
     }
 

@@ -20,6 +20,12 @@ pub struct Summary {
 impl Summary {
     /// Summarizes a sample.
     ///
+    /// NaN measures (possible in corrupt or hand-edited artifacts fed to
+    /// the diff tooling) do not panic: the sort uses [`f64::total_cmp`],
+    /// which orders NaNs after `+inf`, so `min`/`median` stay meaningful
+    /// while `mean`/`std` (and `max`, if a NaN is present) propagate NaN
+    /// — visible in any report rather than a crash deep in the tooling.
+    ///
     /// # Panics
     ///
     /// Panics on an empty sample.
@@ -29,7 +35,7 @@ impl Summary {
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(f64::total_cmp);
         let median = if n % 2 == 1 {
             sorted[n / 2]
         } else {
@@ -81,5 +87,20 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_rejected() {
         Summary::of(&[]);
+    }
+
+    #[test]
+    fn nan_measures_do_not_panic() {
+        // A NaN in a hand-edited artifact used to panic inside the sort
+        // (`partial_cmp(...).expect(...)`); total_cmp orders it after
+        // +inf instead, keeping min/median meaningful and letting the
+        // positional max and the moments go NaN visibly.
+        let s = Summary::of(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert!(s.max.is_nan());
+        assert!(s.mean.is_nan());
+        assert!(s.std.is_nan());
     }
 }

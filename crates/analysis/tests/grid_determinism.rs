@@ -13,6 +13,7 @@ fn spec(threads: usize) -> GridSpec {
         families: vec![GraphFamily::Er, GraphFamily::Tree],
         sizes: vec![48, 96],
         seeds: vec![1, 2, 3, 4],
+        tiers: Vec::new(),
         threads,
     }
 }
@@ -29,6 +30,25 @@ fn two_and_eight_thread_payloads_are_byte_identical() {
     // And both match a fully serial run.
     let one = run_grid(&spec(1));
     assert_eq!(one.payload_json(), two.payload_json());
+}
+
+#[test]
+fn shard_counts_do_not_leak_into_the_payload() {
+    // `shards=K` is intra-run parallelism inside the engine's round
+    // loop. It is dropped from the runner key and must not perturb a
+    // single byte of the grid payload — same contract as `threads`.
+    let serial = run_grid(&spec(1));
+    let sharded = run_grid(&GridSpec {
+        algorithms: default_registry()
+            .resolve_list("awake?shards=2,luby?shards=8,vt?shards=0")
+            .unwrap(),
+        ..spec(1)
+    });
+    assert_eq!(
+        serial.payload_json(),
+        sharded.payload_json(),
+        "shard count leaked into the deterministic payload"
+    );
 }
 
 #[test]

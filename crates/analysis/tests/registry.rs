@@ -25,6 +25,7 @@ fn golden_spec() -> GridSpec {
         families: vec![GraphFamily::Er, GraphFamily::Cycle],
         sizes: vec![32, 64],
         seeds: vec![1, 2, 3],
+        tiers: Vec::new(),
         threads: 0,
     }
 }
@@ -85,6 +86,7 @@ fn custom_registration_runs_end_to_end() {
         families: vec![GraphFamily::Cycle],
         sizes: vec![24],
         seeds: vec![5],
+        tiers: Vec::new(),
         threads: 1,
     });
     assert!(result.cells[0].all_correct);

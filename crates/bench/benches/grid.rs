@@ -8,7 +8,9 @@
 //!
 //! After the Criterion groups, a throughput report times the full sweep
 //! both ways at n = 10⁴ and prints the speedup ratio — the number the
-//! acceptance bar cares about (≥ 3× on a ≥ 4-core machine).
+//! acceptance bar cares about (≥ 3× on a ≥ 4-core machine). A second
+//! report times one million-node `luby` run serial vs `shards=8` and
+//! prints rounds/s, node·rounds/s, and the intra-run speedup.
 
 use analysis::grid::{run_grid, GridSpec};
 use analysis::spec::default_registry;
@@ -25,6 +27,7 @@ fn spec_for(n: usize) -> GridSpec {
         families: vec![Family::Er],
         sizes: vec![n],
         seeds: (1..=SWEEP_SEEDS).collect(),
+        tiers: Vec::new(),
         threads: 0,
     }
 }
@@ -82,5 +85,44 @@ fn report_speedup(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_grid_throughput, report_speedup);
+/// Intra-run sharding report at the million-node acceptance size.
+///
+/// One `luby` run on a 10⁶-node ER graph, serial (`shards=1`) vs
+/// sharded (`shards=8`). The payload is byte-identical either way
+/// (asserted here); the print reports absolute engine throughput —
+/// rounds/s and node·rounds/s — plus the speedup ratio the acceptance
+/// bar cares about (≥ 2× on a ≥ 4-core machine).
+fn report_shard_speedup(_c: &mut Criterion) {
+    let n = 1_000_000;
+    let seed = 1;
+    let g = Family::Er.generate(n, seed);
+    let time_run = |spec: &str| {
+        let runner = default_registry().resolve(spec).expect("builtin");
+        let t = Instant::now();
+        let r = runner.run(&g, seed).expect("clean run");
+        (t.elapsed(), r)
+    };
+    // Warm the allocator/page cache on the serial path first.
+    time_run("luby?shards=1");
+    let (serial, r1) = time_run("luby?shards=1");
+    let (sharded, r8) = time_run("luby?shards=8");
+    assert_eq!(r1.metrics, r8.metrics, "shard count leaked into the run metrics");
+    for (label, dt, r) in [("shards=1", serial, &r1), ("shards=8", sharded, &r8)] {
+        let rps = r.metrics.active_rounds as f64 / dt.as_secs_f64();
+        println!(
+            "luby n={n} {label}: {} active rounds in {:.2}s → {:.0} rounds/s, {:.3e} node·rounds/s",
+            r.metrics.active_rounds,
+            dt.as_secs_f64(),
+            rps,
+            n as f64 * rps,
+        );
+    }
+    println!(
+        "shard speedup at n={n}: {:.2}x ({} hardware threads)",
+        serial.as_secs_f64() / sharded.as_secs_f64(),
+        available_threads(),
+    );
+}
+
+criterion_group!(benches, bench_grid_throughput, report_speedup, report_shard_speedup);
 criterion_main!(benches);

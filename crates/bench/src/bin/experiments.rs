@@ -255,6 +255,7 @@ fn e3() {
         families: vec![Family::Er],
         sizes: vec![1024, 4096, 16384],
         seeds: SEEDS.to_vec(),
+        tiers: Vec::new(),
         threads: 0,
     });
     let mut t = Table::new(vec![
@@ -424,6 +425,7 @@ fn e6() {
         families: vec![Family::Cycle],
         sizes: vec![64, 256, 1024, 4096],
         seeds: vec![7],
+        tiers: Vec::new(),
         threads: 0,
     });
     // Points are algorithm-major: all VT-MIS sizes, then all naive sizes.
@@ -463,6 +465,7 @@ fn e7() {
         families: vec![Family::Cycle],
         sizes: vec![16, 64, 256, 1024],
         seeds: vec![9],
+        tiers: Vec::new(),
         threads: 0,
     });
     for (p, &n) in grid.points.iter().zip(&grid.spec.sizes) {
@@ -480,86 +483,113 @@ fn e7() {
     println!("(inside Awake-MIS components have n' = O(log n), so both terms are O(log log n))\n");
 }
 
-/// E8 — Lemmas 6/7/15: LDT construction complexities.
+/// E8 — Lemmas 6/7/15: LDT construction complexities. Rides the batch
+/// harness like E4: the raw construction protocols compute a labeling,
+/// not an MIS, so there is no registry runner for them — instead the
+/// `{n × graph × strategy × seed}` jobs fan out via
+/// `sleeping_congest::batch::run_batch` and each cell aggregates with
+/// [`Summary`], replacing the old hand-rolled serial triple loop.
 fn e8() {
     header(
         "E8 (Lemmas 6/7/15)",
         "LDT construction: awake strategy O(log n') awake; round strategy O(log n'·log* I) awake, deterministic",
     );
-    let mut t = Table::new(vec![
-        "graph", "n", "strategy", "awake max", "phases used", "rounds",
-    ]);
     let id_upper = |n: usize| ((n.max(4) as u64).pow(3)).max(1 << 24);
-    for &n in &[64usize, 256, 1024] {
-        for (gname, g) in [("path", generators::path(n)), ("cycle", generators::cycle(n))] {
-            for strat in ["awake", "round"] {
-                let ids = {
-                    let mut rng = SmallRng::seed_from_u64(5);
-                    let mut seen = std::collections::HashSet::new();
-                    let mut ids = Vec::new();
-                    while ids.len() < n {
-                        let id = rng.gen_range(1..=id_upper(n));
-                        if seen.insert(id) {
-                            ids.push(id);
-                        }
-                    }
-                    ids
-                };
-                let params = |v: usize| ConstructParams {
-                    my_id: ids[v],
-                    id_upper: id_upper(n),
-                    k: n as u32,
-                };
-                let (awake, phases, rounds) = if strat == "awake" {
-                    let nodes =
-                        (0..n).map(|v| Standalone::new(ConstructAwake::new(params(v)))).collect();
-                    let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(6)).run().unwrap();
-                    let ph = rep.outputs.iter().map(|o| o.phases_used).max().unwrap();
-                    (rep.metrics.awake_complexity(), ph, rep.metrics.round_complexity())
-                } else {
-                    let nodes =
-                        (0..n).map(|v| Standalone::new(ConstructRound::new(params(v)))).collect();
-                    let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(6)).run().unwrap();
-                    let ph = rep.outputs.iter().map(|o| o.phases_used).max().unwrap();
-                    (rep.metrics.awake_complexity(), ph, rep.metrics.round_complexity())
-                };
-                t.row(vec![
-                    gname.to_string(),
-                    n.to_string(),
-                    strat.to_string(),
-                    awake.to_string(),
-                    phases.to_string(),
-                    rounds.to_string(),
-                ]);
+    let sizes = [64usize, 256, 1024];
+    let cells: Vec<(usize, &str, &str)> = sizes
+        .iter()
+        .flat_map(|&n| {
+            ["path", "cycle"]
+                .into_iter()
+                .flat_map(move |gname| [("awake"), ("round")].map(move |strat| (n, gname, strat)))
+        })
+        .collect();
+    let jobs: Vec<(usize, &str, &str, u64)> = cells
+        .iter()
+        .flat_map(|&(n, gname, strat)| SEEDS.iter().map(move |&s| (n, gname, strat, s)))
+        .collect();
+    let results = run_batch(&jobs, 0, |_| (), |(), _i, &(n, gname, strat, seed)| {
+        let g = if gname == "path" { generators::path(n) } else { generators::cycle(n) };
+        // The seed drives both the id draw and the run randomness, so
+        // each job is reproducible from its coordinates alone — the
+        // same contract as a grid point.
+        let ids = {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut seen = std::collections::HashSet::new();
+            let mut ids = Vec::new();
+            while ids.len() < n {
+                let id = rng.gen_range(1..=id_upper(n));
+                if seen.insert(id) {
+                    ids.push(id);
+                }
             }
+            ids
+        };
+        let params =
+            |v: usize| ConstructParams { my_id: ids[v], id_upper: id_upper(n), k: n as u32 };
+        if strat == "awake" {
+            let nodes = (0..n).map(|v| Standalone::new(ConstructAwake::new(params(v)))).collect();
+            let rep = Simulator::new(g, nodes, SimConfig::seeded(seed ^ 1)).run().unwrap();
+            let ph = rep.outputs.iter().map(|o| o.phases_used).max().unwrap() as u64;
+            (rep.metrics.awake_complexity(), ph, rep.metrics.round_complexity())
+        } else {
+            let nodes = (0..n).map(|v| Standalone::new(ConstructRound::new(params(v)))).collect();
+            let rep = Simulator::new(g, nodes, SimConfig::seeded(seed ^ 1)).run().unwrap();
+            let ph = rep.outputs.iter().map(|o| o.phases_used).max().unwrap() as u64;
+            (rep.metrics.awake_complexity(), ph, rep.metrics.round_complexity())
         }
+    });
+
+    let mut t = Table::new(vec![
+        "graph", "n", "strategy", "awake max (mean±std)", "phases used", "rounds (mean)",
+    ]);
+    let runs = SEEDS.len();
+    for (c_idx, &(n, gname, strat)) in cells.iter().enumerate() {
+        let chunk = &results[c_idx * runs..(c_idx + 1) * runs];
+        let awake = Summary::of_u64(&chunk.iter().map(|r| r.0).collect::<Vec<_>>());
+        let phases = Summary::of_u64(&chunk.iter().map(|r| r.1).collect::<Vec<_>>());
+        let rounds = Summary::of_u64(&chunk.iter().map(|r| r.2).collect::<Vec<_>>());
+        t.row(vec![
+            gname.to_string(),
+            n.to_string(),
+            strat.to_string(),
+            format!("{:.1} ± {:.1}", awake.mean, awake.std),
+            format!("{:.1}", phases.mean),
+            format!("{:.0}", rounds.mean),
+        ]);
     }
     print!("{}", t.render());
-    println!();
+    println!("(round strategy: no run randomness — seed variance comes only from the drawn id sets)\n");
 }
 
-/// E9 — Observations 4/5: communication-set sizes.
+/// E9 — Observations 4/5: communication-set sizes. Rides the batch
+/// harness: one job per interval length `i`, fanned across all hardware
+/// threads via `run_batch` (the million-key scans dominate), with the
+/// per-key set sizes aggregated by [`Summary`] instead of ad-hoc
+/// max/mean arithmetic.
 fn e9() {
     header(
         "E9 (Observations 4/5)",
         "Communication sets: |S_k([1,i])| ≤ ⌈log2 i⌉+1; common-round property (property-tested exhaustively)",
     );
-    let mut t = Table::new(vec!["i", "max_k |S_k ∩ [1,i]|", "⌈log2 i⌉+1", "avg |S_k|"]);
-    for &i in &[10u64, 100, 1000, 10_000, 100_000, 1_000_000] {
+    let is = [10u64, 100, 1000, 10_000, 100_000, 1_000_000];
+    let summaries = run_batch(&is, 0, |_| (), |(), _j, &i| {
         let ks: Vec<u64> = if i <= 10_000 {
             (1..=i).collect()
         } else {
             let mut rng = SmallRng::seed_from_u64(8);
             (0..10_000).map(|_| rng.gen_range(1..=i)).collect()
         };
-        let sizes: Vec<usize> = ks.iter().map(|&k| vtree::wake_rounds(k, i).len()).collect();
-        let max = sizes.iter().max().unwrap();
-        let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        let sizes: Vec<u64> = ks.iter().map(|&k| vtree::wake_rounds(k, i).len() as u64).collect();
+        Summary::of_u64(&sizes)
+    });
+    let mut t = Table::new(vec!["i", "max_k |S_k ∩ [1,i]|", "⌈log2 i⌉+1", "avg |S_k|"]);
+    for (&i, s) in is.iter().zip(&summaries) {
         t.row(vec![
             i.to_string(),
-            max.to_string(),
+            format!("{:.0}", s.max),
             (vtree::depth(i) + 1).to_string(),
-            format!("{avg:.2}"),
+            format!("{:.2}", s.mean),
         ]);
     }
     print!("{}", t.render());
@@ -582,6 +612,7 @@ fn e10() {
         families: vec![Family::Er, Family::Rgg, Family::Ba, Family::Grid, Family::Tree],
         sizes: vec![2048],
         seeds: vec![42],
+        tiers: Vec::new(),
         threads: 0,
     });
     let mut t = Table::new(vec![
@@ -705,6 +736,7 @@ fn e13() {
         families: vec![Family::Er],
         sizes: vec![n],
         seeds: vec![5],
+        tiers: Vec::new(),
         threads: 0,
     });
     let mut t = Table::new(vec!["algorithm", "max message bits", "2-id budget"]);

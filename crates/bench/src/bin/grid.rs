@@ -9,6 +9,7 @@
 //! cargo run --release -p bench --bin grid -- \
 //!     [--algos awake,luby,na,gp-avg] [--families er,rgg,ba,grid,tree] \
 //!     [--sizes 1000,10000,100000] [--seeds 8] [--threads 0] \
+//!     [--shards 0] [--large | --no-large] \
 //!     [--out BENCH_grid.json] [--list-algos]
 //! ```
 //!
@@ -20,8 +21,16 @@
 //! (default) uses every hardware thread. The JSON payload (everything
 //! except the `meta` object and the `timing` section) is byte-identical
 //! for any thread count.
+//!
+//! The default invocation (no axis flags) additionally appends the
+//! `large` tier: `luby` and `awake` on million-node ER graphs, run with
+//! intra-run sharding (`--shards`, 0 = one shard per hardware thread).
+//! Shards are an execution knob — the runner key and the payload are
+//! byte-identical for any shard count. Pass `--no-large` to skip the
+//! tier, or `--large` to force it alongside explicit axis flags. Tier
+//! points also print their throughput (rounds/sec and node·rounds/sec).
 
-use analysis::grid::{run_grid, GridMeta, GridSpec};
+use analysis::grid::{run_grid, GridMeta, GridSpec, GridTier};
 use analysis::spec::default_registry;
 use analysis::Table;
 use bench::Family;
@@ -44,7 +53,10 @@ fn main() {
     let mut sizes = vec![1_000usize, 10_000, 100_000];
     let mut seed_count = 8u64;
     let mut threads = 0usize;
+    let mut shards = 0usize;
     let mut out_path = String::from("BENCH_grid.json");
+    let mut explicit_axes = false;
+    let mut large: Option<bool> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -58,13 +70,24 @@ fn main() {
                 algorithms = registry
                     .resolve_list(value(&mut i))
                     .unwrap_or_else(|e| panic!("--algos: {e}"));
+                explicit_axes = true;
             }
-            "--families" => families = parse_list(value(&mut i), Family::parse, "family"),
+            "--families" => {
+                families = parse_list(value(&mut i), Family::parse, "family");
+                explicit_axes = true;
+            }
             "--sizes" => {
                 sizes = parse_list(value(&mut i), |s| s.parse().ok(), "size");
+                explicit_axes = true;
             }
-            "--seeds" => seed_count = value(&mut i).parse().expect("--seeds takes a count"),
+            "--seeds" => {
+                seed_count = value(&mut i).parse().expect("--seeds takes a count");
+                explicit_axes = true;
+            }
             "--threads" => threads = value(&mut i).parse().expect("--threads takes a count"),
+            "--shards" => shards = value(&mut i).parse().expect("--shards takes a count"),
+            "--large" => large = Some(true),
+            "--no-large" => large = Some(false),
             "--out" => out_path = value(&mut i).to_string(),
             "--list-algos" => {
                 println!("registered algorithm specs (grammar: key?param=value&…):\n");
@@ -78,11 +101,30 @@ fn main() {
         i += 1;
     }
 
+    // The `large` tier rides along whenever the base axes are the
+    // defaults (so the checked-in BENCH_grid.json carries it), and on
+    // demand via --large. The `shards=` parameter never enters the
+    // runner key, so the tier payload is byte-identical for any shard
+    // count — sharding only decides how fast the points arrive.
+    let tiers = if large.unwrap_or(!explicit_axes) {
+        vec![GridTier {
+            name: "large".to_string(),
+            algorithms: registry
+                .resolve_list(&format!("luby?shards={shards},awake?shards={shards}"))
+                .expect("large-tier specs"),
+            families: vec![Family::Er],
+            sizes: vec![1_000_000],
+            seeds: vec![1, 2],
+        }]
+    } else {
+        Vec::new()
+    };
     let spec = GridSpec {
         algorithms,
         families,
         sizes,
         seeds: (1..=seed_count).collect(),
+        tiers,
         threads,
     };
     let jobs = spec.jobs().len();
@@ -112,6 +154,36 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
+
+    // Tier points carry the engine-throughput story: how fast the
+    // sharded round loop turns million-node rounds over.
+    let base_points = spec.algorithms.len()
+        * spec.families.len()
+        * spec.sizes.len()
+        * spec.seeds.len();
+    let mut rest = &result.points[base_points.min(result.points.len())..];
+    for tier in &spec.tiers {
+        let count = tier.algorithms.len() * tier.families.len() * tier.sizes.len()
+            * tier.seeds.len();
+        let (segment, r) = rest.split_at(count.min(rest.len()));
+        rest = r;
+        for p in segment {
+            let secs = p.elapsed_ns as f64 / 1e9;
+            let rps = p.active_rounds as f64 / secs;
+            println!(
+                "[{}] {} {} n={} seed={}: {} active rounds in {:.2}s → {:.0} rounds/s, {:.3e} node·rounds/s",
+                tier.name,
+                p.job.algorithm.name(),
+                p.job.family.name(),
+                p.nodes,
+                p.job.seed,
+                p.active_rounds,
+                secs,
+                rps,
+                p.nodes as f64 * rps,
+            );
+        }
+    }
 
     let meta = GridMeta { threads: threads_used, wall_ms: wall.as_millis() };
     std::fs::write(&out_path, result.to_json(&meta)).expect("write grid JSON");

@@ -227,11 +227,15 @@ impl<'a> Parser<'a> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
+                            // `from_str_radix` alone is too lax: it
+                            // accepts a leading sign, so "+0ff" would
+                            // parse. Require exactly 4 hex digits.
                             let hex = self
                                 .bytes
                                 .get(self.pos..self.pos + 4)
+                                .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
                                 .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             self.pos += 4;
@@ -255,17 +259,21 @@ impl<'a> Parser<'a> {
     }
 
     fn number(&mut self) -> Result<Value, JsonError> {
+        // Strict JSON grammar: `f64::parse` is laxer than RFC 8259 (it
+        // accepts `1.`, `.5`, `1.e3`, …), so each digit run is required
+        // here rather than left to the final parse.
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
+        let int_digits = self.digit_run();
+        if int_digits == 0 {
+            return Err(self.err("number needs an integer part"));
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
+            if self.digit_run() == 0 {
+                return Err(self.err("number needs digits after the decimal point"));
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
@@ -273,8 +281,8 @@ impl<'a> Parser<'a> {
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
+            if self.digit_run() == 0 {
+                return Err(self.err("number needs exponent digits"));
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
@@ -283,6 +291,15 @@ impl<'a> Parser<'a> {
             at: start,
             detail: format!("bad number {text:?}"),
         })
+    }
+
+    /// Consumes a run of ASCII digits, returning how many were eaten.
+    fn digit_run(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
     }
 }
 
@@ -352,7 +369,13 @@ mod tests {
 
     #[test]
     fn rejects_malformed_documents() {
-        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+        for bad in [
+            "", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated",
+            // Strict number grammar: every digit run must be non-empty.
+            "1.", "1.e3", "-.5", "-", "1e", "1e+", ".5",
+            // \u takes exactly 4 hex digits — no signs, no short forms.
+            "\"\\u+0ff\"", "\"\\u12g4\"", "\"\\u123\"",
+        ] {
             assert!(parse(bad).is_err(), "{bad:?} must not parse");
         }
     }
@@ -373,13 +396,22 @@ mod tests {
         let points = v.get("points").and_then(Value::as_arr).unwrap();
         assert!(!points.is_empty());
         let cells = index_by(points, &["algorithm", "family", "n"]);
-        let seeds = v.get("spec").unwrap().get("seeds").unwrap().as_arr().unwrap().len();
-        assert!(cells.iter().all(|(_, ps)| ps.len() == seeds));
+        // Every cell holds one point per seed of its segment: the base
+        // axes for base cells, a tier's own seed list for tier cells.
+        let spec = v.get("spec").unwrap();
+        let seed_len = |node: &Value| node.get("seeds").unwrap().as_arr().unwrap().len();
+        let mut runs = vec![seed_len(spec)];
+        let tiers = spec.get("tiers").and_then(Value::as_arr).unwrap();
+        assert_eq!(tiers.len(), 1, "the committed grid carries the large tier");
+        runs.extend(tiers.iter().map(seed_len));
+        assert!(cells.iter().all(|(_, ps)| runs.contains(&ps.len())));
         // First-seen order = grid order: sizes ascend numerically
-        // within the first algorithm/family block.
+        // within the first algorithm/family block, and the tier's
+        // million-node cells come last.
         let first_ns: Vec<&str> =
             cells.iter().take(3).map(|(k, _)| k[2].as_str()).collect();
         assert_eq!(first_ns, ["1000", "10000", "100000"]);
+        assert_eq!(cells.last().unwrap().0[2], "1000000");
     }
 
     #[test]

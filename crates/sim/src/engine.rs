@@ -41,6 +41,18 @@ pub struct SimConfig {
     /// The default injects nothing and is bit-for-bit identical to runs
     /// from before the fault subsystem existed; see [`FaultModel`].
     pub fault: FaultModel,
+    /// Worker shards for the *intra-run* send/receive loops. `1` (the
+    /// default) keeps each round on the calling thread; `k > 1` splits
+    /// every sufficiently large awake batch into `k` contiguous node-id
+    /// ranges executed on scoped worker threads; `0` means one shard per
+    /// available hardware thread.
+    ///
+    /// Sharding is an execution knob, not a semantic one: outgoing
+    /// messages are staged per shard and merged in sender-id order, so
+    /// outputs and [`Metrics`] are byte-identical for every shard count
+    /// — including under an active [`FaultModel`], whose draws are
+    /// keyed by `(site, round)` and therefore independent of scheduling.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -53,6 +65,7 @@ impl Default for SimConfig {
             max_active_rounds: 500_000_000,
             record_wake_history: false,
             fault: FaultModel::default(),
+            shards: 1,
         }
     }
 }
@@ -167,9 +180,17 @@ impl WakeQueue {
         self.len = 0;
     }
 
-    /// Schedules node `v` to wake at round `t` (`t >= base`).
+    /// Schedules node `v` to wake at round `t`, saturating `t` to the
+    /// window base.
+    ///
+    /// A `t` below `base` would underflow `t - self.base`; the old
+    /// `debug_assert` made that a silent release-mode wrap that filed
+    /// the node in the far map under a bogus round. The engine validates
+    /// sleep targets before pushing, so a below-base push can only come
+    /// from internal misuse — saturating pins it to the earliest legal
+    /// round instead of corrupting the calendar.
     fn push(&mut self, t: Round, v: NodeId) {
-        debug_assert!(t >= self.base, "wake-up scheduled in the past");
+        let t = t.max(self.base);
         if t - self.base < NEAR {
             self.near[(t % NEAR) as usize].push(v);
             self.mask |= 1 << (t - self.base);
@@ -222,15 +243,180 @@ impl WakeQueue {
     }
 }
 
-/// Reusable per-run working memory: the wake queue, per-node RNGs,
-/// mailboxes, and awake stamps.
+/// One shard's staging buffer for a round's send phase.
+///
+/// Workers append deliveries as `(receiver batch slot, port, message)`
+/// while accumulating their slice of the message counters locally; the
+/// merge step ([`MsgArena::fill_from`]) and a commutative counter sum
+/// reproduce the serial engine's state exactly.
+#[derive(Debug)]
+struct SendStage<M> {
+    /// Staged deliveries: receiver's dense index in the sorted batch,
+    /// receiver-side port, message. Within one stage, entries appear in
+    /// ascending sender-id order because each worker scans its batch
+    /// slice in order.
+    msgs: Vec<(u32, Port, M)>,
+    sent: u64,
+    delivered: u64,
+    lost: u64,
+    faulted: u64,
+    max_bits: usize,
+    total_bits: u64,
+    /// First error this shard hit, in its own id order. The engine takes
+    /// the error from the lowest-index shard, which is exactly the first
+    /// error the serial loop would have returned.
+    err: Option<SimError>,
+}
+
+impl<M> Default for SendStage<M> {
+    fn default() -> Self {
+        SendStage {
+            msgs: Vec::new(),
+            sent: 0,
+            delivered: 0,
+            lost: 0,
+            faulted: 0,
+            max_bits: 0,
+            total_bits: 0,
+            err: None,
+        }
+    }
+}
+
+impl<M> SendStage<M> {
+    fn clear(&mut self) {
+        self.msgs.clear();
+        self.sent = 0;
+        self.delivered = 0;
+        self.lost = 0;
+        self.faulted = 0;
+        self.max_bits = 0;
+        self.total_bits = 0;
+        self.err = None;
+    }
+
+    /// Accounts one emission of a `bits`-bit message in `copies` copies,
+    /// recording an error and returning `false` if it busts `limit`.
+    fn account(
+        &mut self,
+        node: NodeId,
+        round: Round,
+        bits: usize,
+        copies: usize,
+        limit: Option<usize>,
+    ) -> bool {
+        if let Some(limit) = limit {
+            if bits > limit {
+                self.err = Some(SimError::MessageTooLarge { node, round, bits, limit });
+                return false;
+            }
+        }
+        self.max_bits = self.max_bits.max(bits);
+        self.sent += copies as u64;
+        self.total_bits += (bits * copies) as u64;
+        true
+    }
+}
+
+/// Flat double-buffered message arena: one round's inboxes, CSR-style.
+///
+/// Instead of `n` growable `Vec` mailboxes, the arena holds a single
+/// `data` buffer with `offsets[i]..offsets[i + 1]` delimiting awake batch
+/// slot `i`'s inbox. It is rebuilt every round by a counting-sort merge
+/// of the shard staging buffers, so per-message allocation never happens
+/// after the buffers reach steady-state capacity.
+#[derive(Debug)]
+struct MsgArena<M> {
+    /// `batch.len() + 1` prefix sums over per-slot message counts.
+    offsets: Vec<usize>,
+    /// Scatter cursors, one per slot, used during the merge.
+    cursors: Vec<usize>,
+    /// Concatenated stage buffers (sender-id order), pre-permutation.
+    staged: Vec<(u32, Port, M)>,
+    /// Inverse permutation: `inv[dest] = src` index into `staged`.
+    inv: Vec<usize>,
+    /// All of the round's deliveries, grouped by receiver slot.
+    data: Vec<(Port, M)>,
+}
+
+impl<M> Default for MsgArena<M> {
+    fn default() -> Self {
+        MsgArena {
+            offsets: Vec::new(),
+            cursors: Vec::new(),
+            staged: Vec::new(),
+            inv: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+}
+
+impl<M> MsgArena<M> {
+    fn clear(&mut self) {
+        self.offsets.clear();
+        self.cursors.clear();
+        self.staged.clear();
+        self.inv.clear();
+        self.data.clear();
+    }
+
+    /// Counting-sort merge: drains every stage — in shard order, i.e.
+    /// ascending sender-id order — into `data`, grouped by receiver slot.
+    /// Per receiver this reproduces exactly the push order of the serial
+    /// engine's nested inboxes, so downstream behaviour is byte-identical
+    /// for every shard count. Three linear passes, no comparison sort;
+    /// the inverse-permutation table lets `data` be built by an in-order
+    /// extend instead of scatter-writes into uninitialized capacity.
+    fn fill_from(&mut self, stages: &mut [SendStage<M>], slots: usize)
+    where
+        M: Clone,
+    {
+        self.staged.clear();
+        for stage in stages.iter_mut() {
+            self.staged.append(&mut stage.msgs);
+        }
+        self.offsets.clear();
+        self.offsets.resize(slots + 1, 0);
+        for &(slot, _, _) in &self.staged {
+            self.offsets[slot as usize + 1] += 1;
+        }
+        for i in 0..slots {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        let total = self.offsets[slots];
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.offsets[..slots]);
+        self.inv.clear();
+        self.inv.resize(total, 0);
+        for (src, &(slot, _, _)) in self.staged.iter().enumerate() {
+            let dest = self.cursors[slot as usize];
+            self.inv[dest] = src;
+            self.cursors[slot as usize] = dest + 1;
+        }
+        self.data.clear();
+        let staged = &self.staged;
+        self.data.extend(self.inv.iter().map(|&src| {
+            let (_, port, msg) = &staged[src];
+            // For `Copy` messages this clone is a plain memcpy.
+            (*port, msg.clone())
+        }));
+        self.staged.clear();
+    }
+}
+
+/// Reusable per-run working memory: the wake queue, per-node RNGs, the
+/// flat message arena, shard staging buffers, and awake stamps.
 ///
 /// A fresh [`Simulator::run`] allocates all of this from scratch; callers
 /// running many simulations (seed grids, Monte Carlo sweeps) should keep
 /// one `SimScratch` per worker and use
-/// [`Simulator::run_with_scratch`] so buckets and mailboxes keep their
-/// capacity across runs. The type parameter is the protocol's message
-/// type ([`Protocol::Msg`]).
+/// [`Simulator::run_with_scratch`] so buckets and message buffers keep
+/// their capacity across runs. The type parameter is the protocol's
+/// message type ([`Protocol::Msg`]).
+///
+/// Per-node engine state lives in struct-of-arrays form (`rngs`,
+/// `awake_stamp`, `slot`), and the round's inboxes are one flat
+/// [`MsgArena`] rather than `n` nested `Vec`s.
 ///
 /// A scratch is reset at the start of every run, so reusing one never
 /// changes results: a run remains a pure function of
@@ -241,7 +427,13 @@ pub struct SimScratch<M> {
     queue: WakeQueue,
     batch: Vec<NodeId>,
     awake_stamp: Vec<Round>,
-    inboxes: Vec<Vec<(Port, M)>>,
+    /// Node id → dense index in the current sorted batch. Entries for
+    /// nodes outside the batch are stale and never read (the send loop
+    /// only looks up nodes whose `awake_stamp` matches the round).
+    slot: Vec<u32>,
+    arena: MsgArena<M>,
+    stages: Vec<SendStage<M>>,
+    actions: Vec<Action>,
 }
 
 impl<M> Default for SimScratch<M> {
@@ -251,7 +443,10 @@ impl<M> Default for SimScratch<M> {
             queue: WakeQueue::default(),
             batch: Vec::new(),
             awake_stamp: Vec::new(),
-            inboxes: Vec::new(),
+            slot: Vec::new(),
+            arena: MsgArena::default(),
+            stages: Vec::new(),
+            actions: Vec::new(),
         }
     }
 }
@@ -279,13 +474,21 @@ impl<M> SimScratch<M> {
         self.batch.clear();
         self.awake_stamp.clear();
         self.awake_stamp.resize(n, 0);
-        self.inboxes.truncate(n);
-        for b in &mut self.inboxes {
-            b.clear();
+        self.slot.clear();
+        self.slot.resize(n, 0);
+        self.arena.clear();
+        for stage in &mut self.stages {
+            stage.clear();
         }
-        self.inboxes.resize_with(n, Vec::new);
+        self.actions.clear();
     }
 }
+
+/// Below this many awake nodes per shard a round runs on the calling
+/// thread: spawning workers would cost more than the round itself.
+/// Results are unaffected either way — both paths stage and merge
+/// through the same buffers.
+const MIN_SHARD_BATCH: usize = 256;
 
 /// A configured simulation, ready to [`run`](Simulator::run).
 pub struct Simulator<P: Protocol> {
@@ -312,7 +515,11 @@ impl<P: Protocol> Simulator<P> {
     /// See [`SimError`]. In particular a protocol that parks nodes with
     /// [`SLEEP_FOREVER`] while the rest terminate yields
     /// [`SimError::Deadlock`] rather than hanging.
-    pub fn run(self) -> Result<RunReport<P::Output>, SimError> {
+    pub fn run(self) -> Result<RunReport<P::Output>, SimError>
+    where
+        P: Send,
+        P::Msg: Send,
+    {
         let mut scratch = SimScratch::new();
         self.run_with_scratch(&mut scratch)
     }
@@ -333,6 +540,7 @@ impl<P: Protocol> Simulator<P> {
         arena: &mut crate::ScratchArena,
     ) -> Result<RunReport<P::Output>, SimError>
     where
+        P: Send,
         P::Msg: Send + 'static,
     {
         let scratch = arena.of::<P::Msg>();
@@ -346,34 +554,47 @@ impl<P: Protocol> Simulator<P> {
     /// where one scratch per worker thread is reused across a whole grid
     /// of runs.
     ///
+    /// When [`SimConfig::shards`] asks for intra-run parallelism, each
+    /// round's send and receive loops are split over scoped worker
+    /// threads by contiguous node-id range; staging buffers plus a
+    /// deterministic sender-id-ordered merge keep outputs and metrics
+    /// byte-identical to the serial path.
+    ///
     /// # Errors
     ///
     /// See [`SimError`].
     pub fn run_with_scratch(
-        mut self,
+        self,
         scratch: &mut SimScratch<P::Msg>,
-    ) -> Result<RunReport<P::Output>, SimError> {
-        let n = self.graph.n();
-        if self.nodes.len() != n {
-            return Err(SimError::NodeCountMismatch { nodes: n, protocols: self.nodes.len() });
+    ) -> Result<RunReport<P::Output>, SimError>
+    where
+        P: Send,
+        P::Msg: Send,
+    {
+        let Simulator { graph, mut nodes, config } = self;
+        let n = graph.n();
+        if nodes.len() != n {
+            return Err(SimError::NodeCountMismatch { nodes: n, protocols: nodes.len() });
         }
-        let n_upper = self.config.n_upper.unwrap_or(n);
-        let seed = self.config.seed;
-        let fault = self.config.fault.clone();
-        let mut metrics = Metrics::new(n, self.config.record_wake_history);
+        let n_upper = config.n_upper.unwrap_or(n);
+        let seed = config.seed;
+        let fault = config.fault.clone();
+        let bit_limit = config.bit_limit;
+        let shards = crate::batch::resolve_threads(config.shards);
+        let mut metrics = Metrics::new(n, config.record_wake_history);
         scratch.reset(n, seed, &fault);
-        let SimScratch { rngs, queue, batch, awake_stamp, inboxes } = scratch;
+        let SimScratch { rngs, queue, batch, awake_stamp, slot, arena, stages, actions } = scratch;
         let mut live = n;
 
         while live > 0 {
             let Some(round) = queue.pop_round(batch) else {
                 return Err(SimError::Deadlock { sleeping_forever: live });
             };
-            if round > self.config.max_rounds {
+            if round > config.max_rounds {
                 return Err(SimError::RoundLimit(round));
             }
             metrics.active_rounds += 1;
-            if metrics.active_rounds > self.config.max_active_rounds {
+            if metrics.active_rounds > config.max_active_rounds {
                 return Err(SimError::ActiveRoundLimit(metrics.active_rounds));
             }
 
@@ -397,86 +618,178 @@ impl<P: Protocol> Simulator<P> {
 
             batch.sort_unstable();
             let stamp = round + 1; // nonzero marker for "awake this round"
-            for &v in batch.iter() {
+            for (i, &v) in batch.iter().enumerate() {
                 awake_stamp[v as usize] = stamp;
+                slot[v as usize] = i as u32;
             }
 
-            // Send step (in node-id order for determinism).
-            for &v in batch.iter() {
-                let mut ctx = NodeCtx {
-                    node: v,
-                    degree: self.graph.degree(v),
+            // Send phase: each shard scans a contiguous slice of the
+            // sorted batch — equivalently, a contiguous node-id range —
+            // in id order, staging deliveries into its own buffer.
+            // Rounds too small to amortize a spawn stay on this thread;
+            // both paths flow through the same staging + merge, so the
+            // choice never shows up in results.
+            let len = batch.len();
+            let s = shards.min(len / MIN_SHARD_BATCH).max(1);
+            while stages.len() < s {
+                stages.push(SendStage::default());
+            }
+            for stage in stages[..s].iter_mut() {
+                stage.clear();
+            }
+            if s == 1 {
+                send_shard(
+                    &graph,
+                    &mut nodes[..],
+                    &mut rngs[..],
+                    0,
+                    batch,
+                    awake_stamp,
+                    slot,
+                    stamp,
                     round,
                     n_upper,
-                    rng: &mut rngs[v as usize],
-                };
-                let outbox = self.nodes[v as usize].send(&mut ctx);
-                match outbox {
-                    Outbox::Silent => {}
-                    Outbox::Broadcast(msg) => {
-                        let bits = crate::message::MessageSize::bits(&msg);
-                        self.account(&mut metrics, v, round, bits, self.graph.degree(v))?;
-                        for p in 0..self.graph.degree(v) as Port {
-                            let (u, q) = self.graph.endpoint(v, p);
-                            if awake_stamp[u as usize] == stamp {
-                                // Lossy links drop deliverable copies
-                                // i.i.d., keyed by (sender, port, round).
-                                if fault.loss > 0.0
-                                    && fault_unit(seed, FAULT_LOSS, loss_site(v, p), round)
-                                        < fault.loss
-                                {
-                                    metrics.messages_faulted += 1;
-                                } else {
-                                    inboxes[u as usize].push((q, msg.clone()));
-                                    metrics.messages_delivered += 1;
-                                }
-                            } else {
-                                metrics.messages_lost += 1;
-                            }
-                        }
+                    seed,
+                    &fault,
+                    bit_limit,
+                    &mut stages[0],
+                );
+            } else {
+                std::thread::scope(|scope| {
+                    let mut nodes_rest = &mut nodes[..];
+                    let mut rngs_rest = &mut rngs[..];
+                    let mut consumed = 0usize;
+                    for (k, stage) in stages[..s].iter_mut().enumerate() {
+                        let (lo, hi) = (k * len / s, (k + 1) * len / s);
+                        // The batch is sorted, so batch positions
+                        // [lo, hi) span exactly ids [consumed, id_hi).
+                        let id_hi = if hi == len { n } else { batch[hi] as usize };
+                        let (nodes_chunk, rest) = nodes_rest.split_at_mut(id_hi - consumed);
+                        nodes_rest = rest;
+                        let (rngs_chunk, rest) = rngs_rest.split_at_mut(id_hi - consumed);
+                        rngs_rest = rest;
+                        let base = consumed as NodeId;
+                        consumed = id_hi;
+                        let batch_slice = &batch[lo..hi];
+                        let (graph, awake_stamp, slot, fault) =
+                            (&graph, &awake_stamp[..], &slot[..], &fault);
+                        scope.spawn(move || {
+                            send_shard(
+                                graph,
+                                nodes_chunk,
+                                rngs_chunk,
+                                base,
+                                batch_slice,
+                                awake_stamp,
+                                slot,
+                                stamp,
+                                round,
+                                n_upper,
+                                seed,
+                                fault,
+                                bit_limit,
+                                stage,
+                            );
+                        });
                     }
-                    Outbox::Unicast(list) => {
-                        for (p, msg) in list {
-                            let bits = crate::message::MessageSize::bits(&msg);
-                            self.account(&mut metrics, v, round, bits, 1)?;
-                            let (u, q) = self.graph.endpoint(v, p);
-                            if awake_stamp[u as usize] == stamp {
-                                if fault.loss > 0.0
-                                    && fault_unit(seed, FAULT_LOSS, loss_site(v, p), round)
-                                        < fault.loss
-                                {
-                                    metrics.messages_faulted += 1;
-                                } else {
-                                    inboxes[u as usize].push((q, msg));
-                                    metrics.messages_delivered += 1;
-                                }
-                            } else {
-                                metrics.messages_lost += 1;
-                            }
-                        }
-                    }
+                });
+            }
+            // Shards cover ascending id ranges, so the first erroring
+            // shard's first error is exactly what the serial loop would
+            // have returned.
+            for stage in stages[..s].iter_mut() {
+                if let Some(err) = stage.err.take() {
+                    return Err(err);
                 }
             }
+            // Counter merge: sums and a max — commutative, so the total
+            // is independent of how the batch was split.
+            for stage in stages[..s].iter() {
+                metrics.messages_sent += stage.sent;
+                metrics.messages_delivered += stage.delivered;
+                metrics.messages_lost += stage.lost;
+                metrics.messages_faulted += stage.faulted;
+                metrics.max_message_bits = metrics.max_message_bits.max(stage.max_bits);
+                metrics.total_message_bits += stage.total_bits;
+            }
 
-            // Receive step.
-            for &v in batch.iter() {
-                inboxes[v as usize].sort_unstable_by_key(|&(p, _)| p);
-                let action = {
-                    let mut ctx = NodeCtx {
-                        node: v,
-                        degree: self.graph.degree(v),
-                        round,
-                        n_upper,
-                        rng: &mut rngs[v as usize],
-                    };
-                    self.nodes[v as usize].receive(&mut ctx, &inboxes[v as usize])
-                };
-                inboxes[v as usize].clear();
+            arena.fill_from(&mut stages[..s], len);
+
+            // Receive phase: same shard layout; each worker owns its
+            // contiguous region of the arena (receivers in its id range)
+            // and records actions for the serial apply step below.
+            actions.clear();
+            actions.resize(len, Action::Continue);
+            if s == 1 {
+                receive_shard(
+                    &graph,
+                    &mut nodes[..],
+                    &mut rngs[..],
+                    0,
+                    batch,
+                    0,
+                    &arena.offsets,
+                    &mut arena.data[..],
+                    0,
+                    round,
+                    n_upper,
+                    &mut actions[..],
+                );
+            } else {
+                std::thread::scope(|scope| {
+                    let mut nodes_rest = &mut nodes[..];
+                    let mut rngs_rest = &mut rngs[..];
+                    let mut data_rest = &mut arena.data[..];
+                    let mut actions_rest = &mut actions[..];
+                    let mut consumed = 0usize;
+                    let mut data_consumed = 0usize;
+                    for k in 0..s {
+                        let (lo, hi) = (k * len / s, (k + 1) * len / s);
+                        let id_hi = if hi == len { n } else { batch[hi] as usize };
+                        let (nodes_chunk, rest) = nodes_rest.split_at_mut(id_hi - consumed);
+                        nodes_rest = rest;
+                        let (rngs_chunk, rest) = rngs_rest.split_at_mut(id_hi - consumed);
+                        rngs_rest = rest;
+                        let data_hi = arena.offsets[hi];
+                        let (data_chunk, rest) = data_rest.split_at_mut(data_hi - data_consumed);
+                        data_rest = rest;
+                        let (actions_chunk, rest) = actions_rest.split_at_mut(hi - lo);
+                        actions_rest = rest;
+                        let base = consumed as NodeId;
+                        let data0 = data_consumed;
+                        consumed = id_hi;
+                        data_consumed = data_hi;
+                        let batch_slice = &batch[lo..hi];
+                        let (graph, offsets) = (&graph, &arena.offsets[..]);
+                        scope.spawn(move || {
+                            receive_shard(
+                                graph,
+                                nodes_chunk,
+                                rngs_chunk,
+                                base,
+                                batch_slice,
+                                lo,
+                                offsets,
+                                data_chunk,
+                                data0,
+                                round,
+                                n_upper,
+                                actions_chunk,
+                            );
+                        });
+                    }
+                });
+            }
+
+            // Apply step, serial and in id order: queue pushes, sleep
+            // validation, and termination bookkeeping — so scheduling
+            // and error selection match the serial engine exactly.
+            for (i, &v) in batch.iter().enumerate() {
                 metrics.awake_rounds[v as usize] += 1;
                 if let Some(h) = metrics.wake_history.as_mut() {
                     h[v as usize].push(round);
                 }
-                match action {
+                match actions[i] {
                     Action::Continue => queue.push(round + 1, v),
                     Action::SleepUntil(t) => {
                         if t <= round {
@@ -497,8 +810,7 @@ impl<P: Protocol> Simulator<P> {
             }
         }
 
-        let outputs = self
-            .nodes
+        let outputs = nodes
             .iter()
             .enumerate()
             .map(|(v, p)| {
@@ -511,24 +823,114 @@ impl<P: Protocol> Simulator<P> {
             .collect();
         Ok(RunReport { outputs, metrics })
     }
+}
 
-    fn account(
-        &self,
-        metrics: &mut Metrics,
-        node: NodeId,
-        round: Round,
-        bits: usize,
-        copies: usize,
-    ) -> Result<(), SimError> {
-        if let Some(limit) = self.config.bit_limit {
-            if bits > limit {
-                return Err(SimError::MessageTooLarge { node, round, bits, limit });
+/// One shard of a round's send phase: scans `batch` — a contiguous slice
+/// of the round's sorted batch — in id order, staging every deliverable
+/// message into `stage`. `nodes` and `rngs` are the chunks of the
+/// per-node arrays covering ids `base..`, so node `v`'s state sits at
+/// index `v - base`.
+#[allow(clippy::too_many_arguments)]
+fn send_shard<P: Protocol>(
+    graph: &Graph,
+    nodes: &mut [P],
+    rngs: &mut [SmallRng],
+    base: NodeId,
+    batch: &[NodeId],
+    awake_stamp: &[Round],
+    slot: &[u32],
+    stamp: Round,
+    round: Round,
+    n_upper: usize,
+    seed: u64,
+    fault: &FaultModel,
+    bit_limit: Option<usize>,
+    stage: &mut SendStage<P::Msg>,
+) {
+    for &v in batch {
+        let i = (v - base) as usize;
+        let degree = graph.degree(v);
+        let mut ctx = NodeCtx { node: v, degree, round, n_upper, rng: &mut rngs[i] };
+        match nodes[i].send(&mut ctx) {
+            Outbox::Silent => {}
+            Outbox::Broadcast(msg) => {
+                let bits = crate::message::MessageSize::bits(&msg);
+                if !stage.account(v, round, bits, degree, bit_limit) {
+                    return;
+                }
+                for p in 0..degree as Port {
+                    let (u, q) = graph.endpoint(v, p);
+                    if awake_stamp[u as usize] == stamp {
+                        // Lossy links drop deliverable copies i.i.d.,
+                        // keyed by (sender, port, round) — independent
+                        // of the shard layout.
+                        if fault.loss > 0.0
+                            && fault_unit(seed, FAULT_LOSS, loss_site(v, p), round) < fault.loss
+                        {
+                            stage.faulted += 1;
+                        } else {
+                            // For `Copy` messages this clone is a plain
+                            // memcpy into the staging buffer.
+                            stage.msgs.push((slot[u as usize], q, msg.clone()));
+                            stage.delivered += 1;
+                        }
+                    } else {
+                        stage.lost += 1;
+                    }
+                }
+            }
+            Outbox::Unicast(list) => {
+                for (p, msg) in list {
+                    let bits = crate::message::MessageSize::bits(&msg);
+                    if !stage.account(v, round, bits, 1, bit_limit) {
+                        return;
+                    }
+                    let (u, q) = graph.endpoint(v, p);
+                    if awake_stamp[u as usize] == stamp {
+                        if fault.loss > 0.0
+                            && fault_unit(seed, FAULT_LOSS, loss_site(v, p), round) < fault.loss
+                        {
+                            stage.faulted += 1;
+                        } else {
+                            stage.msgs.push((slot[u as usize], q, msg));
+                            stage.delivered += 1;
+                        }
+                    } else {
+                        stage.lost += 1;
+                    }
+                }
             }
         }
-        metrics.max_message_bits = metrics.max_message_bits.max(bits);
-        metrics.messages_sent += copies as u64;
-        metrics.total_message_bits += (bits * copies) as u64;
-        Ok(())
+    }
+}
+
+/// One shard of a round's receive phase: sorts each receiver's arena
+/// segment by port, delivers it, and records the chosen [`Action`].
+/// `data` is this shard's contiguous slice of the arena starting at
+/// global index `data0`; `pos0` is the global batch position of
+/// `batch[0]` (for indexing the global `offsets`).
+#[allow(clippy::too_many_arguments)]
+fn receive_shard<P: Protocol>(
+    graph: &Graph,
+    nodes: &mut [P],
+    rngs: &mut [SmallRng],
+    base: NodeId,
+    batch: &[NodeId],
+    pos0: usize,
+    offsets: &[usize],
+    data: &mut [(Port, P::Msg)],
+    data0: usize,
+    round: Round,
+    n_upper: usize,
+    actions: &mut [Action],
+) {
+    for (k, &v) in batch.iter().enumerate() {
+        let i = (v - base) as usize;
+        let inbox = &mut data[offsets[pos0 + k] - data0..offsets[pos0 + k + 1] - data0];
+        inbox.sort_unstable_by_key(|&(p, _)| p);
+        let mut ctx =
+            NodeCtx { node: v, degree: graph.degree(v), round, n_upper, rng: &mut rngs[i] };
+        actions[k] = nodes[i].receive(&mut ctx, inbox);
     }
 }
 
@@ -834,6 +1236,43 @@ mod tests {
         }
         assert_eq!(q.pop_round(&mut out), None);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wake_queue_push_below_base_saturates() {
+        // A push below the window base must not wrap `t - base`; it
+        // saturates to the base — the earliest legal round.
+        let mut q = WakeQueue::default();
+        q.push(10, 0);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_round(&mut out), Some(10)); // base is now 10
+        q.push(3, 1); // below base: saturates to round 10
+        q.push(12, 2);
+        assert_eq!(q.pop_round(&mut out), Some(10));
+        assert_eq!(out, vec![1]);
+        assert_eq!(q.pop_round(&mut out), Some(12));
+        assert_eq!(out, vec![2]);
+        assert_eq!(q.pop_round(&mut out), None);
+    }
+
+    #[test]
+    fn wake_queue_promotes_exactly_at_the_near_boundary() {
+        // `t - base == NEAR` must go to the far map (round t's ring
+        // bucket is still owned by round t - NEAR) and promote cleanly
+        // once the base advances; an entry exactly NEAR past the *new*
+        // base must stay far through that promotion pass.
+        let mut q = WakeQueue::default();
+        q.push(0, 0);
+        q.push(NEAR, 1);
+        q.push(2 * NEAR, 2);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_round(&mut out), Some(0));
+        assert_eq!(out, vec![0]);
+        assert_eq!(q.pop_round(&mut out), Some(NEAR));
+        assert_eq!(out, vec![1]);
+        assert_eq!(q.pop_round(&mut out), Some(2 * NEAR));
+        assert_eq!(out, vec![2]);
+        assert_eq!(q.pop_round(&mut out), None);
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl AwakeDistribution {
 }
 
 /// Everything measured during a run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field, which is how the determinism tests
+/// pin "byte-identical metrics" across shard and thread counts.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Metrics {
     /// Per-node count of awake rounds (the paper's `A_v`).
     pub awake_rounds: Vec<u64>,

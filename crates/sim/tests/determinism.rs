@@ -5,7 +5,9 @@
 
 use graphgen::{generators, Port};
 use rand::Rng;
-use sleeping_congest::{Action, Metrics, NodeCtx, Outbox, Protocol, SimConfig, Simulator};
+use sleeping_congest::{
+    Action, FaultModel, Metrics, NodeCtx, Outbox, Protocol, SimConfig, Simulator,
+};
 
 /// RNG-hungry protocol: every wake draws payloads and a sleep gap from
 /// the node's private RNG, so any nondeterminism in the RNG plumbing
@@ -86,6 +88,43 @@ fn different_seeds_diverge() {
     let (outs_a, _) = run(1);
     let (outs_b, _) = run(2);
     assert_ne!(outs_a, outs_b, "different seeds produced identical transcripts");
+}
+
+#[test]
+fn shard_counts_are_byte_identical_under_faults() {
+    // Intra-run sharding is an execution knob: outputs and the full
+    // `Metrics` (wake history included) must match the serial engine for
+    // every shard count. Faults are the part most easily perturbed by
+    // resharding, so loss, crashes, and wake jitter are all active —
+    // their draws are keyed by (site, round) and must not notice the
+    // batch being split. 20k nodes keeps per-round batches large enough
+    // that shards > 1 actually take the parallel staging path.
+    let run = |shards: usize| {
+        let g = generators::path(20_000);
+        let nodes = (0..g.n()).map(|_| RandWalk::new(4)).collect();
+        let cfg = SimConfig {
+            record_wake_history: true,
+            shards,
+            fault: FaultModel {
+                loss: 0.2,
+                crash: 0.002,
+                crash_from: 1,
+                wake_jitter: 4,
+                ..FaultModel::none()
+            },
+            ..SimConfig::seeded(11)
+        };
+        let report = Simulator::new(g, nodes, cfg).run().expect("run");
+        (report.outputs, report.metrics)
+    };
+    let (outs_serial, metrics_serial) = run(1);
+    assert!(metrics_serial.messages_faulted > 0, "loss 0.2 must drop something");
+    assert!(metrics_serial.crashed_count() > 0, "crash 0.002 over 20k nodes must hit someone");
+    for shards in [2, 8, 0] {
+        let (outs, metrics) = run(shards);
+        assert_eq!(outs_serial, outs, "shards={shards}: outputs diverged from serial");
+        assert_eq!(metrics_serial, metrics, "shards={shards}: metrics diverged from serial");
+    }
 }
 
 #[test]

@@ -22,6 +22,7 @@ fn main() {
         families: vec![GraphFamily::Er, GraphFamily::Tree],
         sizes: vec![512, 2048],
         seeds: vec![1, 2, 3, 4],
+        tiers: Vec::new(),
         threads: 0, // 0 = all hardware threads
     };
     let result = run_grid(&spec);
