@@ -18,11 +18,12 @@
 //! per-point `timing` section appended by [`GridResult::to_json`] —
 //! never in the payload.
 
+use crate::runners::AlgoResult;
 use crate::spec::RunnerHandle;
 use crate::stats::Summary;
 use graphgen::GraphFamily;
 use sleeping_congest::batch::{resolve_threads, run_batch};
-use sleeping_congest::{AwakeDistribution, Metrics, ScratchArena};
+use sleeping_congest::{AwakeDistribution, Metrics, ScratchArena, SimError};
 use std::time::Instant;
 
 /// A cartesian experiment grid.
@@ -239,7 +240,23 @@ pub fn run_point_detailed(
     let start = Instant::now();
     let g = job.family.generate(job.n, job.seed);
     let nodes = g.n();
-    let (point, metrics) = match job.algorithm.run_with_scratch(&g, job.seed, scratch) {
+    let res = job.algorithm.run_with_scratch(&g, job.seed, scratch);
+    let (point, result) = point_from_run(job, nodes, res);
+    (GridPoint { elapsed_ns: start.elapsed().as_nanos() as u64, ..point }, result.map(|r| r.metrics))
+}
+
+/// Normalizes a finished (or aborted) run into a [`GridPoint`],
+/// returning the full [`AlgoResult`] alongside on success. Shared by
+/// [`run_point_detailed`] and the churn harness's bootstrap run
+/// ([`crate::churn`]), so a zero-delta churn point is byte-identical to
+/// the corresponding one-shot grid point. `elapsed_ns` is left at 0 —
+/// timing is the caller's concern.
+pub(crate) fn point_from_run(
+    job: &GridJob,
+    nodes: usize,
+    res: Result<AlgoResult, SimError>,
+) -> (GridPoint, Option<AlgoResult>) {
+    match res {
         Ok(r) => (
             GridPoint {
                 job: job.clone(),
@@ -259,7 +276,7 @@ pub fn run_point_detailed(
                 sim_error: None,
                 elapsed_ns: 0,
             },
-            Some(r.metrics),
+            Some(r),
         ),
         Err(e) => (
             GridPoint {
@@ -282,8 +299,7 @@ pub fn run_point_detailed(
             },
             None,
         ),
-    };
-    (GridPoint { elapsed_ns: start.elapsed().as_nanos() as u64, ..point }, metrics)
+    }
 }
 
 /// Runs the whole grid, fanning jobs over `spec.threads` workers with

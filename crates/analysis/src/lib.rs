@@ -21,6 +21,7 @@
 //! paper-style tables; and [`energy`] converts awake/sleeping rounds
 //! into the energy figures that motivate the sleeping model (paper §1.2).
 
+pub mod churn;
 pub mod energy;
 pub mod faults;
 pub mod fit;
@@ -33,6 +34,10 @@ pub mod sweep;
 pub mod table;
 pub mod timeline;
 
+pub use churn::{
+    random_batch, run_churn, ChurnCell, ChurnJob, ChurnMeta, ChurnPoint, ChurnResult, ChurnSpec,
+    EpochReport, MisService, ServeThroughput,
+};
 pub use energy::EnergyModel;
 pub use faults::{fault_axis, run_faults, FaultAxis, FaultCell, FaultResult, FaultSweepSpec};
 pub use fit::{fit_linear, growth_exponent, Fit};

@@ -26,6 +26,13 @@
 //! cells legitimately contain incorrect runs, so — unlike the grid path
 //! — incorrectness alone is not "BROKEN" here; only its growth is.
 //!
+//! For churn documents (`awake-mis/bench-churn/v1`): compares, per
+//! `(algorithm, family, n, rate)` cell, the **woken ratio** (nodes the
+//! incremental repair woke vs what a full recompute would wake) and the
+//! awake-per-delta cost. This is the locality gate: repair quietly
+//! waking more of the graph than the committed baseline is a
+//! regression, as is any cell whose epochs stopped verifying.
+//!
 //! Usage:
 //!
 //! ```text
@@ -76,6 +83,7 @@ enum DocKind {
     Grid,
     Sweep,
     Faults,
+    Churn,
 }
 
 fn load(path: &str) -> Result<(DocKind, Value), String> {
@@ -87,10 +95,11 @@ fn load(path: &str) -> Result<(DocKind, Value), String> {
         ) => DocKind::Grid,
         Some("awake-mis/bench-sweep/v1") => DocKind::Sweep,
         Some("awake-mis/bench-faults/v1") => DocKind::Faults,
+        Some("awake-mis/bench-churn/v1") => DocKind::Churn,
         _ => {
             return Err(format!(
-                "{path}: not an awake-mis/bench-grid/v1|v2|v3, bench-sweep/v1, or \
-                 bench-faults/v1 document"
+                "{path}: not an awake-mis/bench-grid/v1|v2|v3, bench-sweep/v1, \
+                 bench-faults/v1, or bench-churn/v1 document"
             ))
         }
     };
@@ -197,6 +206,7 @@ fn main() -> ExitCode {
             diff_sweep(&old_doc, &new_doc, old_path, new_path, threshold, bits_slack)
         }
         DocKind::Faults => diff_faults(&old_doc, &new_doc, old_path, new_path, threshold),
+        DocKind::Churn => diff_churn(&old_doc, &new_doc, old_path, new_path, threshold),
     };
     if exact {
         // The deterministic payload is everything but meta/timing.
@@ -569,6 +579,96 @@ fn diff_faults(
     println!(
         "\ncompared {compared} fault cells: {regressions} robustness regressions, {} baseline \
          cells missing (threshold {threshold} pp / %)",
+        only_old.len()
+    );
+    regressions > 0 || !only_old.is_empty()
+}
+
+/// Churn-document comparison: per `(algorithm, family, n, rate)` cell,
+/// the mean woken ratio (incremental repair vs full recompute) and the
+/// awake-per-delta cost must not regress beyond the threshold, and
+/// every epoch must still verify. A baseline ratio of 0 (zero-rate
+/// cells) must stay 0 — any wake-up on a delta-free stream is a
+/// locality bug, not a tolerable drift. Returns whether anything
+/// regressed.
+fn diff_churn(
+    old_doc: &Value,
+    new_doc: &Value,
+    old_path: &str,
+    new_path: &str,
+    threshold: f64,
+) -> bool {
+    let old_points = old_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
+    let new_points = new_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
+    let key_fields = ["algorithm", "family", "n", "rate"];
+    let old_cells = json::index_by(old_points, &key_fields);
+    let new_cells: Vec<(Vec<String>, Vec<&Value>)> = json::index_by(new_points, &key_fields);
+    let new_by_key: HashMap<&[String], &Vec<&Value>> =
+        new_cells.iter().map(|(k, v)| (k.as_slice(), v)).collect();
+
+    let mut t = Table::new(vec![
+        "algorithm", "family", "n", "rate", "ratio old", "ratio new", "Δ%", "awake/Δ old",
+        "awake/Δ new", "verdict",
+    ]);
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (key, old_pts) in &old_cells {
+        let Some(new_pts) = new_by_key.get(key.as_slice()) else {
+            continue;
+        };
+        compared += 1;
+        let (r_old, r_new) = (mean(old_pts, "woken_ratio"), mean(new_pts, "woken_ratio"));
+        let (a_old, a_new) =
+            (mean(old_pts, "awake_per_delta"), mean(new_pts, "awake_per_delta"));
+        let pct = if r_old > 0.0 { 100.0 * (r_new - r_old) / r_old } else { 0.0 };
+        let ratio_bad = regressed(Some(r_old), Some(r_new), threshold)
+            || (r_old == 0.0 && r_new > 0.0);
+        let awake_bad = regressed(Some(a_old), Some(a_new), threshold);
+        let verdict = if !all_correct(new_pts) {
+            regressions += 1;
+            "BROKEN"
+        } else if !all_correct(old_pts) {
+            "fixed (baseline was broken)"
+        } else if ratio_bad || awake_bad {
+            regressions += 1;
+            "REGRESSED"
+        } else if r_new < r_old || a_new < a_old {
+            "improved"
+        } else {
+            "ok"
+        };
+        t.row(vec![
+            key[0].clone(),
+            key[1].clone(),
+            key[2].clone(),
+            key[3].clone(),
+            format!("{r_old:.4}"),
+            format!("{r_new:.4}"),
+            format!("{pct:+.1}%"),
+            format!("{a_old:.2}"),
+            format!("{a_new:.2}"),
+            verdict.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let old_keys: HashSet<&[String]> = old_cells.iter().map(|(k, _)| k.as_slice()).collect();
+    let only_old: Vec<&Vec<String>> = old_cells
+        .iter()
+        .map(|(k, _)| k)
+        .filter(|k| !new_by_key.contains_key(k.as_slice()))
+        .collect();
+    for k in &only_old {
+        println!("MISSING: cell {} only in {old_path}", k.join("/"));
+    }
+    for (k, _) in &new_cells {
+        if !old_keys.contains(k.as_slice()) {
+            println!("cell {} only in {new_path} (new coverage, not a failure)", k.join("/"));
+        }
+    }
+    println!(
+        "\ncompared {compared} churn cells: {regressions} locality regressions, {} baseline \
+         cells missing (threshold {threshold}%)",
         only_old.len()
     );
     regressions > 0 || !only_old.is_empty()

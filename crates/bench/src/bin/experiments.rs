@@ -676,7 +676,12 @@ fn e11() {
     println!();
 }
 
-/// E12 — ablation: geometric vs uniform batch distribution.
+/// E12 — ablation: geometric vs uniform batch distribution. Rides
+/// `sleeping_congest::batch::run_batch` like E4/E8: the
+/// `{n × batching}` cells fan their seed axis across OS threads, each
+/// job returning its component-size census, and the cell folds the
+/// per-seed tuples back down — the same table as the old hand-rolled
+/// serial triple loop, minus the serialism.
 fn e12() {
     header(
         "E12 (ablation, DESIGN.md §3.4)",
@@ -685,37 +690,45 @@ fn e12() {
     let mut t = Table::new(vec![
         "n", "batching", "max component", "mean component", "failures", "awake max",
     ]);
-    for &n in &[4096usize, 16384] {
-        for uniform in [false, true] {
-            let mut worst = 0u64;
-            let mut sum = 0f64;
-            let mut cnt = 0usize;
-            let mut fails = 0usize;
-            let mut awake = 0u64;
-            for &seed in &SEEDS {
-                let g = Family::Er.generate(n, seed);
-                let cfg = AwakeMisConfig { uniform_batches: uniform, ..Default::default() };
-                let nodes = (0..n).map(|_| AwakeMis::new(cfg)).collect();
-                let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
-                for o in &rep.outputs {
-                    if o.comp_size > 0 {
-                        worst = worst.max(o.comp_size);
-                        sum += o.comp_size as f64;
-                        cnt += 1;
-                    }
-                    fails += o.failed as usize;
-                }
-                awake = awake.max(rep.metrics.awake_complexity());
+    let cells: Vec<(usize, bool)> =
+        [4096usize, 16384].iter().flat_map(|&n| [false, true].map(|u| (n, u))).collect();
+    let jobs: Vec<(usize, bool, u64)> = cells
+        .iter()
+        .flat_map(|&(n, uniform)| SEEDS.iter().map(move |&s| (n, uniform, s)))
+        .collect();
+    // Per seed: (max component, Σ component sizes, component count,
+    // failures, awake complexity).
+    let runs = run_batch(&jobs, 0, |_| (), |(), _i, &(n, uniform, seed)| {
+        let g = Family::Er.generate(n, seed);
+        let cfg = AwakeMisConfig { uniform_batches: uniform, ..Default::default() };
+        let nodes = (0..n).map(|_| AwakeMis::new(cfg)).collect();
+        let rep = Simulator::new(g, nodes, SimConfig::seeded(seed)).run().unwrap();
+        let (mut worst, mut sum, mut cnt, mut fails) = (0u64, 0f64, 0usize, 0usize);
+        for o in &rep.outputs {
+            if o.comp_size > 0 {
+                worst = worst.max(o.comp_size);
+                sum += o.comp_size as f64;
+                cnt += 1;
             }
-            t.row(vec![
-                n.to_string(),
-                if uniform { "uniform".into() } else { "geometric".to_string() },
-                worst.to_string(),
-                format!("{:.2}", sum / cnt.max(1) as f64),
-                fails.to_string(),
-                awake.to_string(),
-            ]);
+            fails += o.failed as usize;
         }
+        (worst, sum, cnt, fails, rep.metrics.awake_complexity())
+    });
+    for (ci, &(n, uniform)) in cells.iter().enumerate() {
+        let chunk = &runs[ci * SEEDS.len()..(ci + 1) * SEEDS.len()];
+        let worst = chunk.iter().map(|r| r.0).max().unwrap_or(0);
+        let sum: f64 = chunk.iter().map(|r| r.1).sum();
+        let cnt: usize = chunk.iter().map(|r| r.2).sum();
+        let fails: usize = chunk.iter().map(|r| r.3).sum();
+        let awake = chunk.iter().map(|r| r.4).max().unwrap_or(0);
+        t.row(vec![
+            n.to_string(),
+            if uniform { "uniform".into() } else { "geometric".to_string() },
+            worst.to_string(),
+            format!("{:.2}", sum / cnt.max(1) as f64),
+            fails.to_string(),
+            awake.to_string(),
+        ]);
     }
     print!("{}", t.render());
     println!();

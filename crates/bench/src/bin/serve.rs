@@ -1,0 +1,220 @@
+//! `serve` — a long-running MIS service over a stream of topology
+//! deltas: reads delta batches (generated workload by default, or a
+//! line protocol on stdin), repairs the MIS incrementally after each
+//! batch, emits the **MIS delta** (which nodes joined/left the MIS),
+//! and reports sustained deltas/sec on exit.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve -- \
+//!     [--algo luby] [--family er] [--n 1000000] [--seed 1] \
+//!     [--batches 6] [--ops 2000] [--insert-frac 0.5] [--node-churn 0] \
+//!     [--stdin] [--quiet]
+//! ```
+//!
+//! Default mode generates `--batches` random delta batches of `--ops`
+//! operations each against the bootstrapped instance (this is the
+//! n=10⁶ throughput configuration; the same loop runs in-process under
+//! `churn --serve` to stamp the figure into `BENCH_churn.json`).
+//!
+//! With `--stdin`, batches come from a line protocol instead:
+//!
+//! ```text
+//! +e U V      queue an edge insert
+//! -e U V      queue an edge delete
+//! +n K        queue K node additions (ids are assigned n, n+1, …)
+//! -n V        queue a node removal
+//! .           apply the queued batch (aliases: "flush", empty line)
+//! quit        apply nothing further and exit
+//! ```
+//!
+//! After each applied batch the service prints the MIS delta as `+m V`
+//! / `-m V` lines on stdout (suppressed by `--quiet`), then a `# batch`
+//! summary line: effective deltas, woken nodes, frontier size, repair
+//! rounds, and the verification verdict. Diagnostics are prefixed `#`
+//! so a consumer can stream the `+m`/`-m` lines alone. Exit status is
+//! nonzero if any batch failed to verify.
+
+use analysis::churn::{random_batch, MisService};
+use analysis::spec::default_registry;
+use bench::Family;
+use graphgen::DeltaBatch;
+use sleeping_congest::ScratchArena;
+use std::io::BufRead;
+use std::time::Instant;
+
+fn main() {
+    let registry = default_registry();
+    let mut algo = String::from("luby");
+    let mut family = Family::Er;
+    let mut n = 1_000_000usize;
+    let mut seed = 1u64;
+    let mut batches = 6u64;
+    let mut ops = 2000usize;
+    let mut insert_frac = 0.5f64;
+    let mut node_churn = 0.0f64;
+    let mut stdin_mode = false;
+    let mut quiet = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> &str {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| panic!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--algo" => algo = value(&mut i).to_string(),
+            "--family" => {
+                let v = value(&mut i);
+                family = Family::parse(v).unwrap_or_else(|| panic!("unknown family {v:?}"));
+            }
+            "--n" => n = value(&mut i).parse().expect("--n takes a node count"),
+            "--seed" => seed = value(&mut i).parse().expect("--seed takes a number"),
+            "--batches" => batches = value(&mut i).parse().expect("--batches takes a count"),
+            "--ops" => ops = value(&mut i).parse().expect("--ops takes a count"),
+            "--insert-frac" => {
+                insert_frac = value(&mut i).parse().expect("--insert-frac takes a fraction");
+            }
+            "--node-churn" => {
+                node_churn = value(&mut i).parse().expect("--node-churn takes a fraction");
+            }
+            "--stdin" => stdin_mode = true,
+            "--quiet" => quiet = true,
+            other => panic!("unknown argument {other:?} (see the doc comment for usage)"),
+        }
+        i += 1;
+    }
+
+    let runner = registry.resolve(&algo).unwrap_or_else(|e| panic!("--algo: {e}"));
+    let g = family.generate(n, seed);
+    let mut scratch = ScratchArena::new();
+    println!("# bootstrapping {} on {} n={}…", runner.key(), family.key(), g.n());
+    let t0 = Instant::now();
+    let (mut service, r) =
+        MisService::bootstrap(runner, g, seed, &mut scratch).expect("bootstrap");
+    if !r.correct {
+        eprintln!("serve: bootstrap did not produce a valid MIS");
+        std::process::exit(1);
+    }
+    println!(
+        "# ready: mis={} awake_max={} in {:.2}s; serving…",
+        r.mis_size,
+        r.awake_max,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut total_deltas = 0u64;
+    let mut total_batches = 0u64;
+    let mut failed = false;
+    let start = Instant::now();
+    let mut apply = |batch: &DeltaBatch, service: &mut MisService, scratch: &mut ScratchArena| {
+        if batch.is_empty() {
+            return;
+        }
+        match service.apply(batch, scratch) {
+            Ok(rep) => {
+                if !quiet {
+                    for v in &rep.joined {
+                        println!("+m {v}");
+                    }
+                    for v in &rep.left {
+                        println!("-m {v}");
+                    }
+                }
+                println!(
+                    "# batch {}: {} deltas, {} woken, frontier {}, {} repair rounds, mis {} → {}",
+                    rep.epoch,
+                    rep.deltas,
+                    rep.woken,
+                    rep.frontier,
+                    rep.repair_rounds,
+                    if rep.correct { "ok" } else { "FAILED" },
+                    service.mis_size(),
+                );
+                if !rep.correct {
+                    if let Some(e) = &rep.error {
+                        println!("# error: {e}");
+                    }
+                    failed = true;
+                }
+                total_deltas += rep.deltas;
+                total_batches += 1;
+            }
+            Err(e) => {
+                println!("# rejected batch: {e}");
+                failed = true;
+            }
+        }
+    };
+
+    if stdin_mode {
+        let stdin = std::io::stdin();
+        let mut batch = DeltaBatch::new();
+        for line in stdin.lock().lines() {
+            let line = line.expect("stdin");
+            let mut parts = line.split_whitespace();
+            let op = parts.next().unwrap_or("");
+            let arg = |p: &mut std::str::SplitWhitespace| -> u32 {
+                p.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("serve: malformed line {line:?}");
+                    std::process::exit(2);
+                })
+            };
+            match op {
+                "+e" => {
+                    let (u, v) = (arg(&mut parts), arg(&mut parts));
+                    batch.insert_edge(u, v);
+                }
+                "-e" => {
+                    let (u, v) = (arg(&mut parts), arg(&mut parts));
+                    batch.delete_edge(u, v);
+                }
+                "+n" => {
+                    batch.add_nodes(arg(&mut parts) as usize);
+                }
+                "-n" => {
+                    batch.remove_node(arg(&mut parts));
+                }
+                "" | "." | "flush" => {
+                    apply(&batch, &mut service, &mut scratch);
+                    batch = DeltaBatch::new();
+                }
+                "quit" => break,
+                other => {
+                    eprintln!("serve: unknown op {other:?} in line {line:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        // An unflushed trailing batch still counts.
+        apply(&batch, &mut service, &mut scratch);
+    } else {
+        for b in 0..batches {
+            let batch = random_batch(
+                service.graph(),
+                ops,
+                insert_frac,
+                node_churn,
+                seed.wrapping_add(b + 1),
+            );
+            apply(&batch, &mut service, &mut scratch);
+        }
+    }
+
+    let wall = start.elapsed();
+    let dps = total_deltas as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "# sustained: {total_deltas} deltas in {total_batches} batches over {:.2}s → {:.0} deltas/sec \
+         (n={}, active={}, mis={})",
+        wall.as_secs_f64(),
+        dps,
+        service.graph().n(),
+        service.graph().active_count(),
+        service.mis_size(),
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

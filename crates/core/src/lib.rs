@@ -48,6 +48,7 @@ pub mod avg_mis;
 pub mod awake_mis;
 pub mod coloring;
 pub mod greedy;
+pub mod incremental;
 pub mod ldt_mis;
 pub mod low_energy_mis;
 pub mod luby;
@@ -61,6 +62,7 @@ pub mod vt_mis;
 pub use avg_mis::{AvgMis, AvgMisConfig, AvgMisOutput, AvgMsg};
 pub use awake_mis::{derive_params, AwakeMis, AwakeMisConfig, AwakeMisOutput, DerivedParams};
 pub use coloring::{coloring, colors_used, is_proper_coloring, ColoringResult};
+pub use incremental::{repair, RepairConfig, RepairOutcome, SubSolution};
 pub use ldt_mis::{LdtMis, LdtMisOutput, LdtMisParams, LdtStrategy};
 pub use low_energy_mis::{LeMis, LeMisConfig, LeMisOutput, LeMsg, LE_MAX_BITS};
 pub use luby::Luby;

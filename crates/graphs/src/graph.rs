@@ -86,30 +86,46 @@ impl Graph {
         }
         halves.sort_unstable();
         halves.dedup();
+        Ok(Graph::from_sorted_halves(n, &halves))
+    }
 
+    /// Builds the CSR from half-edges that are already sorted by
+    /// `(source, target)` and deduplicated. This is the single rebuild
+    /// path shared by [`Graph::from_edges`], [`Graph::induced`], and the
+    /// delta machinery ([`Graph::apply_deltas`](crate::delta)) — port
+    /// assignment lives here and nowhere else.
+    pub(crate) fn from_sorted_halves(n: usize, halves: &[(NodeId, NodeId)]) -> Graph {
         let mut offsets = vec![0usize; n + 1];
-        for &(a, _) in &halves {
+        for &(a, _) in halves {
             offsets[a as usize + 1] += 1;
         }
         for i in 0..n {
             offsets[i + 1] += offsets[i];
         }
         let targets: Vec<NodeId> = halves.iter().map(|&(_, b)| b).collect();
+        Graph::from_csr_parts(offsets, targets)
+    }
 
-        // Reverse ports: position of `a` within `b`'s (sorted) neighbor
-        // list. `halves` is sorted by (source, target), so scanning the
-        // half-edges in order visits each target `b`'s incoming sources
-        // in ascending order — which is exactly `b`'s port order. One
-        // linear counting pass therefore replaces a binary search per
-        // half-edge, keeping construction at 10^6–10^7 nodes off the
-        // profile.
+    /// Finishes a CSR whose `offsets`/`targets` are already laid out
+    /// (per-source neighbor lists sorted ascending) by computing the
+    /// reverse ports.
+    ///
+    /// Reverse ports: position of `a` within `b`'s (sorted) neighbor
+    /// list. The half-edges appear in `(source, target)` order, so
+    /// scanning them in sequence visits each target `b`'s incoming
+    /// sources in ascending order — which is exactly `b`'s port order.
+    /// One linear counting pass therefore replaces a binary search per
+    /// half-edge, keeping construction at 10^6–10^7 nodes off the
+    /// profile.
+    pub(crate) fn from_csr_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Graph {
+        let n = offsets.len() - 1;
         let mut rev_port = vec![0 as Port; targets.len()];
         let mut seen = vec![0 as Port; n];
         for (e, &b) in targets.iter().enumerate() {
             rev_port[e] = seen[b as usize];
             seen[b as usize] += 1;
         }
-        Ok(Graph { offsets, targets, rev_port })
+        Graph { offsets, targets, rev_port }
     }
 
     /// Builds a graph without any edges.
@@ -197,16 +213,19 @@ impl Graph {
         for (i, &v) in sel.iter().enumerate() {
             new_id[v as usize] = i as u32;
         }
-        let mut edges = Vec::new();
+        // `sel` is sorted and each neighbor list is sorted, and renaming
+        // by `new_id` is monotone — so emitting half-edges node by node
+        // yields them already in `(source, target)` order for the shared
+        // rebuild path, no re-sort needed.
+        let mut halves = Vec::new();
         for &v in &sel {
             for &u in self.neighbors(v) {
-                if v < u && new_id[u as usize] != u32::MAX {
-                    edges.push((new_id[v as usize], new_id[u as usize]));
+                if new_id[u as usize] != u32::MAX {
+                    halves.push((new_id[v as usize], new_id[u as usize]));
                 }
             }
         }
-        let g = Graph::from_edges(sel.len(), &edges).expect("induced edges are valid");
-        (g, sel)
+        (Graph::from_sorted_halves(sel.len(), &halves), sel)
     }
 }
 

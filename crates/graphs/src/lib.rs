@@ -20,6 +20,9 @@
 //! * [`families`] — named generator presets ([`GraphFamily`]) so
 //!   experiment grids can iterate workloads as plain data and regenerate
 //!   any instance from `(family, n, seed)`.
+//! * [`delta`] — dynamic-graph support: [`DeltaBatch`] topology deltas,
+//!   [`Graph::apply_deltas`] with stable ports for untouched nodes, and
+//!   the [`DynGraph`] wrapper tracking an active-node mask.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@
 //! }
 //! ```
 
+pub mod delta;
 pub mod families;
 pub mod generators;
 pub mod graph;
@@ -46,5 +50,6 @@ pub mod io;
 pub mod products;
 pub mod props;
 
+pub use delta::{AppliedDelta, DeltaBatch, DeltaError, DynGraph};
 pub use families::GraphFamily;
 pub use graph::{Graph, GraphError, NodeId, Port};
