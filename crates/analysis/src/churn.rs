@@ -149,6 +149,13 @@ pub struct EpochReport {
     pub joined: Vec<NodeId>,
     /// Nodes that left the MIS this epoch (sorted).
     pub left: Vec<NodeId>,
+    /// Wall-clock nanoseconds the whole repair took (solver, splice,
+    /// verification). Observational only: the churn payload never
+    /// includes it, so payloads stay byte-identical across machines.
+    pub repair_ns: u64,
+    /// Wall-clock nanoseconds of the repair spent verifying candidate
+    /// states. Observational only, like [`repair_ns`](Self::repair_ns).
+    pub verify_ns: u64,
 }
 
 /// A long-running MIS service: holds a [`DynGraph`] and a valid MIS,
@@ -225,6 +232,7 @@ impl MisService {
         let applied = self.graph.apply(batch)?;
         self.epoch += 1;
         let runner = self.runner.clone();
+        let repair_t0 = std::time::Instant::now();
         let out = repair(
             self.graph.graph(),
             self.graph.active(),
@@ -245,6 +253,7 @@ impl MisService {
                     .map_err(|e| e.to_string())
             },
         );
+        let repair_ns = repair_t0.elapsed().as_nanos() as u64;
         let mut joined = Vec::new();
         let mut left = Vec::new();
         for (v, &s) in out.states.iter().enumerate() {
@@ -273,6 +282,8 @@ impl MisService {
             error: out.error,
             joined,
             left,
+            repair_ns,
+            verify_ns: out.verify_ns,
         })
     }
 }

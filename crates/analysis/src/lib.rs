@@ -47,4 +47,4 @@ pub use spec::{default_registry, AlgorithmSpec, DynRunner, Registry, RunnerHandl
 pub use stats::Summary;
 pub use sweep::{run_sweep, SweepCell, SweepEntry, SweepGroup, SweepPoint, SweepResult, SweepSpec};
 pub use table::Table;
-pub use timeline::render_timeline;
+pub use timeline::{render_timeline, TimelineError};

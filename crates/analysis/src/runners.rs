@@ -46,7 +46,8 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use sleeping_congest::{
-    FaultModel, Metrics, ScratchArena, SimConfig, SimError, Simulator, Standalone,
+    FaultModel, JsonlSink, Metrics, Profile, ScratchArena, SimConfig, SimError, Simulator,
+    Standalone, TraceHandle,
 };
 
 /// Normalized result of one run.
@@ -197,23 +198,42 @@ pub(crate) fn read_fault(p: &mut ParamReader<'_>) -> Result<FaultModel, SpecErro
     Ok(fault)
 }
 
-/// Execution knobs shared by every builtin: the fault model plus the
-/// engine's intra-run shard count. Parsed after algorithm-specific
-/// parameters, see [`read_exec`].
+/// Execution knobs shared by every builtin: the fault model, the
+/// engine's intra-run shard count, and an optional trace sink. Parsed
+/// after algorithm-specific parameters, see [`read_exec`].
 #[derive(Debug, Clone)]
 pub(crate) struct ExecParams {
     pub(crate) fault: FaultModel,
     pub(crate) shards: usize,
+    pub(crate) trace: Option<TraceHandle>,
 }
 
 /// Reads the shared execution parameters: the fault model
-/// ([`read_fault`]) and `shards=K` — the engine's intra-run shard count
+/// ([`read_fault`]), `shards=K` — the engine's intra-run shard count
 /// (`1` = serial, `0` = one shard per hardware thread; results are
-/// byte-identical either way).
+/// byte-identical either way) — and `trace=profile|jsonl`, which
+/// attaches an observational sink shared by every run of the resolved
+/// runner (`profile` aggregates a phase report retrievable through
+/// [`DynRunner::trace`]; `jsonl` streams one event per line to
+/// stderr). Tracing never changes results.
 pub(crate) fn read_exec(p: &mut ParamReader<'_>) -> Result<ExecParams, SpecError> {
     let fault = read_fault(p)?;
     let shards = p.u64("shards")?.unwrap_or(1) as usize;
-    Ok(ExecParams { fault, shards })
+    let trace = match p.str("trace") {
+        None => None,
+        Some(s) => match s.to_ascii_lowercase().as_str() {
+            "profile" => Some(TraceHandle::new(Profile::new())),
+            "jsonl" => Some(TraceHandle::new(JsonlSink::stderr())),
+            other => {
+                return Err(SpecError::BadValue {
+                    param: "trace".to_string(),
+                    value: other.to_string(),
+                    expected: "profile or jsonl".to_string(),
+                })
+            }
+        },
+    };
+    Ok(ExecParams { fault, shards, trace })
 }
 
 /// Canonical runner key for `spec`: the spec as written, minus fault
@@ -233,9 +253,10 @@ fn runner_key(spec: &AlgorithmSpec) -> String {
                 }
                 "crash_until" => value.parse::<u64>().map(|v| v == u64::MAX).unwrap_or(false),
                 "adv_ids" => value.eq_ignore_ascii_case("random"),
-                // Sharding is pure execution: it can never change
-                // results, so it never enters the identity.
-                "shards" => true,
+                // Sharding and tracing are pure execution: they can
+                // never change results, so they never enter the
+                // identity.
+                "shards" | "trace" => true,
                 _ => false,
             };
             !is_default
@@ -249,9 +270,15 @@ fn runner_key(spec: &AlgorithmSpec) -> String {
     }
 }
 
-/// A [`SimConfig`] carrying the runner's fault model and shard count.
+/// A [`SimConfig`] carrying the runner's fault model, shard count, and
+/// trace sink.
 fn sim_config(seed: u64, exec: &ExecParams) -> SimConfig {
-    SimConfig { fault: exec.fault.clone(), shards: exec.shards, ..SimConfig::seeded(seed) }
+    SimConfig {
+        fault: exec.fault.clone(),
+        shards: exec.shards,
+        trace: exec.trace.clone(),
+        ..SimConfig::seeded(seed)
+    }
 }
 
 /// How ID-based runners (`vt`, `naive`, `ldt`) assign their IDs:
@@ -386,6 +413,10 @@ impl DynRunner for AwakeRunner {
         &self.key
     }
 
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.exec.trace.as_ref()
+    }
+
     fn run_on(
         &self,
         g: &Graph,
@@ -424,6 +455,10 @@ impl DynRunner for LubyRunner {
 
     fn key(&self) -> &str {
         &self.key
+    }
+
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.exec.trace.as_ref()
     }
 
     fn run_on(
@@ -478,6 +513,10 @@ impl DynRunner for NaRunner {
         &self.key
     }
 
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.exec.trace.as_ref()
+    }
+
     fn run_on(
         &self,
         g: &Graph,
@@ -521,6 +560,10 @@ impl DynRunner for AvgRunner {
 
     fn key(&self) -> &str {
         &self.key
+    }
+
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.exec.trace.as_ref()
     }
 
     fn run_on(
@@ -591,6 +634,10 @@ impl DynRunner for LeRunner {
         &self.key
     }
 
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.exec.trace.as_ref()
+    }
+
     fn run_on(
         &self,
         g: &Graph,
@@ -638,6 +685,10 @@ impl DynRunner for VtRunner {
 
     fn key(&self) -> &str {
         &self.key
+    }
+
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.exec.trace.as_ref()
     }
 
     fn run_on(
@@ -692,6 +743,10 @@ impl DynRunner for NaiveRunner {
 
     fn key(&self) -> &str {
         &self.key
+    }
+
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.exec.trace.as_ref()
     }
 
     fn run_on(
@@ -749,6 +804,10 @@ impl DynRunner for LdtRunner {
 
     fn key(&self) -> &str {
         &self.key
+    }
+
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.exec.trace.as_ref()
     }
 
     fn run_on(
@@ -1104,10 +1163,17 @@ mod tests {
             reg.resolve("vt?adv_ids=sideways"),
             Err(SpecError::BadValue { ref param, .. }) if param == "adv_ids"
         ));
+        assert!(matches!(
+            reg.resolve("luby?trace=flamegraph"),
+            Err(SpecError::BadValue { ref param, .. }) if param == "trace"
+        ));
         // Every builtin accepts the shared fault and execution params.
         for key in default_registry().keys() {
             assert!(
-                reg.resolve(&format!("{key}?loss=0.01&crash=0.0001&jitter=2&shards=2")).is_ok(),
+                reg.resolve(&format!(
+                    "{key}?loss=0.01&crash=0.0001&jitter=2&shards=2&trace=profile"
+                ))
+                .is_ok(),
                 "{key} must accept fault params"
             );
         }
@@ -1131,6 +1197,39 @@ mod tests {
             assert_eq!(a.key, b.key, "{sharded}: key must collapse");
             assert_eq!(a.states, b.states, "{sharded}: states diverged");
             assert_eq!(a.metrics, b.metrics, "{sharded}: metrics diverged");
+        }
+    }
+
+    #[test]
+    fn trace_param_is_execution_only() {
+        let reg = default_registry();
+        // Both sink kinds collapse to the bare key, composing with the
+        // other execution-only params.
+        assert_eq!(reg.resolve("luby?trace=profile").unwrap().key(), "luby");
+        assert_eq!(reg.resolve("awake?trace=jsonl&shards=4").unwrap().key(), "awake");
+        assert_eq!(
+            reg.resolve("vt?id_upper=4096&trace=profile").unwrap().key(),
+            "vt?id_upper=4096"
+        );
+        // A traced runner exposes its handle; an untraced one does not.
+        let traced = reg.resolve("luby?trace=profile").unwrap();
+        assert!(traced.trace().is_some());
+        assert!(reg.resolve("luby").unwrap().trace().is_none());
+        // Runs are byte-identical to the untraced runner — sharded and
+        // faulted included — and the profile actually aggregated them.
+        let g = generators::gnp(80, 0.1, &mut SmallRng::seed_from_u64(33));
+        for (plain, with_trace) in [
+            ("luby", "luby?trace=profile"),
+            ("awake?loss=0.02&shards=4", "awake?loss=0.02&shards=4&trace=profile"),
+        ] {
+            let a = reg.resolve(plain).unwrap().run(&g, 7).unwrap();
+            let runner = reg.resolve(with_trace).unwrap();
+            let b = runner.run(&g, 7).unwrap();
+            assert_eq!(a.key, b.key, "{with_trace}: key must collapse");
+            assert_eq!(a.states, b.states, "{with_trace}: states diverged");
+            assert_eq!(a.metrics, b.metrics, "{with_trace}: metrics diverged");
+            let report = runner.trace().unwrap().report().expect("profile report");
+            assert!(report.contains("1 run,"), "report should cover the run:\n{report}");
         }
     }
 

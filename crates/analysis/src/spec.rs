@@ -69,7 +69,7 @@
 
 use crate::runners::AlgoResult;
 use graphgen::Graph;
-use sleeping_congest::{ScratchArena, SimError};
+use sleeping_congest::{ScratchArena, SimError, TraceHandle};
 use std::fmt;
 use std::sync::Arc;
 
@@ -379,6 +379,16 @@ pub trait DynRunner: Send + Sync {
         seed: u64,
         scratch: &mut ScratchArena,
     ) -> Result<AlgoResult, SimError>;
+
+    /// The observational trace handle attached to this runner, when its
+    /// spec asked for one (`trace=profile|jsonl`). Sinks aggregate
+    /// across every run the handle observes; `Profile`'s rendered
+    /// report is retrievable through
+    /// [`TraceHandle::report`](sleeping_congest::TraceHandle::report).
+    /// The default (and the norm) is no sink.
+    fn trace(&self) -> Option<&TraceHandle> {
+        None
+    }
 }
 
 /// A cheaply-cloneable shared handle to a [`DynRunner`].
@@ -408,6 +418,11 @@ impl RunnerHandle {
     /// Borrows the underlying trait object.
     pub fn as_dyn(&self) -> &dyn DynRunner {
         &*self.0
+    }
+
+    /// The runner's attached trace handle (see [`DynRunner::trace`]).
+    pub fn trace(&self) -> Option<&TraceHandle> {
+        self.0.trace()
     }
 
     /// Runs on `g` with fresh simulator working memory.

@@ -7,20 +7,66 @@
 //! otherwise, and a space after the node terminated.
 
 use sleeping_congest::Metrics;
+use std::fmt;
+
+/// Why a timeline could not be rendered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineError {
+    /// The metrics carry no wake history: the run was executed without
+    /// [`sleeping_congest::SimConfig::record_wake_history`].
+    NoWakeHistory,
+    /// `cols == 0` — a timeline needs at least one column.
+    ZeroColumns,
+    /// A requested node id is outside the run's node range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The number of nodes in the run.
+        n: usize,
+    },
+}
+
+impl fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimelineError::NoWakeHistory => write!(
+                f,
+                "metrics carry no wake history; run with \
+                 SimConfig::record_wake_history = true"
+            ),
+            TimelineError::ZeroColumns => {
+                write!(f, "cols == 0: a timeline needs at least one column")
+            }
+            TimelineError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} is out of range for a {n}-node run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
 
 /// Renders the wake history of `nodes` (a selection of node ids) over
 /// `cols` time buckets.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the metrics were collected without
-/// `record_wake_history`, or if `cols == 0`.
-pub fn render_timeline(metrics: &Metrics, nodes: &[u32], cols: usize) -> String {
-    assert!(cols > 0, "need at least one column");
-    let hist = metrics
-        .wake_history
-        .as_ref()
-        .expect("run with SimConfig::record_wake_history = true");
+/// [`TimelineError::NoWakeHistory`] if the metrics were collected
+/// without `record_wake_history`, [`TimelineError::ZeroColumns`] if
+/// `cols == 0`, and [`TimelineError::NodeOutOfRange`] if a selected id
+/// does not exist in the run.
+pub fn render_timeline(
+    metrics: &Metrics,
+    nodes: &[u32],
+    cols: usize,
+) -> Result<String, TimelineError> {
+    if cols == 0 {
+        return Err(TimelineError::ZeroColumns);
+    }
+    let hist = metrics.wake_history.as_ref().ok_or(TimelineError::NoWakeHistory)?;
+    if let Some(&v) = nodes.iter().find(|&&v| v as usize >= hist.len()) {
+        return Err(TimelineError::NodeOutOfRange { node: v, n: hist.len() });
+    }
     let horizon = metrics.round_complexity().max(1);
     let bucket = horizon.div_ceil(cols as u64);
     let mut out = String::new();
@@ -55,7 +101,7 @@ pub fn render_timeline(metrics: &Metrics, nodes: &[u32], cols: usize) -> String 
         bucket,
         w = label_w
     ));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -87,7 +133,7 @@ mod tests {
         let g = generators::path(3);
         let cfg = SimConfig { record_wake_history: true, ..SimConfig::seeded(1) };
         let rep = Simulator::new(g, vec![TwoWakes, TwoWakes, TwoWakes], cfg).run().unwrap();
-        let s = render_timeline(&rep.metrics, &[0, 1, 2], 31);
+        let s = render_timeline(&rep.metrics, &[0, 1, 2], 31).unwrap();
         // Node 0: awake at rounds 0 and 10 (columns 0 and 10), then gone.
         let row0 = s.lines().next().unwrap();
         assert!(row0.starts_with("0 |█"), "got: {row0}");
@@ -99,11 +145,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "record_wake_history")]
-    fn requires_history() {
+    fn reports_descriptive_errors_instead_of_panicking() {
         let g = generators::path(2);
         let rep =
             Simulator::new(g, vec![TwoWakes, TwoWakes], SimConfig::seeded(1)).run().unwrap();
-        render_timeline(&rep.metrics, &[0], 10);
+        let err = render_timeline(&rep.metrics, &[0], 10).unwrap_err();
+        assert_eq!(err, TimelineError::NoWakeHistory);
+        assert!(err.to_string().contains("record_wake_history"));
+
+        let g = generators::path(2);
+        let cfg = SimConfig { record_wake_history: true, ..SimConfig::seeded(1) };
+        let rep = Simulator::new(g, vec![TwoWakes, TwoWakes], cfg).run().unwrap();
+        assert_eq!(
+            render_timeline(&rep.metrics, &[0], 0).unwrap_err(),
+            TimelineError::ZeroColumns
+        );
+        let err = render_timeline(&rep.metrics, &[7], 10).unwrap_err();
+        assert_eq!(err, TimelineError::NodeOutOfRange { node: 7, n: 2 });
+        assert!(err.to_string().contains("node 7"));
     }
 }

@@ -11,7 +11,8 @@
 //!     [--rates 0,0.005,0.02,0.08] [--epochs 8] [--seeds 3] \
 //!     [--insert-frac 0.5] [--node-churn 0.1] [--threads 0] \
 //!     [--no-recompute] [--serve N] [--serve-algo luby] \
-//!     [--serve-batches 6] [--serve-ops 2000] [--out BENCH_churn.json]
+//!     [--serve-batches 6] [--serve-ops 2000] [--profile] \
+//!     [--out BENCH_churn.json]
 //! ```
 //!
 //! `--algos` takes registry specs (same grammar as `grid`). `--rates`
@@ -32,6 +33,13 @@
 //!
 //! The JSON payload (everything except `meta`/`timing`) is
 //! byte-identical for any `--threads` value.
+//!
+//! `--profile` attaches the engine's phase profiler to every runner
+//! (the execution-only `trace=profile` spec param) and prints a
+//! per-algorithm phase breakdown after the run, aggregated over every
+//! engine run the churn grid triggered — bootstraps, frontier repairs,
+//! and recompute baselines alike. Observational only: the payload is
+//! byte-identical with or without it.
 
 use analysis::churn::{random_batch, run_churn, ChurnMeta, ChurnSpec, MisService, ServeThroughput};
 use analysis::spec::default_registry;
@@ -93,9 +101,23 @@ fn serve_probe(n: usize, algo: &str, batches: u64, ops: usize, seed: u64) -> Ser
     }
 }
 
+/// Appends the execution-only `trace=profile` param to every spec in a
+/// comma-separated list (no-op when `--profile` is off).
+fn with_profile(specs: &str, profile: bool) -> String {
+    if !profile {
+        return specs.to_string();
+    }
+    specs
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| if s.contains('?') { format!("{s}&trace=profile") } else { format!("{s}?trace=profile") })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 fn main() {
     let registry = default_registry();
-    let mut algorithms = registry.resolve_list("luby,vt").expect("default algos");
+    let mut algos_spec = String::from("luby,vt");
     let mut families = vec![Family::Er, Family::Tree];
     let mut sizes = vec![256usize, 1024];
     let mut rates = vec![0.0f64, 0.005, 0.02, 0.08];
@@ -109,6 +131,7 @@ fn main() {
     let mut serve_algo = String::from("luby");
     let mut serve_batches = 6u64;
     let mut serve_ops = 2000usize;
+    let mut profile = false;
     let mut out_path = String::from("BENCH_churn.json");
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -119,11 +142,7 @@ fn main() {
             args.get(*i).unwrap_or_else(|| panic!("{} needs a value", args[*i - 1]))
         };
         match args[i].as_str() {
-            "--algos" => {
-                algorithms = registry
-                    .resolve_list(value(&mut i))
-                    .unwrap_or_else(|e| panic!("--algos: {e}"));
-            }
+            "--algos" => algos_spec = value(&mut i).to_string(),
             "--families" => families = parse_list(value(&mut i), Family::parse, "family"),
             "--sizes" => sizes = parse_list(value(&mut i), |s| s.parse().ok(), "size"),
             "--rates" => rates = parse_list(value(&mut i), |s| s.parse().ok(), "rate"),
@@ -145,12 +164,16 @@ fn main() {
             "--serve-ops" => {
                 serve_ops = value(&mut i).parse().expect("--serve-ops takes a count");
             }
+            "--profile" => profile = true,
             "--out" => out_path = value(&mut i).to_string(),
             other => panic!("unknown argument {other:?} (see the doc comment for usage)"),
         }
         i += 1;
     }
 
+    let algorithms = registry
+        .resolve_list(&with_profile(&algos_spec, profile))
+        .unwrap_or_else(|e| panic!("--algos: {e}"));
     let spec = ChurnSpec {
         algorithms,
         families,
@@ -202,6 +225,14 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
+
+    if profile {
+        for runner in &spec.algorithms {
+            if let Some(report) = runner.trace().and_then(|h| h.report()) {
+                println!("\n[profile] {}\n{}", runner.key(), report.trim_end());
+            }
+        }
+    }
 
     let serve = (serve_n > 0)
         .then(|| serve_probe(serve_n, &serve_algo, serve_batches, serve_ops, 1));

@@ -767,35 +767,55 @@ fn e13() {
     println!();
 }
 
-/// E14 — energy motivation (§1.2).
+/// E14 — energy motivation (§1.2). Harness-driven like E4/E8/E12: the
+/// seed axis fans across OS threads via
+/// `sleeping_congest::batch::run_batch` (each seed draws its own sensor
+/// deployment) and per-algorithm cells aggregate with [`Summary`]
+/// instead of quoting a single-seed run.
 fn e14() {
     header(
         "E14 (motivation, §1.2)",
         "Sensor-network energy: awake rounds cost 60 mW, deep sleep 5 µW — awake complexity is the energy bill",
     );
-    let n = 4096;
-    let mut rng = SmallRng::seed_from_u64(6);
-    let r_geo = (10.0 / (std::f64::consts::PI * n as f64)).sqrt();
-    let g = generators::random_geometric(n, r_geo, &mut rng);
+    let n = 4096usize;
+    let algs = default_registry().resolve_list("awake,luby").expect("builtin specs");
     let model = EnergyModel::default();
+    let jobs: Vec<(usize, u64)> = (0..algs.len())
+        .flat_map(|a| SEEDS.iter().map(move |&s| (a, s)))
+        .collect();
+    // Per run: (awake max, radio-on mJ for the worst node, mJ including
+    // the deep-sleep draw, latency in rounds).
+    let runs = run_batch(&jobs, 0, |_| (), |(), _i, &(a, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let r_geo = (10.0 / (std::f64::consts::PI * n as f64)).sqrt();
+        let g = generators::random_geometric(n, r_geo, &mut rng);
+        let r = algs[a].run(&g, seed).unwrap();
+        (
+            r.awake_max,
+            model.awake_energy_mj(r.awake_max),
+            model.max_node_energy_mj(&r.metrics.awake_rounds, &r.metrics.terminated_at),
+            r.rounds,
+        )
+    });
     let mut t = Table::new(vec![
         "algorithm",
-        "awake max",
+        "awake max (mean±std)",
         "radio-on energy, worst node (mJ)",
         "incl. 5 µW sleep draw (mJ)",
-        "latency (rounds)",
+        "latency (rounds, mean)",
     ]);
-    for alg in default_registry().resolve_list("awake,luby").expect("builtin specs") {
-        let r = alg.run(&g, 6).unwrap();
-        let awake_only = model.awake_energy_mj(r.awake_max);
-        let with_sleep =
-            model.max_node_energy_mj(&r.metrics.awake_rounds, &r.metrics.terminated_at);
+    for (a, alg) in algs.iter().enumerate() {
+        let chunk = &runs[a * SEEDS.len()..(a + 1) * SEEDS.len()];
+        let awake = Summary::of_u64(&chunk.iter().map(|r| r.0).collect::<Vec<_>>());
+        let radio = Summary::of(&chunk.iter().map(|r| r.1).collect::<Vec<_>>());
+        let sleep = Summary::of(&chunk.iter().map(|r| r.2).collect::<Vec<_>>());
+        let rounds = Summary::of_u64(&chunk.iter().map(|r| r.3).collect::<Vec<_>>());
         t.row(vec![
             alg.name().to_string(),
-            r.awake_max.to_string(),
-            format!("{awake_only:.3}"),
-            format!("{with_sleep:.3}"),
-            r.rounds.to_string(),
+            format!("{:.1} ± {:.1}", awake.mean, awake.std),
+            format!("{:.3} ± {:.3}", radio.mean, radio.std),
+            format!("{:.3} ± {:.3}", sleep.mean, sleep.std),
+            format!("{:.0}", rounds.mean),
         ]);
     }
     print!("{}", t.render());
@@ -803,18 +823,31 @@ fn e14() {
     println!("column shows why round complexity still matters when deep sleep isn't free)\n");
 }
 
-/// E15 — Lemma 9/16: LDT broadcast & ranking in O(1) awake.
+/// E15 — Lemma 9/16: LDT broadcast & ranking in O(1) awake. Each
+/// `{n' × op}` cell fans its seed axis (fresh IDs + fresh LDT build per
+/// seed) across OS threads via `sleeping_congest::batch::run_batch`
+/// and aggregates with [`Summary`] — the O(1) claim should hold with
+/// zero variance.
 fn e15() {
     header(
         "E15 (Lemma 9/16)",
         "Over a built LDT, broadcast and ranking cost O(1) awake rounds and O(n') rounds",
     );
-    let mut t = Table::new(vec!["n'", "op", "awake max", "rounds"]);
-    for &n in &[64usize, 512, 4096] {
+    let cells: Vec<(usize, &'static str)> = [64usize, 512, 4096]
+        .iter()
+        .flat_map(|&n| ["broadcast", "ranking"].map(|op| (n, op)))
+        .collect();
+    let jobs: Vec<(usize, &'static str, u64)> = cells
+        .iter()
+        .flat_map(|&(n, op)| SEEDS.iter().map(move |&s| (n, op, s)))
+        .collect();
+    // Per seed: (awake complexity, round complexity) of the op over an
+    // LDT freshly constructed from that seed's ID assignment.
+    let runs = run_batch(&jobs, 0, |_| (), |(), _i, &(n, op, seed)| {
         let g = generators::cycle(n);
         let id_upper = ((n as u64).pow(3)).max(1 << 24);
         let ids: Vec<u64> = {
-            let mut rng = SmallRng::seed_from_u64(9);
+            let mut rng = SmallRng::seed_from_u64(seed);
             let mut seen = std::collections::HashSet::new();
             let mut ids = Vec::new();
             while ids.len() < n {
@@ -834,54 +867,86 @@ fn e15() {
                 }))
             })
             .collect();
-        let built = Simulator::new(g.clone(), nodes, SimConfig::seeded(9)).run().unwrap();
-        for op in ["broadcast", "ranking"] {
-            let (awake, rounds) = if op == "broadcast" {
-                let nodes = (0..n)
-                    .map(|v| {
-                        let tr = built.outputs[v].tree.clone();
-                        let payload = tr.is_root().then_some(7u64);
-                        Standalone::new(LdtBroadcast::new(tr, payload))
-                    })
-                    .collect();
-                let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(1)).run().unwrap();
-                (rep.metrics.awake_complexity(), rep.metrics.round_complexity())
-            } else {
-                let nodes = (0..n)
-                    .map(|v| {
-                        Standalone::new(LdtRanking::new(n as u32, built.outputs[v].tree.clone()))
-                    })
-                    .collect();
-                let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(1)).run().unwrap();
-                (rep.metrics.awake_complexity(), rep.metrics.round_complexity())
-            };
-            t.row(vec![n.to_string(), op.to_string(), awake.to_string(), rounds.to_string()]);
+        let built = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+        if op == "broadcast" {
+            let nodes = (0..n)
+                .map(|v| {
+                    let tr = built.outputs[v].tree.clone();
+                    let payload = tr.is_root().then_some(7u64);
+                    Standalone::new(LdtBroadcast::new(tr, payload))
+                })
+                .collect();
+            let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+            (rep.metrics.awake_complexity(), rep.metrics.round_complexity())
+        } else {
+            let nodes = (0..n)
+                .map(|v| {
+                    Standalone::new(LdtRanking::new(n as u32, built.outputs[v].tree.clone()))
+                })
+                .collect();
+            let rep = Simulator::new(g.clone(), nodes, SimConfig::seeded(seed)).run().unwrap();
+            (rep.metrics.awake_complexity(), rep.metrics.round_complexity())
         }
+    });
+    let mut t = Table::new(vec!["n'", "op", "awake max (mean±std)", "rounds (mean±std)"]);
+    for (ci, &(n, op)) in cells.iter().enumerate() {
+        let chunk = &runs[ci * SEEDS.len()..(ci + 1) * SEEDS.len()];
+        let awake = Summary::of_u64(&chunk.iter().map(|r| r.0).collect::<Vec<_>>());
+        let rounds = Summary::of_u64(&chunk.iter().map(|r| r.1).collect::<Vec<_>>());
+        t.row(vec![
+            n.to_string(),
+            op.to_string(),
+            format!("{:.1} ± {:.1}", awake.mean, awake.std),
+            format!("{:.1} ± {:.1}", rounds.mean, rounds.std),
+        ]);
     }
     print!("{}", t.render());
     println!();
 }
 
 /// E16 — extension (paper conclusion): maximal matching in the sleeping
-/// model via Awake-MIS on the line graph.
+/// model via Awake-MIS on the line graph. Seeds fan across OS threads
+/// via `sleeping_congest::batch::run_batch` (each seed draws its own ER
+/// instance) and the per-`n` cells aggregate with [`Summary`]; a cell
+/// is maximal only if every seed's matching verified.
 fn e16() {
     header(
         "E16 (extension, §7)",
         "Maximal matching = MIS(L(G)): O(log log m) awake per edge process",
     );
+    let sizes = [256usize, 1024, 4096];
+    let jobs: Vec<(usize, u64)> =
+        sizes.iter().flat_map(|&n| SEEDS.iter().map(move |&s| (n, s))).collect();
+    // Per seed: (|L(G)| processes, awake max, awake avg, matched edges,
+    // verified maximal).
+    let runs = run_batch(&jobs, 0, |_| (), |(), _i, &(n, seed)| {
+        let g = Family::Er.generate(n, seed);
+        let r = awake_mis_core::maximal_matching(&g, AwakeMisConfig::default(), seed).unwrap();
+        (
+            g.m() as u64,
+            r.metrics.awake_complexity(),
+            r.metrics.awake_average(),
+            r.matching.len() as u64,
+            r.failures == 0 && awake_mis_core::is_maximal_matching(&g, &r.matching),
+        )
+    });
     let mut t = Table::new(vec![
-        "n", "m = |L(G)| processes", "awake max", "awake avg", "matched edges", "maximal?",
+        "n", "m = |L(G)| processes", "awake max (mean±std)", "awake avg", "matched edges",
+        "maximal?",
     ]);
-    for &n in &[256usize, 1024, 4096] {
-        let g = Family::Er.generate(n, 13);
-        let r = awake_mis_core::maximal_matching(&g, AwakeMisConfig::default(), 13).unwrap();
+    for (ci, &n) in sizes.iter().enumerate() {
+        let chunk = &runs[ci * SEEDS.len()..(ci + 1) * SEEDS.len()];
+        let m = Summary::of_u64(&chunk.iter().map(|r| r.0).collect::<Vec<_>>());
+        let awake = Summary::of_u64(&chunk.iter().map(|r| r.1).collect::<Vec<_>>());
+        let avg = Summary::of(&chunk.iter().map(|r| r.2).collect::<Vec<_>>());
+        let matched = Summary::of_u64(&chunk.iter().map(|r| r.3).collect::<Vec<_>>());
         t.row(vec![
             n.to_string(),
-            g.m().to_string(),
-            r.metrics.awake_complexity().to_string(),
-            format!("{:.1}", r.metrics.awake_average()),
-            r.matching.len().to_string(),
-            (r.failures == 0 && awake_mis_core::is_maximal_matching(&g, &r.matching)).to_string(),
+            format!("{:.0}", m.mean),
+            format!("{:.1} ± {:.1}", awake.mean, awake.std),
+            format!("{:.1}", avg.mean),
+            format!("{:.0}", matched.mean),
+            chunk.iter().all(|r| r.4).to_string(),
         ]);
     }
     print!("{}", t.render());
@@ -889,27 +954,50 @@ fn e16() {
 }
 
 /// E17 — extension (paper conclusion): (Δ+1)-coloring via Linial's
-/// product.
+/// product. Seeds fan across OS threads via
+/// `sleeping_congest::batch::run_batch` and the per-`n` cells aggregate
+/// with [`Summary`]; a cell is proper only if every seed's coloring
+/// verified against its own palette.
 fn e17() {
     header(
         "E17 (extension, §7)",
         "(Δ+1)-coloring = MIS(G □ K_{Δ+1}): O(log log nΔ) awake per palette process",
     );
-    let mut t = Table::new(vec![
-        "n", "Δ+1", "product size", "awake max", "colors used", "proper?",
-    ]);
-    for &n in &[128usize, 512, 2048] {
-        let g = Family::Er.generate(n, 14);
+    let sizes = [128usize, 512, 2048];
+    let jobs: Vec<(usize, u64)> =
+        sizes.iter().flat_map(|&n| SEEDS.iter().map(move |&s| (n, s))).collect();
+    // Per seed: (Δ+1, product size, awake max, colors used, verified
+    // proper). The palette is seed-dependent — Δ is a property of the
+    // drawn instance.
+    let runs = run_batch(&jobs, 0, |_| (), |(), _i, &(n, seed)| {
+        let g = Family::Er.generate(n, seed);
         let palette = g.max_degree() + 1;
-        let r = awake_mis_core::coloring(&g, palette, AwakeMisConfig::default(), 14).unwrap();
+        let r = awake_mis_core::coloring(&g, palette, AwakeMisConfig::default(), seed).unwrap();
+        (
+            palette as u64,
+            (n * palette) as u64,
+            r.metrics.awake_complexity(),
+            awake_mis_core::colors_used(&r.colors) as u64,
+            r.failures == 0 && awake_mis_core::is_proper_coloring(&g, &r.colors, palette),
+        )
+    });
+    let mut t = Table::new(vec![
+        "n", "Δ+1 (mean)", "product size (mean)", "awake max (mean±std)", "colors used",
+        "proper?",
+    ]);
+    for (ci, &n) in sizes.iter().enumerate() {
+        let chunk = &runs[ci * SEEDS.len()..(ci + 1) * SEEDS.len()];
+        let palette = Summary::of_u64(&chunk.iter().map(|r| r.0).collect::<Vec<_>>());
+        let product = Summary::of_u64(&chunk.iter().map(|r| r.1).collect::<Vec<_>>());
+        let awake = Summary::of_u64(&chunk.iter().map(|r| r.2).collect::<Vec<_>>());
+        let used = Summary::of_u64(&chunk.iter().map(|r| r.3).collect::<Vec<_>>());
         t.row(vec![
             n.to_string(),
-            palette.to_string(),
-            (n * palette).to_string(),
-            r.metrics.awake_complexity().to_string(),
-            awake_mis_core::colors_used(&r.colors).to_string(),
-            (r.failures == 0 && awake_mis_core::is_proper_coloring(&g, &r.colors, palette))
-                .to_string(),
+            format!("{:.0}", palette.mean),
+            format!("{:.0}", product.mean),
+            format!("{:.1} ± {:.1}", awake.mean, awake.std),
+            format!("{:.0}", used.mean),
+            chunk.iter().all(|r| r.4).to_string(),
         ]);
     }
     print!("{}", t.render());

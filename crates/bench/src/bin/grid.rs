@@ -9,7 +9,7 @@
 //! cargo run --release -p bench --bin grid -- \
 //!     [--algos awake,luby,na,gp-avg] [--families er,rgg,ba,grid,tree] \
 //!     [--sizes 1000,10000,100000] [--seeds 8] [--threads 0] \
-//!     [--shards 0] [--large | --no-large] \
+//!     [--shards 0] [--large | --no-large] [--profile] \
 //!     [--out BENCH_grid.json] [--list-algos]
 //! ```
 //!
@@ -29,6 +29,13 @@
 //! byte-identical for any shard count. Pass `--no-large` to skip the
 //! tier, or `--large` to force it alongside explicit axis flags. Tier
 //! points also print their throughput (rounds/sec and node·rounds/sec).
+//!
+//! `--profile` attaches the engine's phase profiler to every runner
+//! (equivalent to appending the execution-only `trace=profile` spec
+//! param) and prints a per-algorithm phase breakdown — send/merge/
+//! receive/bookkeeping wall-clock with p50/p95/max round times — after
+//! the run. Tracing is observational: the JSON payload is byte-
+//! identical with or without `--profile`.
 
 use analysis::grid::{run_grid, GridMeta, GridSpec, GridTier};
 use analysis::spec::default_registry;
@@ -44,11 +51,26 @@ fn parse_list<T>(arg: &str, parse: impl Fn(&str) -> Option<T>, what: &str) -> Ve
         .collect()
 }
 
+/// Appends the execution-only `trace=profile` param to every spec in a
+/// comma-separated list (no-op when `--profile` is off).
+fn with_profile(specs: &str, profile: bool) -> String {
+    if !profile {
+        return specs.to_string();
+    }
+    specs
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| if s.contains('?') { format!("{s}&trace=profile") } else { format!("{s}?trace=profile") })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 fn main() {
     let registry = default_registry();
     // The default grid spans both awake measures: worst-case (awake,
-    // luby) and node-averaged (na, gp-avg).
-    let mut algorithms = registry.resolve_list("awake,luby,na,gp-avg").expect("default algos");
+    // luby) and node-averaged (na, gp-avg). Specs stay as strings until
+    // after the arg loop so --profile can append its trace param.
+    let mut algos_spec = String::from("awake,luby,na,gp-avg");
     let mut families = vec![Family::Er, Family::Rgg, Family::Ba, Family::Grid, Family::Tree];
     let mut sizes = vec![1_000usize, 10_000, 100_000];
     let mut seed_count = 8u64;
@@ -57,6 +79,7 @@ fn main() {
     let mut out_path = String::from("BENCH_grid.json");
     let mut explicit_axes = false;
     let mut large: Option<bool> = None;
+    let mut profile = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -67,9 +90,7 @@ fn main() {
         };
         match args[i].as_str() {
             "--algos" => {
-                algorithms = registry
-                    .resolve_list(value(&mut i))
-                    .unwrap_or_else(|e| panic!("--algos: {e}"));
+                algos_spec = value(&mut i).to_string();
                 explicit_axes = true;
             }
             "--families" => {
@@ -88,6 +109,7 @@ fn main() {
             "--shards" => shards = value(&mut i).parse().expect("--shards takes a count"),
             "--large" => large = Some(true),
             "--no-large" => large = Some(false),
+            "--profile" => profile = true,
             "--out" => out_path = value(&mut i).to_string(),
             "--list-algos" => {
                 println!("registered algorithm specs (grammar: key?param=value&…):\n");
@@ -101,6 +123,10 @@ fn main() {
         i += 1;
     }
 
+    let algorithms = registry
+        .resolve_list(&with_profile(&algos_spec, profile))
+        .unwrap_or_else(|e| panic!("--algos: {e}"));
+
     // The `large` tier rides along whenever the base axes are the
     // defaults (so the checked-in BENCH_grid.json carries it), and on
     // demand via --large. The `shards=` parameter never enters the
@@ -110,7 +136,10 @@ fn main() {
         vec![GridTier {
             name: "large".to_string(),
             algorithms: registry
-                .resolve_list(&format!("luby?shards={shards},awake?shards={shards}"))
+                .resolve_list(&with_profile(
+                    &format!("luby?shards={shards},awake?shards={shards}"),
+                    profile,
+                ))
                 .expect("large-tier specs"),
             families: vec![Family::Er],
             sizes: vec![1_000_000],
@@ -182,6 +211,16 @@ fn main() {
                 rps,
                 p.nodes as f64 * rps,
             );
+        }
+    }
+
+    // One aggregated phase breakdown per runner: the handle observed
+    // every run of that runner across the grid.
+    if profile {
+        for runner in spec.algorithms.iter().chain(spec.tiers.iter().flat_map(|t| t.algorithms.iter())) {
+            if let Some(report) = runner.trace().and_then(|h| h.report()) {
+                println!("\n[profile] {}\n{}", runner.key(), report.trim_end());
+            }
         }
     }
 

@@ -10,7 +10,7 @@
 //! cargo run --release -p bench --bin serve -- \
 //!     [--algo luby] [--family er] [--n 1000000] [--seed 1] \
 //!     [--batches 6] [--ops 2000] [--insert-frac 0.5] [--node-churn 0] \
-//!     [--stdin] [--quiet]
+//!     [--stdin] [--quiet] [--stats-every 5]
 //! ```
 //!
 //! Default mode generates `--batches` random delta batches of `--ops`
@@ -26,6 +26,7 @@
 //! +n K        queue K node additions (ids are assigned n, n+1, …)
 //! -n V        queue a node removal
 //! .           apply the queued batch (aliases: "flush", empty line)
+//! stats       print a `# stats` service-statistics line immediately
 //! quit        apply nothing further and exit
 //! ```
 //!
@@ -35,14 +36,154 @@
 //! rounds, and the verification verdict. Diagnostics are prefixed `#`
 //! so a consumer can stream the `+m`/`-m` lines alone. Exit status is
 //! nonzero if any batch failed to verify.
+//!
+//! Every `--stats-every` applied batches (default 5, `0` disables) —
+//! and on the `stats` stdin command — the service prints one
+//! statistics line:
+//!
+//! ```text
+//! # stats: batches=B deltas=D deltas/s=R repair_ms p50=… p95=… max=… \
+//! #        frontier mean=… max=… woken_ratio=… verify_ms/epoch=…
+//! ```
+//!
+//! `deltas/s` is the sustained rate since serving started, the
+//! `repair_ms` percentiles are exact over per-batch repair wall-clock,
+//! `frontier` summarizes damage-frontier sizes, `woken_ratio` is woken
+//! nodes over the active nodes a full recompute would have woken, and
+//! `verify_ms/epoch` is the mean wall-clock the repair spent verifying.
 
-use analysis::churn::{random_batch, MisService};
+use analysis::churn::{random_batch, EpochReport, MisService};
 use analysis::spec::default_registry;
 use bench::Family;
 use graphgen::DeltaBatch;
 use sleeping_congest::ScratchArena;
 use std::io::BufRead;
 use std::time::Instant;
+
+/// Exact nearest-rank percentile over a sorted sample.
+fn pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Running service statistics, updated per applied batch and rendered
+/// as the `# stats` line.
+struct ServeStats {
+    started: Instant,
+    batches: u64,
+    deltas: u64,
+    woken: u64,
+    /// Sum over epochs of the active node count — the denominator of
+    /// the woken ratio (what a full recompute would have woken).
+    active_sum: u64,
+    repair_ns: Vec<u64>,
+    frontier: Vec<u64>,
+    verify_ns: u64,
+}
+
+impl ServeStats {
+    fn new() -> ServeStats {
+        ServeStats {
+            started: Instant::now(),
+            batches: 0,
+            deltas: 0,
+            woken: 0,
+            active_sum: 0,
+            repair_ns: Vec::new(),
+            frontier: Vec::new(),
+            verify_ns: 0,
+        }
+    }
+
+    fn record(&mut self, rep: &EpochReport, active: u64) {
+        self.batches += 1;
+        self.deltas += rep.deltas;
+        self.woken += rep.woken;
+        self.active_sum += active;
+        self.repair_ns.push(rep.repair_ns);
+        self.frontier.push(rep.frontier);
+        self.verify_ns += rep.verify_ns;
+    }
+
+    fn line(&self) -> String {
+        let secs = self.started.elapsed().as_secs_f64().max(1e-9);
+        let mut sorted = self.repair_ns.clone();
+        sorted.sort_unstable();
+        let frontier_mean =
+            self.frontier.iter().sum::<u64>() as f64 / self.frontier.len().max(1) as f64;
+        let frontier_max = self.frontier.iter().copied().max().unwrap_or(0);
+        format!(
+            "# stats: batches={} deltas={} deltas/s={:.0} repair_ms p50={:.3} p95={:.3} \
+             max={:.3} frontier mean={:.1} max={} woken_ratio={:.4} verify_ms/epoch={:.3}",
+            self.batches,
+            self.deltas,
+            self.deltas as f64 / secs,
+            pct(&sorted, 0.50) as f64 / 1e6,
+            pct(&sorted, 0.95) as f64 / 1e6,
+            sorted.last().copied().unwrap_or(0) as f64 / 1e6,
+            frontier_mean,
+            frontier_max,
+            self.woken as f64 / self.active_sum.max(1) as f64,
+            self.verify_ns as f64 / self.batches.max(1) as f64 / 1e6,
+        )
+    }
+}
+
+/// Applies one batch, prints the MIS delta and `# batch` summary, and
+/// folds the epoch into `stats`. Returns `false` when the batch was
+/// rejected or the repaired MIS failed verification.
+fn apply_batch(
+    batch: &DeltaBatch,
+    service: &mut MisService,
+    scratch: &mut ScratchArena,
+    stats: &mut ServeStats,
+    quiet: bool,
+    stats_every: u64,
+) -> bool {
+    if batch.is_empty() {
+        return true;
+    }
+    match service.apply(batch, scratch) {
+        Ok(rep) => {
+            if !quiet {
+                for v in &rep.joined {
+                    println!("+m {v}");
+                }
+                for v in &rep.left {
+                    println!("-m {v}");
+                }
+            }
+            println!(
+                "# batch {}: {} deltas, {} woken, frontier {}, {} repair rounds, mis {} → {}",
+                rep.epoch,
+                rep.deltas,
+                rep.woken,
+                rep.frontier,
+                rep.repair_rounds,
+                if rep.correct { "ok" } else { "FAILED" },
+                service.mis_size(),
+            );
+            let ok = rep.correct;
+            if !ok {
+                if let Some(e) = &rep.error {
+                    println!("# error: {e}");
+                }
+            }
+            stats.record(&rep, service.graph().active_count() as u64);
+            if stats_every > 0 && stats.batches.is_multiple_of(stats_every) {
+                println!("{}", stats.line());
+            }
+            ok
+        }
+        Err(e) => {
+            println!("# rejected batch: {e}");
+            false
+        }
+    }
+}
 
 fn main() {
     let registry = default_registry();
@@ -56,6 +197,7 @@ fn main() {
     let mut node_churn = 0.0f64;
     let mut stdin_mode = false;
     let mut quiet = false;
+    let mut stats_every = 5u64;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -82,6 +224,9 @@ fn main() {
             }
             "--stdin" => stdin_mode = true,
             "--quiet" => quiet = true,
+            "--stats-every" => {
+                stats_every = value(&mut i).parse().expect("--stats-every takes a count");
+            }
             other => panic!("unknown argument {other:?} (see the doc comment for usage)"),
         }
         i += 1;
@@ -105,49 +250,8 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    let mut total_deltas = 0u64;
-    let mut total_batches = 0u64;
+    let mut stats = ServeStats::new();
     let mut failed = false;
-    let start = Instant::now();
-    let mut apply = |batch: &DeltaBatch, service: &mut MisService, scratch: &mut ScratchArena| {
-        if batch.is_empty() {
-            return;
-        }
-        match service.apply(batch, scratch) {
-            Ok(rep) => {
-                if !quiet {
-                    for v in &rep.joined {
-                        println!("+m {v}");
-                    }
-                    for v in &rep.left {
-                        println!("-m {v}");
-                    }
-                }
-                println!(
-                    "# batch {}: {} deltas, {} woken, frontier {}, {} repair rounds, mis {} → {}",
-                    rep.epoch,
-                    rep.deltas,
-                    rep.woken,
-                    rep.frontier,
-                    rep.repair_rounds,
-                    if rep.correct { "ok" } else { "FAILED" },
-                    service.mis_size(),
-                );
-                if !rep.correct {
-                    if let Some(e) = &rep.error {
-                        println!("# error: {e}");
-                    }
-                    failed = true;
-                }
-                total_deltas += rep.deltas;
-                total_batches += 1;
-            }
-            Err(e) => {
-                println!("# rejected batch: {e}");
-                failed = true;
-            }
-        }
-    };
 
     if stdin_mode {
         let stdin = std::io::stdin();
@@ -178,9 +282,17 @@ fn main() {
                     batch.remove_node(arg(&mut parts));
                 }
                 "" | "." | "flush" => {
-                    apply(&batch, &mut service, &mut scratch);
+                    failed |= !apply_batch(
+                        &batch,
+                        &mut service,
+                        &mut scratch,
+                        &mut stats,
+                        quiet,
+                        stats_every,
+                    );
                     batch = DeltaBatch::new();
                 }
+                "stats" => println!("{}", stats.line()),
                 "quit" => break,
                 other => {
                     eprintln!("serve: unknown op {other:?} in line {line:?}");
@@ -189,7 +301,8 @@ fn main() {
             }
         }
         // An unflushed trailing batch still counts.
-        apply(&batch, &mut service, &mut scratch);
+        failed |=
+            !apply_batch(&batch, &mut service, &mut scratch, &mut stats, quiet, stats_every);
     } else {
         for b in 0..batches {
             let batch = random_batch(
@@ -199,15 +312,24 @@ fn main() {
                 node_churn,
                 seed.wrapping_add(b + 1),
             );
-            apply(&batch, &mut service, &mut scratch);
+            failed |= !apply_batch(
+                &batch,
+                &mut service,
+                &mut scratch,
+                &mut stats,
+                quiet,
+                stats_every,
+            );
         }
     }
 
-    let wall = start.elapsed();
-    let dps = total_deltas as f64 / wall.as_secs_f64().max(1e-9);
+    let wall = stats.started.elapsed();
+    let dps = stats.deltas as f64 / wall.as_secs_f64().max(1e-9);
     println!(
-        "# sustained: {total_deltas} deltas in {total_batches} batches over {:.2}s → {:.0} deltas/sec \
+        "# sustained: {} deltas in {} batches over {:.2}s → {:.0} deltas/sec \
          (n={}, active={}, mis={})",
+        stats.deltas,
+        stats.batches,
         wall.as_secs_f64(),
         dps,
         service.graph().n(),

@@ -102,6 +102,10 @@ pub struct RepairOutcome {
     pub correct: bool,
     /// Verification or solver error, when `correct` is false.
     pub error: Option<String>,
+    /// Wall-clock nanoseconds spent verifying candidate states
+    /// (observational only — never fed back into the repair and never
+    /// part of any benchmark payload).
+    pub verify_ns: u64,
 }
 
 /// Deterministically mixes a repair seed with an attempt counter
@@ -219,6 +223,7 @@ where
     out.frontier = frontier;
 
     if out.frontier.is_empty() {
+        let t0 = std::time::Instant::now();
         out.correct = match check_mis_survivors(g, &states, active) {
             Ok(()) => true,
             Err(e) => {
@@ -226,6 +231,7 @@ where
                 false
             }
         };
+        out.verify_ns = t0.elapsed().as_nanos() as u64;
         out.states = states;
         return out;
     }
@@ -258,7 +264,10 @@ where
                 for (i, &v) in map.iter().enumerate() {
                     states[v as usize] = sol.states[i];
                 }
-                match check_mis_survivors(g, &states, active) {
+                let t0 = std::time::Instant::now();
+                let checked = check_mis_survivors(g, &states, active);
+                out.verify_ns += t0.elapsed().as_nanos() as u64;
+                match checked {
                     Ok(()) => {
                         out.correct = true;
                         out.states = states;

@@ -4,11 +4,13 @@ use crate::fault::FaultModel;
 use crate::metrics::{Metrics, RunReport};
 use crate::protocol::{Action, NodeCtx, Outbox, Protocol};
 use crate::rng::{fault_draw, fault_unit, node_rng, FAULT_CRASH, FAULT_LOSS, FAULT_WAKE};
+use crate::trace::{TraceEvent, TracePhase};
 use crate::Round;
 use graphgen::{Graph, NodeId, Port};
 use rand::rngs::SmallRng;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 /// Sleeping until this round means sleeping *forever*: the node is parked
 /// and never rescheduled. If every scheduled node terminates while parked
@@ -53,6 +55,13 @@ pub struct SimConfig {
     /// — including under an active [`FaultModel`], whose draws are
     /// keyed by `(site, round)` and therefore independent of scheduling.
     pub shards: usize,
+    /// Observational trace sink (see [`crate::trace`]). `None` (the
+    /// default) keeps the hot loop trace-free: no timestamps are taken
+    /// and every event site is a single `Option` check. Attaching a
+    /// sink never changes outputs, metrics, or scheduling — the
+    /// engine locks the sink once per run and emits events from the
+    /// coordinating thread only.
+    pub trace: Option<crate::trace::TraceHandle>,
 }
 
 impl Default for SimConfig {
@@ -66,6 +75,7 @@ impl Default for SimConfig {
             record_wake_history: false,
             fault: FaultModel::default(),
             shards: 1,
+            trace: None,
         }
     }
 }
@@ -586,17 +596,34 @@ impl<P: Protocol> Simulator<P> {
         let SimScratch { rngs, queue, batch, awake_stamp, slot, arena, stages, actions } = scratch;
         let mut live = n;
 
-        while live > 0 {
+        // Tracing (observational only): lock the attached sink once for
+        // the whole run; with no sink every per-round site below is a
+        // single `Option` check and no timestamps are taken.
+        let mut trace_guard = config.trace.as_ref().map(|h| h.lock());
+        let tracing = trace_guard.is_some();
+        if let Some(t) = trace_guard.as_deref_mut() {
+            t.event(&TraceEvent::RunBegin { nodes: n, shards });
+        }
+
+        let run_result: Result<(), SimError> = 'rounds: loop {
+            if live == 0 {
+                break Ok(());
+            }
             let Some(round) = queue.pop_round(batch) else {
-                return Err(SimError::Deadlock { sleeping_forever: live });
+                break 'rounds Err(SimError::Deadlock { sleeping_forever: live });
             };
             if round > config.max_rounds {
-                return Err(SimError::RoundLimit(round));
+                break 'rounds Err(SimError::RoundLimit(round));
             }
             metrics.active_rounds += 1;
             if metrics.active_rounds > config.max_active_rounds {
-                return Err(SimError::ActiveRoundLimit(metrics.active_rounds));
+                break 'rounds Err(SimError::ActiveRoundLimit(metrics.active_rounds));
             }
+            if let Some(t) = trace_guard.as_deref_mut() {
+                t.event(&TraceEvent::RoundBegin { round, batch: batch.len(), queued: queue.len });
+            }
+            let round_t0 = tracing.then(Instant::now);
+            let mut crashed_round = 0usize;
 
             // Crash faults strike at wake-up time: a node drawn against
             // the crash probability inside the window stops *before*
@@ -609,6 +636,7 @@ impl<P: Protocol> Simulator<P> {
                         metrics.crashed_at[v as usize] = Some(round);
                         metrics.terminated_at[v as usize] = round;
                         live -= 1;
+                        crashed_round += 1;
                         false
                     } else {
                         true
@@ -622,6 +650,11 @@ impl<P: Protocol> Simulator<P> {
                 awake_stamp[v as usize] = stamp;
                 slot[v as usize] = i as u32;
             }
+            // Bookkeeping splits around the round: crash filtering +
+            // sort/stamp above, the apply loop below; the two slices are
+            // summed into one `Bookkeeping` phase event.
+            let book_pre_ns = round_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+            let send_t0 = tracing.then(Instant::now);
 
             // Send phase: each shard scans a contiguous slice of the
             // sorted batch — equivalently, a contiguous node-id range —
@@ -694,12 +727,31 @@ impl<P: Protocol> Simulator<P> {
                     }
                 });
             }
+            if let Some(t) = trace_guard.as_deref_mut() {
+                let nanos = send_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+                t.event(&TraceEvent::Phase { round, phase: TracePhase::Send, nanos });
+                // Staged counts are read before `fill_from` drains them.
+                for (k, stage) in stages[..s].iter().enumerate() {
+                    let (lo, hi) = (k * len / s, (k + 1) * len / s);
+                    t.event(&TraceEvent::ShardBatch {
+                        round,
+                        shard: k,
+                        nodes: hi - lo,
+                        messages: stage.msgs.len(),
+                    });
+                }
+            }
+            let merge_t0 = tracing.then(Instant::now);
+            // Per-round message deltas for the trace, from counter
+            // snapshots (the merge below only ever adds).
+            let (deliv0, lost0, fault0) =
+                (metrics.messages_delivered, metrics.messages_lost, metrics.messages_faulted);
             // Shards cover ascending id ranges, so the first erroring
             // shard's first error is exactly what the serial loop would
             // have returned.
             for stage in stages[..s].iter_mut() {
                 if let Some(err) = stage.err.take() {
-                    return Err(err);
+                    break 'rounds Err(err);
                 }
             }
             // Counter merge: sums and a max — commutative, so the total
@@ -714,6 +766,12 @@ impl<P: Protocol> Simulator<P> {
             }
 
             arena.fill_from(&mut stages[..s], len);
+
+            if let Some(t) = trace_guard.as_deref_mut() {
+                let nanos = merge_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+                t.event(&TraceEvent::Phase { round, phase: TracePhase::Merge, nanos });
+            }
+            let recv_t0 = tracing.then(Instant::now);
 
             // Receive phase: same shard layout; each worker owns its
             // contiguous region of the arena (receivers in its id range)
@@ -781,6 +839,12 @@ impl<P: Protocol> Simulator<P> {
                 });
             }
 
+            if let Some(t) = trace_guard.as_deref_mut() {
+                let nanos = recv_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+                t.event(&TraceEvent::Phase { round, phase: TracePhase::Receive, nanos });
+            }
+            let apply_t0 = tracing.then(Instant::now);
+
             // Apply step, serial and in id order: queue pushes, sleep
             // validation, and termination bookkeeping — so scheduling
             // and error selection match the serial engine exactly.
@@ -793,7 +857,7 @@ impl<P: Protocol> Simulator<P> {
                     Action::Continue => queue.push(round + 1, v),
                     Action::SleepUntil(t) => {
                         if t <= round {
-                            return Err(SimError::BadSleep { node: v, round, until: t });
+                            break 'rounds Err(SimError::BadSleep { node: v, round, until: t });
                         }
                         if t != SLEEP_FOREVER {
                             queue.push(t, v);
@@ -808,7 +872,34 @@ impl<P: Protocol> Simulator<P> {
                     }
                 }
             }
+
+            if let Some(t) = trace_guard.as_deref_mut() {
+                let apply_ns = apply_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+                t.event(&TraceEvent::Phase {
+                    round,
+                    phase: TracePhase::Bookkeeping,
+                    nanos: book_pre_ns + apply_ns,
+                });
+                t.event(&TraceEvent::RoundEnd {
+                    round,
+                    nanos: round_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64),
+                    delivered: metrics.messages_delivered - deliv0,
+                    lost: metrics.messages_lost - lost0,
+                    faulted: metrics.messages_faulted - fault0,
+                    crashed: crashed_round,
+                    arena_bytes: arena.data.len() * std::mem::size_of::<(Port, P::Msg)>(),
+                });
+            }
+        };
+
+        if let Some(t) = trace_guard.as_deref_mut() {
+            t.event(&TraceEvent::RunEnd {
+                active_rounds: metrics.active_rounds,
+                awake_total: metrics.awake_total(),
+            });
         }
+        drop(trace_guard);
+        run_result?;
 
         let outputs = nodes
             .iter()

@@ -79,6 +79,7 @@ pub mod message;
 pub mod metrics;
 pub mod protocol;
 pub mod rng;
+pub mod trace;
 
 pub use arena::ScratchArena;
 pub use batch::{available_threads, resolve_threads, run_batch};
@@ -87,6 +88,7 @@ pub use fault::FaultModel;
 pub use message::{bits_for_value, MessageSize};
 pub use metrics::{AwakeDistribution, Metrics, RunReport};
 pub use protocol::{Action, NodeCtx, Outbox, Protocol, Standalone, SubAction, SubProtocol};
+pub use trace::{JsonlSink, Profile, TraceEvent, TraceHandle, TracePhase, TraceSink};
 
 /// A round number. Round 0 is the first round; all nodes start awake in
 /// round 0.

@@ -1,0 +1,231 @@
+//! Trace-layer guarantees at the engine level.
+//!
+//! Tracing is observational only: attaching any sink — `Profile`,
+//! `JsonlSink`, or a raw `Recorder` — must leave outputs and `Metrics`
+//! bit-identical to the untraced run, for every shard count and under
+//! active fault models. The emitted stream itself must be well-formed:
+//! monotonic round numbers and a fixed phase nesting inside each round.
+
+use graphgen::{generators, Port};
+use rand::Rng;
+use sleeping_congest::trace::{Recorder, TraceEvent, TracePhase};
+use sleeping_congest::{
+    Action, FaultModel, JsonlSink, Metrics, NodeCtx, Outbox, Profile, Protocol, SimConfig,
+    Simulator, TraceHandle,
+};
+
+/// RNG-hungry protocol (random payloads, random sleep gaps) so any
+/// trace-induced perturbation of scheduling or RNG state is visible.
+#[derive(Debug, Clone)]
+struct RandWalk {
+    wakes_left: u32,
+    log: Vec<u64>,
+}
+
+impl Protocol for RandWalk {
+    type Msg = u64;
+    type Output = Vec<u64>;
+
+    fn send(&mut self, ctx: &mut NodeCtx) -> Outbox<u64> {
+        let payload: u64 = ctx.rng.gen();
+        self.log.push(payload);
+        Outbox::Broadcast(payload)
+    }
+
+    fn receive(&mut self, ctx: &mut NodeCtx, inbox: &[(Port, u64)]) -> Action {
+        for &(p, m) in inbox {
+            self.log.push(m ^ p as u64);
+        }
+        self.wakes_left -= 1;
+        if self.wakes_left == 0 {
+            Action::Terminate
+        } else {
+            let gap = ctx.rng.gen_range(1..6u64);
+            Action::SleepUntil(ctx.round + gap)
+        }
+    }
+
+    fn output(&self) -> Vec<u64> {
+        self.log.clone()
+    }
+}
+
+fn run(config: SimConfig, n: usize) -> (Vec<Vec<u64>>, Metrics) {
+    let g = generators::gnp(n, 0.02, &mut {
+        use rand::SeedableRng;
+        rand::rngs::SmallRng::seed_from_u64(5)
+    });
+    let nodes = (0..g.n()).map(|_| RandWalk { wakes_left: 4, log: Vec::new() }).collect();
+    let report = Simulator::new(g, nodes, config).run().expect("run");
+    (report.outputs, report.metrics)
+}
+
+fn lossy() -> FaultModel {
+    FaultModel { loss: 0.05, crash: 0.002, ..FaultModel::default() }
+}
+
+#[test]
+fn sinks_do_not_perturb_the_run() {
+    for shards in [1usize, 8] {
+        for fault in [FaultModel::default(), lossy()] {
+            let base = SimConfig {
+                shards,
+                fault: fault.clone(),
+                ..SimConfig::seeded(42)
+            };
+            let (outs_ref, metrics_ref) = run(base.clone(), 600);
+            let sinks: Vec<TraceHandle> = vec![
+                TraceHandle::new(Profile::new()),
+                TraceHandle::new(JsonlSink::new(Vec::new())),
+                TraceHandle::new(Recorder::new()),
+            ];
+            for handle in sinks {
+                let traced = SimConfig { trace: Some(handle), ..base.clone() };
+                let (outs, metrics) = run(traced, 600);
+                assert_eq!(outs, outs_ref, "shards={shards} fault={fault:?}");
+                assert_eq!(metrics, metrics_ref, "shards={shards} fault={fault:?}");
+            }
+        }
+    }
+}
+
+/// Replays a recorded stream and checks the documented structure:
+/// bracketing RunBegin/RunEnd, strictly increasing round numbers, and
+/// inside each round the fixed order RoundBegin → Send → ShardBatch* →
+/// Merge → Receive → Bookkeeping → RoundEnd with each phase exactly
+/// once.
+fn check_stream(events: &[TraceEvent]) -> u64 {
+    assert!(matches!(events.first(), Some(TraceEvent::RunBegin { .. })), "missing RunBegin");
+    assert!(matches!(events.last(), Some(TraceEvent::RunEnd { .. })), "missing RunEnd");
+    let mut last_round: Option<u64> = None;
+    let mut open: Option<u64> = None;
+    let mut phases_seen: Vec<TracePhase> = Vec::new();
+    let mut rounds = 0u64;
+    for ev in &events[1..events.len() - 1] {
+        match *ev {
+            TraceEvent::RoundBegin { round, .. } => {
+                assert!(open.is_none(), "round {round} began inside round {open:?}");
+                if let Some(prev) = last_round {
+                    assert!(round > prev, "round numbers not monotonic: {prev} then {round}");
+                }
+                last_round = Some(round);
+                open = Some(round);
+                phases_seen.clear();
+                rounds += 1;
+            }
+            TraceEvent::Phase { round, phase, .. } => {
+                assert_eq!(Some(round), open, "phase outside its round");
+                assert!(!phases_seen.contains(&phase), "duplicate phase {phase:?}");
+                // Phases arrive in declaration order.
+                let idx = TracePhase::ALL.iter().position(|&p| p == phase).unwrap();
+                assert_eq!(idx, phases_seen.len(), "phase {phase:?} out of order");
+                phases_seen.push(phase);
+            }
+            TraceEvent::ShardBatch { round, .. } => {
+                assert_eq!(Some(round), open, "shard batch outside its round");
+                assert_eq!(phases_seen.len(), 1, "shard batches follow the send phase");
+            }
+            TraceEvent::RoundEnd { round, .. } => {
+                assert_eq!(Some(round), open, "round end without begin");
+                assert_eq!(
+                    phases_seen.len(),
+                    TracePhase::ALL.len(),
+                    "round {round} ended with phases missing: {phases_seen:?}"
+                );
+                open = None;
+            }
+            ref other => panic!("unexpected event between rounds: {other:?}"),
+        }
+    }
+    assert!(open.is_none(), "stream ended mid-round");
+    rounds
+}
+
+#[test]
+fn event_stream_is_well_formed_serial() {
+    let rec = Recorder::new();
+    let view = rec.clone();
+    let config = SimConfig { trace: Some(TraceHandle::new(rec)), ..SimConfig::seeded(7) };
+    run(config, 300);
+    let events = view.events();
+    let rounds = check_stream(&events);
+    assert!(rounds > 1, "expected multiple active rounds, saw {rounds}");
+}
+
+#[test]
+fn event_stream_is_well_formed_sharded_with_faults() {
+    let rec = Recorder::new();
+    let view = rec.clone();
+    let config = SimConfig {
+        shards: 8,
+        fault: lossy(),
+        trace: Some(TraceHandle::new(rec)),
+        ..SimConfig::seeded(7)
+    };
+    run(config, 1200);
+    let events = view.events();
+    check_stream(&events);
+    // A 1200-node first round splits across shards: at least one round
+    // must report more than one shard batch.
+    let max_shards_in_a_round = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::ShardBatch { round, shard, .. } => Some((round, shard)),
+            _ => None,
+        })
+        .fold(std::collections::HashMap::new(), |mut m, (r, s)| {
+            let e: &mut usize = m.entry(*r).or_default();
+            *e = (*e).max(s + 1);
+            m
+        })
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(0);
+    assert!(max_shards_in_a_round > 1, "no round was actually sharded");
+    // Fault drops show up in the stream.
+    let faulted: u64 = events
+        .iter()
+        .map(|e| match e {
+            TraceEvent::RoundEnd { faulted, .. } => *faulted,
+            _ => 0,
+        })
+        .sum();
+    assert!(faulted > 0, "lossy model produced no fault-dropped copies in the trace");
+}
+
+#[test]
+fn profile_aggregates_across_runs_and_renders() {
+    let handle = TraceHandle::new(Profile::new());
+    let config = SimConfig { trace: Some(handle.clone()), ..SimConfig::seeded(3) };
+    run(config.clone(), 200);
+    run(config, 200);
+    let report = handle.report().expect("profile renders");
+    assert!(report.contains("2 runs"), "report:\n{report}");
+    for phase in TracePhase::ALL {
+        assert!(report.contains(phase.name()), "missing {}:\n{report}", phase.name());
+    }
+}
+
+#[test]
+fn jsonl_lines_match_the_recorded_stream() {
+    let rec = Recorder::new();
+    let view = rec.clone();
+    // Two sinks cannot attach to one run, so record and render the
+    // recorded events through the JSONL formatter instead.
+    let config = SimConfig { trace: Some(TraceHandle::new(rec)), ..SimConfig::seeded(11) };
+    run(config, 150);
+    let events = view.events();
+    let mut sink = JsonlSink::new(Vec::new());
+    use sleeping_congest::TraceSink;
+    for ev in &events {
+        sink.event(ev);
+    }
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), events.len());
+    for line in lines {
+        assert!(line.starts_with("{\"ev\":\""), "bad line: {line}");
+        assert!(line.ends_with('}'), "bad line: {line}");
+    }
+}

@@ -66,6 +66,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The sleeping model's defining picture: when are nodes 0..8 awake?
     println!("\nwake timelines (█ = awake in that time slice, · = asleep, blank = terminated):");
-    print!("{}", render_timeline(&report.metrics, &[0, 1, 2, 3, 4, 5, 6, 7], 72));
+    print!("{}", render_timeline(&report.metrics, &[0, 1, 2, 3, 4, 5, 6, 7], 72)?);
     Ok(())
 }
