@@ -704,6 +704,21 @@ impl ChurnPoint {
 }
 
 impl ChurnCell {
+    /// The payload fields that identify one churn cell, in key order.
+    pub const KEY_FIELDS: [&'static str; 4] = ["algorithm", "family", "n", "rate"];
+
+    /// This cell's identity as textual key components matching
+    /// [`Self::KEY_FIELDS`] and the artifact JSON spelling (the rate
+    /// renders exactly as the payload writes it).
+    pub fn cell_key(&self) -> Vec<String> {
+        vec![
+            self.algorithm.key().to_string(),
+            self.family.key(),
+            self.n.to_string(),
+            format!("{}", self.rate),
+        ]
+    }
+
     fn json(&self) -> String {
         format!(
             "{{\"algorithm\":\"{}\",\"family\":\"{}\",\"n\":{},\"rate\":{},\"runs\":{},\

@@ -258,6 +258,16 @@ fn aggregate(
 }
 
 impl FaultCell {
+    /// The payload fields that identify one robustness cell (the
+    /// `algorithm` component is the full fault-level key).
+    pub const KEY_FIELDS: [&'static str; 3] = ["algorithm", "family", "n"];
+
+    /// This cell's identity as textual key components matching
+    /// [`Self::KEY_FIELDS`] and the artifact JSON spelling.
+    pub fn cell_key(&self) -> Vec<String> {
+        vec![self.algorithm.key().to_string(), self.family.key(), self.n.to_string()]
+    }
+
     fn json(&self) -> String {
         let mut s = format!(
             "{{\"algorithm\":\"{}\",\"base\":\"{}\",\"loss\":{},\"crash\":{},\

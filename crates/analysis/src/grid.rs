@@ -451,6 +451,17 @@ impl GridPoint {
 }
 
 impl GridCell {
+    /// The payload fields that identify one grid cell, in key order —
+    /// the single source of truth `bench-diff`/`bench-report` use when
+    /// grouping `points` into cells.
+    pub const KEY_FIELDS: [&'static str; 3] = ["algorithm", "family", "n"];
+
+    /// This cell's identity as textual key components matching
+    /// [`Self::KEY_FIELDS`] and the artifact JSON spelling.
+    pub fn cell_key(&self) -> Vec<String> {
+        vec![self.algorithm.key().to_string(), self.family.key(), self.n.to_string()]
+    }
+
     fn json(&self) -> String {
         format!(
             "{{\"algorithm\":\"{}\",\"family\":\"{}\",\"n\":{},\"runs\":{},\

@@ -45,6 +45,9 @@ pub use grid::{run_grid, GridCell, GridJob, GridMeta, GridPoint, GridResult, Gri
 pub use runners::AlgoResult;
 pub use spec::{default_registry, AlgorithmSpec, DynRunner, Registry, RunnerHandle, SpecError};
 pub use stats::Summary;
-pub use sweep::{run_sweep, SweepCell, SweepEntry, SweepGroup, SweepPoint, SweepResult, SweepSpec};
+pub use sweep::{
+    expand_families, run_sweep, SweepCell, SweepEntry, SweepGroup, SweepPoint, SweepResult,
+    SweepSpec,
+};
 pub use table::Table;
 pub use timeline::{render_timeline, TimelineError};

@@ -204,6 +204,114 @@ pub fn expand(registry: &Registry, raw: &str) -> Result<SweepGroup, SpecError> {
     Ok(SweepGroup { raw: raw.trim().to_string(), runners })
 }
 
+/// Expands one (possibly range-valued) *family* spec into its ordered
+/// list of concrete [`GraphFamily`] values, reusing the algorithm-sweep
+/// range grammar: `er?avg_deg=8..16&step=4` → `er`, `er?avg_deg=12`,
+/// `er?avg_deg=16` (a parameter at its default canonicalizes to the
+/// bare family, exactly as [`GraphFamily::parse`] does). Ranges are
+/// integer-valued; non-integer dials such as `rgg?radius=…` sweep via
+/// comma lists (`rgg?radius=0.03,0.06`).
+///
+/// ```
+/// use analysis::sweep::expand_families;
+///
+/// let fams = expand_families("er?avg_deg=8..16&step=4").unwrap();
+/// let keys: Vec<String> = fams.iter().map(|f| f.key()).collect();
+/// assert_eq!(keys, ["er", "er?avg_deg=12", "er?avg_deg=16"]);
+/// ```
+///
+/// # Errors
+///
+/// [`SpecError::BadValue`] for unknown families, malformed ranges/steps,
+/// parameter points [`GraphFamily::parse`] rejects, and oversized
+/// expansions; [`SpecError::Syntax`] for non-`name=value` parameters;
+/// [`SpecError::DuplicateKey`] when two expansion points collapse to the
+/// same canonical family.
+pub fn expand_families(raw: &str) -> Result<Vec<GraphFamily>, SpecError> {
+    let trimmed = raw.trim();
+    let bad_family = |value: &str, expected: &str| SpecError::BadValue {
+        param: "family".to_string(),
+        value: value.to_string(),
+        expected: expected.to_string(),
+    };
+    let Some((base, params_str)) = trimmed.split_once('?') else {
+        let f = GraphFamily::parse(trimmed)
+            .ok_or_else(|| bad_family(trimmed, "a known graph family key"))?;
+        return Ok(vec![f]);
+    };
+
+    // Same reserved `step=` convention as algorithm sweeps.
+    let mut step: Option<u64> = None;
+    let mut params: Vec<(&str, &str)> = Vec::new();
+    for part in params_str.split('&') {
+        let (name, value) = part.split_once('=').ok_or_else(|| SpecError::Syntax {
+            spec: trimmed.to_string(),
+            detail: format!("family parameter {part:?} is not `name=value`"),
+        })?;
+        if name == "step" {
+            let v = value.parse().ok().filter(|&v: &u64| v > 0).ok_or_else(|| {
+                SpecError::BadValue {
+                    param: "step".to_string(),
+                    value: value.to_string(),
+                    expected: "a positive integer".to_string(),
+                }
+            })?;
+            step = Some(v);
+        } else {
+            params.push((name, value));
+        }
+    }
+
+    let mut axes: Vec<(&str, Vec<String>)> = Vec::new();
+    let mut saw_range = false;
+    for (name, value) in &params {
+        let (values, was_range) = expand_value(name, value, step.unwrap_or(1))?;
+        saw_range |= was_range;
+        axes.push((name, values));
+    }
+    if let Some(s) = step {
+        if !saw_range {
+            return Err(SpecError::BadValue {
+                param: "step".to_string(),
+                value: s.to_string(),
+                expected: "a range-valued parameter for step= to apply to".to_string(),
+            });
+        }
+    }
+    let count: usize = axes.iter().map(|(_, v)| v.len()).product();
+    if count > MAX_EXPANSION {
+        return Err(bad_family(
+            trimmed,
+            &format!("at most {MAX_EXPANSION} expansion points, got {count}"),
+        ));
+    }
+
+    let mut out = Vec::with_capacity(count);
+    for idx in 0..count {
+        // Mixed-radix decode, last axis fastest (as in [`expand`]).
+        let mut rest = idx;
+        let mut picks = vec![0usize; axes.len()];
+        for (a, (_, values)) in axes.iter().enumerate().rev() {
+            picks[a] = rest % values.len();
+            rest /= values.len();
+        }
+        let mut s = base.to_string();
+        for (a, (name, values)) in axes.iter().enumerate() {
+            s.push(if a == 0 { '?' } else { '&' });
+            s.push_str(name);
+            s.push('=');
+            s.push_str(&values[picks[a]]);
+        }
+        let family = GraphFamily::parse(&s)
+            .ok_or_else(|| bad_family(&s, "a family point GraphFamily::parse accepts"))?;
+        if out.contains(&family) {
+            return Err(SpecError::DuplicateKey { key: family.key() });
+        }
+        out.push(family);
+    }
+    Ok(out)
+}
+
 /// A sweep: range-valued specs crossed with graph families, sizes, and
 /// seeds, plus the energy model pricing every run.
 #[derive(Debug, Clone)]
@@ -279,6 +387,16 @@ pub struct SweepCell {
 }
 
 impl SweepCell {
+    /// The payload fields that identify one sweep cell (entries within
+    /// a cell are keyed by their `algorithm` spec point).
+    pub const KEY_FIELDS: [&'static str; 2] = ["family", "n"];
+
+    /// This cell's identity as textual key components matching
+    /// [`Self::KEY_FIELDS`] and the artifact JSON spelling.
+    pub fn cell_key(&self) -> Vec<String> {
+        vec![self.family.key(), self.n.to_string()]
+    }
+
     /// Keys of the non-dominated entries, in sweep order.
     pub fn frontier(&self) -> Vec<&str> {
         self.entries.iter().filter(|e| e.pareto).map(|e| e.algorithm.key()).collect()
@@ -646,6 +764,36 @@ mod tests {
             expand(reg, "gp-avg?balance=2,2"),
             Err(SpecError::DuplicateKey { .. })
         ));
+    }
+
+    #[test]
+    fn family_ranges_expand_and_canonicalize() {
+        let keys = |raw: &str| -> Vec<String> {
+            expand_families(raw).unwrap().iter().map(|f| f.key()).collect()
+        };
+        // The default point canonicalizes to the bare family key, so the
+        // grid/sweep cell keys stay stable across spellings.
+        assert_eq!(keys("er?avg_deg=8..16&step=4"), ["er", "er?avg_deg=12", "er?avg_deg=16"]);
+        assert_eq!(keys("ba?attach=3"), ["ba"]);
+        // Non-integer dials sweep via comma lists.
+        assert_eq!(keys("rgg?radius=0.03,0.06"), ["rgg?radius=0.03", "rgg?radius=0.06"]);
+        // Bare keys pass through untouched.
+        assert_eq!(keys("tree"), ["tree"]);
+    }
+
+    #[test]
+    fn family_expansion_is_strict() {
+        assert!(matches!(expand_families("nope"), Err(SpecError::BadValue { .. })));
+        assert!(matches!(expand_families("er?avg_deg=9..4"), Err(SpecError::BadValue { .. })));
+        // Families without that dial reject the parameter.
+        assert!(matches!(expand_families("tree?x=1..3"), Err(SpecError::BadValue { .. })));
+        // step without a range; malformed parameter syntax.
+        assert!(matches!(expand_families("er?avg_deg=5&step=2"), Err(SpecError::BadValue { .. })));
+        assert!(matches!(expand_families("er?avg_deg"), Err(SpecError::Syntax { .. })));
+        // Two expansion points collapsing to one canonical family.
+        assert!(matches!(expand_families("er?avg_deg=8,8"), Err(SpecError::DuplicateKey { .. })));
+        // Oversized expansions fail loudly.
+        assert!(matches!(expand_families("er?avg_deg=1..10000"), Err(SpecError::BadValue { .. })));
     }
 
     #[test]

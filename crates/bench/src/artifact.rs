@@ -1,0 +1,542 @@
+//! One reader for every committed benchmark artifact schema.
+//!
+//! The repo pins four regression-gated artifacts — `BENCH_grid.json`
+//! (schema `awake-mis/bench-grid/v1`–`v3`), `BENCH_sweep.json`
+//! (`bench-sweep/v1`), `BENCH_faults.json` (`bench-faults/v1`) and
+//! `BENCH_churn.json` (`bench-churn/v1`). `bench-diff` compares two
+//! revisions of one artifact; `bench-report` trends *every* committed
+//! revision. Both consume documents through this module so there is
+//! exactly one place that knows how to sniff a schema, group points
+//! into cells, and aggregate a cell into its gated measures.
+//!
+//! Two views are offered:
+//!
+//! * **Typed views** ([`Artifact::point_cells`], [`Artifact::sweep_cells`])
+//!   keep the per-kind shape `bench-diff`'s verdict logic needs.
+//! * **The trend view** ([`Artifact::series_cells`]) flattens any kind
+//!   into `(cell key, measure name, value, gate)` rows — the unit the
+//!   trajectory pipeline samples once per git revision.
+//!
+//! Cell-key field lists come from the `analysis` result types
+//! ([`GridCell::KEY_FIELDS`] et al.), so the writer and both readers
+//! cannot drift apart.
+
+use crate::json::{self, Value};
+use analysis::{ChurnCell, FaultCell, GridCell, SweepCell};
+
+/// The deterministic payload sections — everything except `meta` and
+/// `timing`, which carry machine-dependent wall-clock data. This is
+/// what `bench-diff --exact` compares.
+pub const PAYLOAD_SECTIONS: [&str; 3] = ["spec", "cells", "points"];
+
+/// The kind of benchmark document, by schema id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// `awake-mis/bench-grid/v1`–`v3`: the worst-case/node-averaged
+    /// awake grid.
+    Grid,
+    /// `awake-mis/bench-sweep/v1`: the energy/awake Pareto frontier.
+    Sweep,
+    /// `awake-mis/bench-faults/v1`: the robustness surface.
+    Faults,
+    /// `awake-mis/bench-churn/v1`: the dynamic-graph locality surface.
+    Churn,
+}
+
+impl ArtifactKind {
+    /// Every kind, in the order the committed artifacts are reported.
+    pub fn all() -> [ArtifactKind; 4] {
+        [ArtifactKind::Grid, ArtifactKind::Sweep, ArtifactKind::Faults, ArtifactKind::Churn]
+    }
+
+    /// Maps a schema id to its kind; `None` for foreign documents.
+    pub fn from_schema(schema: &str) -> Option<ArtifactKind> {
+        match schema {
+            "awake-mis/bench-grid/v3" | "awake-mis/bench-grid/v2" | "awake-mis/bench-grid/v1" => {
+                Some(ArtifactKind::Grid)
+            }
+            "awake-mis/bench-sweep/v1" => Some(ArtifactKind::Sweep),
+            "awake-mis/bench-faults/v1" => Some(ArtifactKind::Faults),
+            "awake-mis/bench-churn/v1" => Some(ArtifactKind::Churn),
+            _ => None,
+        }
+    }
+
+    /// Short display name (`grid`, `sweep`, `faults`, `churn`).
+    pub fn short(self) -> &'static str {
+        match self {
+            ArtifactKind::Grid => "grid",
+            ArtifactKind::Sweep => "sweep",
+            ArtifactKind::Faults => "faults",
+            ArtifactKind::Churn => "churn",
+        }
+    }
+
+    /// The committed artifact path at the repository root.
+    pub fn default_path(self) -> &'static str {
+        match self {
+            ArtifactKind::Grid => "BENCH_grid.json",
+            ArtifactKind::Sweep => "BENCH_sweep.json",
+            ArtifactKind::Faults => "BENCH_faults.json",
+            ArtifactKind::Churn => "BENCH_churn.json",
+        }
+    }
+
+    /// The payload fields identifying one cell of this kind — sourced
+    /// from the `analysis` result types that *write* the payloads.
+    /// For sweeps this is the cell identity; entries within a sweep
+    /// cell are additionally keyed by their `algorithm` spec point.
+    pub fn key_fields(self) -> &'static [&'static str] {
+        match self {
+            ArtifactKind::Grid => &GridCell::KEY_FIELDS,
+            ArtifactKind::Sweep => &SweepCell::KEY_FIELDS,
+            ArtifactKind::Faults => &FaultCell::KEY_FIELDS,
+            ArtifactKind::Churn => &ChurnCell::KEY_FIELDS,
+        }
+    }
+}
+
+/// A parsed benchmark document with its sniffed kind.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Which schema family the document belongs to.
+    pub kind: ArtifactKind,
+    /// The parsed JSON document.
+    pub doc: Value,
+}
+
+impl Artifact {
+    /// Parses a document from text, sniffing the schema. The `origin`
+    /// string names the source in error messages (a path, a git rev).
+    pub fn parse(text: &str, origin: &str) -> Result<Artifact, String> {
+        let doc = json::parse(text).map_err(|e| format!("parsing {origin}: {e}"))?;
+        let kind = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .and_then(ArtifactKind::from_schema)
+            .ok_or_else(|| {
+                format!(
+                    "{origin}: not an awake-mis/bench-grid/v1|v2|v3, bench-sweep/v1, \
+                     bench-faults/v1, or bench-churn/v1 document"
+                )
+            })?;
+        Ok(Artifact { kind, doc })
+    }
+
+    /// Reads and parses a document from disk.
+    pub fn load(path: &str) -> Result<Artifact, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        Artifact::parse(&text, path)
+    }
+
+    /// The document's `points` array (empty for documents without one).
+    pub fn points(&self) -> &[Value] {
+        self.doc.get("points").and_then(Value::as_arr).unwrap_or(&[])
+    }
+
+    /// Groups `points` into cells by this kind's key fields, in
+    /// first-seen (payload) order. Meaningful for the point-indexed
+    /// kinds (grid, faults, churn); a sweep's per-seed points are not
+    /// its unit of comparison — use [`Artifact::sweep_cells`].
+    pub fn point_cells(&self) -> Vec<(Vec<String>, Vec<&Value>)> {
+        json::index_by(self.points(), self.kind.key_fields())
+    }
+
+    /// Sweep documents: the `{family, n}` cells with their frontier
+    /// key lists, in payload order.
+    pub fn sweep_cells(&self) -> Vec<SweepCellView<'_>> {
+        self.doc
+            .get("cells")
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|cell| SweepCellView {
+                family: cell.get("family").and_then(Value::as_str).unwrap_or("?").to_string(),
+                n: cell
+                    .get("n")
+                    .and_then(Value::as_f64)
+                    .map_or("?".to_string(), |n| format!("{n}")),
+                frontier: cell
+                    .get("frontier")
+                    .and_then(Value::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect(),
+                cell,
+            })
+            .collect()
+    }
+
+    /// The trend view: every cell flattened to gated measures, exactly
+    /// the aggregates `bench-diff` scores (means over points for the
+    /// point-indexed kinds, entry summary means for sweeps).
+    pub fn series_cells(&self) -> Vec<CellSeries> {
+        match self.kind {
+            ArtifactKind::Grid => self
+                .point_cells()
+                .into_iter()
+                .map(|(key, pts)| {
+                    let mut measures = vec![
+                        Measure::new("awake_max", Gate::Relative, mean(&pts, "awake_max")),
+                        Measure::new("awake_avg", Gate::Relative, mean(&pts, "awake_avg")),
+                    ];
+                    // Legacy v1 documents predate `awake_dist`.
+                    if let Some(p95) = mean_dist(&pts, "p95") {
+                        measures.push(Measure::new("awake_p95", Gate::Relative, p95));
+                    }
+                    measures.push(Measure::new(
+                        "max_message_bits",
+                        Gate::Bits,
+                        max(&pts, "max_message_bits"),
+                    ));
+                    measures.push(Measure::new(
+                        "failure_rate",
+                        Gate::Pp,
+                        failure_rate(&pts),
+                    ));
+                    measures.push(Measure::new("rounds", Gate::Info, mean(&pts, "rounds")));
+                    CellSeries { cell: key, measures }
+                })
+                .collect(),
+            ArtifactKind::Faults => self
+                .point_cells()
+                .into_iter()
+                .map(|(key, pts)| CellSeries {
+                    cell: key,
+                    measures: vec![
+                        Measure::new("failure_rate", Gate::Pp, failure_rate(&pts)),
+                        Measure::new("awake_max", Gate::Relative, mean(&pts, "awake_max")),
+                        Measure::new("awake_avg", Gate::Info, mean(&pts, "awake_avg")),
+                        Measure::new("crashed", Gate::Info, mean(&pts, "crashed")),
+                        Measure::new("faulted", Gate::Info, mean(&pts, "faulted")),
+                    ],
+                })
+                .collect(),
+            ArtifactKind::Churn => self
+                .point_cells()
+                .into_iter()
+                .map(|(key, pts)| CellSeries {
+                    cell: key,
+                    measures: vec![
+                        Measure::new(
+                            "woken_ratio",
+                            Gate::RelativeZero,
+                            mean(&pts, "woken_ratio"),
+                        ),
+                        Measure::new(
+                            "awake_per_delta",
+                            Gate::Relative,
+                            mean(&pts, "awake_per_delta"),
+                        ),
+                        Measure::new("failure_rate", Gate::Pp, failure_rate(&pts)),
+                    ],
+                })
+                .collect(),
+            ArtifactKind::Sweep => {
+                let mut out = Vec::new();
+                for view in self.sweep_cells() {
+                    for entry in view.entries() {
+                        let Some(algo) = entry.get("algorithm").and_then(Value::as_str) else {
+                            continue;
+                        };
+                        let cell =
+                            vec![view.family.clone(), view.n.clone(), algo.to_string()];
+                        let broken = entry.get("all_correct").and_then(Value::as_bool)
+                            != Some(true);
+                        let mut measures = Vec::new();
+                        for (name, field) in [
+                            ("awake_max", "awake_max"),
+                            ("awake_avg", "awake_avg"),
+                            ("energy_max_mj", "energy_max_mj"),
+                        ] {
+                            if let Some(v) = entry_mean(entry, field) {
+                                measures.push(Measure::new(name, Gate::Relative, v));
+                            }
+                        }
+                        measures.push(Measure::new(
+                            "max_message_bits",
+                            Gate::Bits,
+                            entry.get("max_message_bits").and_then(Value::as_f64).unwrap_or(0.0),
+                        ));
+                        measures.push(Measure::new(
+                            "broken",
+                            Gate::Pp,
+                            if broken { 1.0 } else { 0.0 },
+                        ));
+                        measures.push(Measure::new(
+                            "frontier",
+                            Gate::Info,
+                            if view.frontier.iter().any(|k| k == algo) { 1.0 } else { 0.0 },
+                        ));
+                        out.push(CellSeries { cell, measures });
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// One `{family, n}` sweep cell: identity, frontier keys, and the raw
+/// cell object for entry lookups.
+#[derive(Debug, Clone)]
+pub struct SweepCellView<'a> {
+    /// Family key of the cell.
+    pub family: String,
+    /// Node count, as the payload spells it.
+    pub n: String,
+    /// Keys of the non-dominated entries.
+    pub frontier: Vec<String>,
+    /// The underlying cell object.
+    pub cell: &'a Value,
+}
+
+impl<'a> SweepCellView<'a> {
+    /// The cell's entry objects, in sweep order.
+    pub fn entries(&self) -> &'a [Value] {
+        self.cell.get("entries").and_then(Value::as_arr).unwrap_or(&[])
+    }
+
+    /// Finds the entry for one spec-point key.
+    pub fn find_entry(&self, key: &str) -> Option<&'a Value> {
+        self.entries()
+            .iter()
+            .find(|e| e.get("algorithm").and_then(Value::as_str) == Some(key))
+    }
+}
+
+/// How a measure's growth is judged — the same semantics `bench-diff`
+/// applies between two adjacent revisions, reused by the trajectory
+/// drift gate over any revision span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Relative growth in percent beyond the threshold regresses (only
+    /// from a strictly positive baseline, as in `bench-diff`).
+    Relative,
+    /// [`Gate::Relative`], plus "zero stays zero": any growth from a
+    /// zero baseline regresses regardless of threshold (the churn
+    /// locality rule — waking anyone on a delta-free stream is a bug).
+    RelativeZero,
+    /// Absolute growth in percentage points beyond the threshold
+    /// regresses (failure rates; values are fractions in `[0, 1]`).
+    Pp,
+    /// Absolute growth beyond the bits slack regresses (CONGEST
+    /// message width).
+    Bits,
+    /// Observational only — reported and plotted, never gated.
+    Info,
+}
+
+/// One aggregated measure of one cell.
+#[derive(Debug, Clone)]
+pub struct Measure {
+    /// Measure name, as spelled in reports (`awake_max`, …).
+    pub name: &'static str,
+    /// How growth of this measure is gated.
+    pub gate: Gate,
+    /// The aggregated value.
+    pub value: f64,
+}
+
+impl Measure {
+    fn new(name: &'static str, gate: Gate, value: f64) -> Measure {
+        Measure { name, gate, value }
+    }
+}
+
+/// One cell flattened for trending: its textual key plus every measure.
+#[derive(Debug, Clone)]
+pub struct CellSeries {
+    /// The cell's identity components (key fields, in order; sweep
+    /// rows append the entry's spec-point key).
+    pub cell: Vec<String>,
+    /// The cell's measures, gated and observational alike.
+    pub measures: Vec<Measure>,
+}
+
+/// Mean of a numeric field over a cell's points.
+pub fn mean(points: &[&Value], field: &str) -> f64 {
+    let sum: f64 = points.iter().filter_map(|p| p.get(field).and_then(Value::as_f64)).sum();
+    sum / points.len().max(1) as f64
+}
+
+/// Mean of a field nested in each point's `awake_dist` object; `None`
+/// when no point carries it (a legacy v1 grid document).
+pub fn mean_dist(points: &[&Value], field: &str) -> Option<f64> {
+    let values: Vec<f64> = points
+        .iter()
+        .filter_map(|p| p.get("awake_dist").and_then(|d| d.get(field)).and_then(Value::as_f64))
+        .collect();
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Max of a numeric field over a cell's points.
+pub fn max(points: &[&Value], field: &str) -> f64 {
+    points
+        .iter()
+        .filter_map(|p| p.get(field).and_then(Value::as_f64))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// True when every point in the cell verified correct and none carries
+/// an engine error. Broken cells must never be scored by their
+/// (zeroed) measurements.
+pub fn all_correct(points: &[&Value]) -> bool {
+    points.iter().all(|p| {
+        p.get("correct").and_then(Value::as_bool) == Some(true) && p.get("sim_error").is_none()
+    })
+}
+
+/// Fraction of a cell's points that did not verify correct.
+pub fn failure_rate(points: &[&Value]) -> f64 {
+    let bad = points
+        .iter()
+        .filter(|p| {
+            p.get("correct").and_then(Value::as_bool) != Some(true)
+                || p.get("sim_error").is_some()
+        })
+        .count();
+    bad as f64 / points.len().max(1) as f64
+}
+
+/// Mean of a summary field (`{"mean": …}`) on a sweep-cell entry.
+pub fn entry_mean(entry: &Value, field: &str) -> Option<f64> {
+    entry.get(field).and_then(|s| s.get("mean")).and_then(Value::as_f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_doc(awake: f64) -> String {
+        format!(
+            "{{\"schema\":\"awake-mis/bench-grid/v3\",\"spec\":{{}},\"cells\":[],\
+             \"points\":[{{\"algorithm\":\"luby\",\"family\":\"er\",\"n\":64,\"seed\":1,\
+             \"rounds\":10,\"awake_max\":{awake},\"awake_avg\":3.5,\"max_message_bits\":21,\
+             \"correct\":true,\"failures\":0,\
+             \"awake_dist\":{{\"p95\":{awake},\"gini\":0.1}}}}]}}"
+        )
+    }
+
+    const SWEEP_DOC: &str = r#"{"schema":"awake-mis/bench-sweep/v1","spec":{},
+        "cells":[{"family":"er","n":64,"frontier":["luby"],"entries":[
+            {"algorithm":"luby","group":0,"runs":2,
+             "awake_max":{"mean":9.0},"awake_avg":{"mean":4.0},
+             "energy_max_mj":{"mean":1.5},"max_message_bits":21,
+             "all_correct":true,"pareto":true},
+            {"algorithm":"le?bits=6","group":1,"runs":2,
+             "awake_max":{"mean":12.0},"awake_avg":{"mean":6.0},
+             "energy_max_mj":{"mean":2.5},"max_message_bits":21,
+             "all_correct":true,"pareto":false,"dominated_by":"luby"}]}],
+        "points":[]}"#;
+
+    #[test]
+    fn schema_sniffing_covers_all_kinds_and_rejects_foreigners() {
+        for (schema, kind) in [
+            ("awake-mis/bench-grid/v1", ArtifactKind::Grid),
+            ("awake-mis/bench-grid/v2", ArtifactKind::Grid),
+            ("awake-mis/bench-grid/v3", ArtifactKind::Grid),
+            ("awake-mis/bench-sweep/v1", ArtifactKind::Sweep),
+            ("awake-mis/bench-faults/v1", ArtifactKind::Faults),
+            ("awake-mis/bench-churn/v1", ArtifactKind::Churn),
+        ] {
+            assert_eq!(ArtifactKind::from_schema(schema), Some(kind), "{schema}");
+            let doc = format!("{{\"schema\":\"{schema}\",\"points\":[]}}");
+            assert_eq!(Artifact::parse(&doc, "t").unwrap().kind, kind);
+        }
+        assert_eq!(ArtifactKind::from_schema("awake-mis/bench-grid/v99"), None);
+        let err = Artifact::parse("{\"schema\":\"other/thing\"}", "t").unwrap_err();
+        assert!(err.contains("not an awake-mis"), "{err}");
+        assert!(Artifact::parse("not json", "t").is_err());
+    }
+
+    #[test]
+    fn key_fields_come_from_the_analysis_writers() {
+        assert_eq!(ArtifactKind::Grid.key_fields(), ["algorithm", "family", "n"]);
+        assert_eq!(ArtifactKind::Faults.key_fields(), ["algorithm", "family", "n"]);
+        assert_eq!(ArtifactKind::Churn.key_fields(), ["algorithm", "family", "n", "rate"]);
+        assert_eq!(ArtifactKind::Sweep.key_fields(), ["family", "n"]);
+    }
+
+    #[test]
+    fn grid_series_aggregates_points_per_cell() {
+        let a = Artifact::parse(&grid_doc(8.0), "t").unwrap();
+        let series = a.series_cells();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].cell, ["luby", "er", "64"]);
+        let get = |name: &str| {
+            series[0].measures.iter().find(|m| m.name == name).map(|m| (m.gate, m.value))
+        };
+        assert_eq!(get("awake_max"), Some((Gate::Relative, 8.0)));
+        assert_eq!(get("awake_avg"), Some((Gate::Relative, 3.5)));
+        assert_eq!(get("awake_p95"), Some((Gate::Relative, 8.0)));
+        assert_eq!(get("max_message_bits"), Some((Gate::Bits, 21.0)));
+        assert_eq!(get("failure_rate"), Some((Gate::Pp, 0.0)));
+        assert_eq!(get("rounds"), Some((Gate::Info, 10.0)));
+    }
+
+    #[test]
+    fn legacy_grid_documents_skip_the_p95_measure() {
+        let doc = grid_doc(8.0)
+            .replace("awake-mis/bench-grid/v3", "awake-mis/bench-grid/v1")
+            .replace(",\"awake_dist\":{\"p95\":8,\"gini\":0.1}", "");
+        let a = Artifact::parse(&doc, "t").unwrap();
+        let series = a.series_cells();
+        assert!(series[0].measures.iter().all(|m| m.name != "awake_p95"));
+        assert!(series[0].measures.iter().any(|m| m.name == "awake_max"));
+    }
+
+    #[test]
+    fn sweep_series_flattens_entries_with_frontier_membership() {
+        let a = Artifact::parse(SWEEP_DOC, "t").unwrap();
+        let views = a.sweep_cells();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].frontier, ["luby"]);
+        assert!(views[0].find_entry("le?bits=6").is_some());
+        assert!(views[0].find_entry("nope").is_none());
+
+        let series = a.series_cells();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].cell, ["er", "64", "luby"]);
+        assert_eq!(series[1].cell, ["er", "64", "le?bits=6"]);
+        let frontier = |s: &CellSeries| {
+            s.measures.iter().find(|m| m.name == "frontier").unwrap().value
+        };
+        assert_eq!(frontier(&series[0]), 1.0);
+        assert_eq!(frontier(&series[1]), 0.0);
+        let energy = series[0].measures.iter().find(|m| m.name == "energy_max_mj").unwrap();
+        assert_eq!((energy.gate, energy.value), (Gate::Relative, 1.5));
+    }
+
+    #[test]
+    fn churn_series_uses_the_zero_anchored_gate() {
+        let doc = r#"{"schema":"awake-mis/bench-churn/v1","spec":{},"cells":[],
+            "points":[{"algorithm":"luby","family":"er","n":64,"rate":0,"seed":1,
+                       "woken_ratio":0.0,"awake_per_delta":0.0,"correct":true}]}"#;
+        let a = Artifact::parse(doc, "t").unwrap();
+        let series = a.series_cells();
+        assert_eq!(series[0].cell, ["luby", "er", "64", "0"]);
+        let woken = series[0].measures.iter().find(|m| m.name == "woken_ratio").unwrap();
+        assert_eq!(woken.gate, Gate::RelativeZero);
+    }
+
+    #[test]
+    fn fault_series_leads_with_the_failure_rate_in_pp() {
+        let doc = r#"{"schema":"awake-mis/bench-faults/v1","spec":{},"cells":[],
+            "points":[
+              {"algorithm":"luby?loss=0.05","family":"er","n":64,"seed":1,
+               "awake_max":9,"awake_avg":4.5,"correct":true,"crashed":0,"faulted":3},
+              {"algorithm":"luby?loss=0.05","family":"er","n":64,"seed":2,
+               "awake_max":9,"awake_avg":4.5,"correct":false,"crashed":0,"faulted":3}]}"#;
+        let a = Artifact::parse(doc, "t").unwrap();
+        let series = a.series_cells();
+        assert_eq!(series.len(), 1);
+        let rate = series[0].measures.iter().find(|m| m.name == "failure_rate").unwrap();
+        assert_eq!((rate.gate, rate.value), (Gate::Pp, 0.5));
+    }
+}

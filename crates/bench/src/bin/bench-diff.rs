@@ -33,6 +33,11 @@
 //! waking more of the graph than the committed baseline is a
 //! regression, as is any cell whose epochs stopped verifying.
 //!
+//! Schema sniffing, cell grouping, and the measure aggregates all come
+//! from [`bench::artifact`] — the same reader `bench-report` trends
+//! over git history, so the per-PR gate and the trajectory gate cannot
+//! disagree about what a document means.
+//!
 //! Usage:
 //!
 //! ```text
@@ -65,7 +70,11 @@
 //! `2` usage or parse error.
 
 use analysis::Table;
-use bench::json::{self, Value};
+use bench::artifact::{
+    all_correct, entry_mean, failure_rate, max, mean, mean_dist, Artifact, ArtifactKind,
+    PAYLOAD_SECTIONS,
+};
+use bench::json::Value;
 use std::collections::{HashMap, HashSet};
 use std::process::ExitCode;
 
@@ -75,55 +84,6 @@ fn fail_usage(msg: &str) -> ExitCode {
         "usage: bench-diff OLD.json NEW.json [--threshold PCT] [--bits-slack N] [--exact]"
     );
     ExitCode::from(2)
-}
-
-/// The kind of benchmark document, by schema id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DocKind {
-    Grid,
-    Sweep,
-    Faults,
-    Churn,
-}
-
-fn load(path: &str) -> Result<(DocKind, Value), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let doc = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    let kind = match doc.get("schema").and_then(Value::as_str) {
-        Some(
-            "awake-mis/bench-grid/v3" | "awake-mis/bench-grid/v2" | "awake-mis/bench-grid/v1",
-        ) => DocKind::Grid,
-        Some("awake-mis/bench-sweep/v1") => DocKind::Sweep,
-        Some("awake-mis/bench-faults/v1") => DocKind::Faults,
-        Some("awake-mis/bench-churn/v1") => DocKind::Churn,
-        _ => {
-            return Err(format!(
-                "{path}: not an awake-mis/bench-grid/v1|v2|v3, bench-sweep/v1, \
-                 bench-faults/v1, or bench-churn/v1 document"
-            ))
-        }
-    };
-    Ok((kind, doc))
-}
-
-/// Mean of a numeric field over a cell's points.
-fn mean(points: &[&Value], field: &str) -> f64 {
-    let sum: f64 = points.iter().filter_map(|p| p.get(field).and_then(Value::as_f64)).sum();
-    sum / points.len().max(1) as f64
-}
-
-/// Mean of a field nested in each point's `awake_dist` object; `None`
-/// when no point carries it (a legacy v1 document).
-fn mean_dist(points: &[&Value], field: &str) -> Option<f64> {
-    let values: Vec<f64> = points
-        .iter()
-        .filter_map(|p| p.get("awake_dist").and_then(|d| d.get(field)).and_then(Value::as_f64))
-        .collect();
-    if values.is_empty() {
-        None
-    } else {
-        Some(values.iter().sum::<f64>() / values.len() as f64)
-    }
 }
 
 /// Formats an optional measurement for the table.
@@ -138,23 +98,6 @@ fn regressed(old: Option<f64>, new: Option<f64>, threshold: f64) -> bool {
         (Some(o), Some(n)) if o > 0.0 => 100.0 * (n - o) / o > threshold,
         _ => false,
     }
-}
-
-/// Max of a numeric field over a cell's points.
-fn max(points: &[&Value], field: &str) -> f64 {
-    points
-        .iter()
-        .filter_map(|p| p.get(field).and_then(Value::as_f64))
-        .fold(f64::NEG_INFINITY, f64::max)
-}
-
-/// True when every point in the cell verified correct and none carries
-/// an engine error. Broken cells must never be scored by their
-/// (zeroed) measurements.
-fn all_correct(points: &[&Value]) -> bool {
-    points.iter().all(|p| {
-        p.get("correct").and_then(Value::as_bool) == Some(true) && p.get("sim_error").is_none()
-    })
 }
 
 fn main() -> ExitCode {
@@ -190,28 +133,24 @@ fn main() -> ExitCode {
         return fail_usage("expected exactly two files");
     };
 
-    let ((old_kind, old_doc), (new_kind, new_doc)) = match (load(old_path), load(new_path)) {
+    let (old, new) = match (Artifact::load(old_path), Artifact::load(new_path)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => return fail_usage(&e),
     };
-    if old_kind != new_kind {
+    if old.kind != new.kind {
         return fail_usage("cannot compare documents of different kinds (grid/sweep/faults)");
     }
 
-    let mut failed = match old_kind {
-        DocKind::Grid => {
-            diff_grid(&old_doc, &new_doc, old_path, new_path, threshold, bits_slack)
-        }
-        DocKind::Sweep => {
-            diff_sweep(&old_doc, &new_doc, old_path, new_path, threshold, bits_slack)
-        }
-        DocKind::Faults => diff_faults(&old_doc, &new_doc, old_path, new_path, threshold),
-        DocKind::Churn => diff_churn(&old_doc, &new_doc, old_path, new_path, threshold),
+    let mut failed = match old.kind {
+        ArtifactKind::Grid => diff_grid(&old, &new, old_path, new_path, threshold, bits_slack),
+        ArtifactKind::Sweep => diff_sweep(&old, &new, old_path, new_path, threshold, bits_slack),
+        ArtifactKind::Faults => diff_faults(&old, &new, old_path, new_path, threshold),
+        ArtifactKind::Churn => diff_churn(&old, &new, old_path, new_path, threshold),
     };
     if exact {
         // The deterministic payload is everything but meta/timing.
-        for section in ["spec", "cells", "points"] {
-            if old_doc.get(section) != new_doc.get(section) {
+        for section in PAYLOAD_SECTIONS {
+            if old.doc.get(section) != new.doc.get(section) {
                 println!("--exact: section {section:?} differs");
                 failed = true;
             }
@@ -231,18 +170,15 @@ fn main() -> ExitCode {
 /// over the awake measures and CONGEST bits. Returns whether anything
 /// regressed.
 fn diff_grid(
-    old_doc: &Value,
-    new_doc: &Value,
+    old: &Artifact,
+    new: &Artifact,
     old_path: &str,
     new_path: &str,
     threshold: f64,
     bits_slack: f64,
 ) -> bool {
-    let old_points = old_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
-    let new_points = new_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
-    let key_fields = ["algorithm", "family", "n"];
-    let old_cells = json::index_by(old_points, &key_fields);
-    let new_cells: Vec<(Vec<String>, Vec<&Value>)> = json::index_by(new_points, &key_fields);
+    let old_cells = old.point_cells();
+    let new_cells = new.point_cells();
     let new_by_key: HashMap<&[String], &Vec<&Value>> =
         new_cells.iter().map(|(k, v)| (k.as_slice(), v)).collect();
 
@@ -331,49 +267,21 @@ fn diff_grid(
     regressions > 0 || !only_old.is_empty()
 }
 
-/// Mean of a summary field (`{"mean": …}`) on a sweep-cell entry.
-fn entry_mean(entry: &Value, field: &str) -> Option<f64> {
-    entry.get(field).and_then(|s| s.get("mean")).and_then(Value::as_f64)
-}
-
 /// Sweep-document comparison: per `{family, n}` cell, the baseline
 /// Pareto frontier must survive — every old frontier point must still
 /// exist, still be non-dominated, and not regress beyond the threshold
 /// on mean worst-case awake, node-averaged awake, or worst-node energy.
 /// Returns whether anything regressed.
 fn diff_sweep(
-    old_doc: &Value,
-    new_doc: &Value,
+    old: &Artifact,
+    new: &Artifact,
     old_path: &str,
     new_path: &str,
     threshold: f64,
     bits_slack: f64,
 ) -> bool {
-    let cells = |doc: &'_ Value| -> Vec<Value> {
-        doc.get("cells").and_then(Value::as_arr).unwrap_or(&[]).to_vec()
-    };
-    let cell_key = |c: &Value| -> (String, String) {
-        (
-            c.get("family").and_then(Value::as_str).unwrap_or("?").to_string(),
-            c.get("n").and_then(Value::as_f64).map_or("?".to_string(), |n| format!("{n}")),
-        )
-    };
-    let frontier_keys = |c: &Value| -> Vec<String> {
-        c.get("frontier")
-            .and_then(Value::as_arr)
-            .unwrap_or(&[])
-            .iter()
-            .filter_map(|v| v.as_str().map(str::to_string))
-            .collect()
-    };
-    let find_entry = |c: &Value, key: &str| -> Option<Value> {
-        c.get("entries").and_then(Value::as_arr).unwrap_or(&[]).iter().find_map(|e| {
-            (e.get("algorithm").and_then(Value::as_str) == Some(key)).then(|| e.clone())
-        })
-    };
-
-    let old_cells = cells(old_doc);
-    let new_cells = cells(new_doc);
+    let old_cells = old.sweep_cells();
+    let new_cells = new.sweep_cells();
     let mut t = Table::new(vec![
         "family", "n", "frontier point", "awake old", "awake new", "avg old", "avg new",
         "energy old", "energy new", "bits old", "bits new", "verdict",
@@ -382,33 +290,34 @@ fn diff_sweep(
     let mut missing_cells = 0usize;
     let mut compared = 0usize;
     for oc in &old_cells {
-        let (family, n) = cell_key(oc);
-        let Some(nc) = new_cells.iter().find(|c| cell_key(c) == (family.clone(), n.clone()))
+        let Some(nc) = new_cells.iter().find(|c| (c.family == oc.family) && (c.n == oc.n))
         else {
-            println!("MISSING: cell {family}/{n} only in {old_path}");
+            println!("MISSING: cell {}/{} only in {old_path}", oc.family, oc.n);
             missing_cells += 1;
             continue;
         };
         compared += 1;
-        let new_frontier = frontier_keys(nc);
-        for key in frontier_keys(oc) {
+        for key in &oc.frontier {
             // A frontier key with no matching entry is a malformed
             // baseline; flag it as a regression rather than panicking.
-            let Some(old_e) = find_entry(oc, &key) else {
-                println!("MALFORMED: cell {family}/{n} frontier key {key} has no entry in {old_path}");
+            let Some(old_e) = oc.find_entry(key) else {
+                println!(
+                    "MALFORMED: cell {}/{} frontier key {key} has no entry in {old_path}",
+                    oc.family, oc.n
+                );
                 regressions += 1;
                 continue;
             };
-            let Some(new_e) = find_entry(nc, &key) else {
+            let Some(new_e) = nc.find_entry(key) else {
                 t.row(vec![
-                    family.clone(),
-                    n.clone(),
+                    oc.family.clone(),
+                    oc.n.clone(),
                     key.clone(),
-                    opt_cell(entry_mean(&old_e, "awake_max")),
+                    opt_cell(entry_mean(old_e, "awake_max")),
                     "-".into(),
-                    opt_cell(entry_mean(&old_e, "awake_avg")),
+                    opt_cell(entry_mean(old_e, "awake_avg")),
                     "-".into(),
-                    opt_cell(entry_mean(&old_e, "energy_max_mj")),
+                    opt_cell(entry_mean(old_e, "energy_max_mj")),
                     "-".into(),
                     opt_cell(old_e.get("max_message_bits").and_then(Value::as_f64)),
                     "-".into(),
@@ -418,16 +327,16 @@ fn diff_sweep(
                 continue;
             };
             let (a_old, a_new) =
-                (entry_mean(&old_e, "awake_max"), entry_mean(&new_e, "awake_max"));
+                (entry_mean(old_e, "awake_max"), entry_mean(new_e, "awake_max"));
             let (v_old, v_new) =
-                (entry_mean(&old_e, "awake_avg"), entry_mean(&new_e, "awake_avg"));
+                (entry_mean(old_e, "awake_avg"), entry_mean(new_e, "awake_avg"));
             let (e_old, e_new) =
-                (entry_mean(&old_e, "energy_max_mj"), entry_mean(&new_e, "energy_max_mj"));
+                (entry_mean(old_e, "energy_max_mj"), entry_mean(new_e, "energy_max_mj"));
             let (b_old, b_new) = (
                 old_e.get("max_message_bits").and_then(Value::as_f64).unwrap_or(0.0),
                 new_e.get("max_message_bits").and_then(Value::as_f64).unwrap_or(0.0),
             );
-            let dropped = !new_frontier.contains(&key);
+            let dropped = !nc.frontier.contains(key);
             let broken = new_e.get("all_correct").and_then(Value::as_bool) != Some(true);
             let measure_bad = regressed(a_old, a_new, threshold)
                 || regressed(v_old, v_new, threshold)
@@ -446,9 +355,9 @@ fn diff_sweep(
                 "ok"
             };
             t.row(vec![
-                family.clone(),
-                n.clone(),
-                key,
+                oc.family.clone(),
+                oc.n.clone(),
+                key.clone(),
                 opt_cell(a_old),
                 opt_cell(a_new),
                 opt_cell(v_old),
@@ -461,10 +370,11 @@ fn diff_sweep(
             ]);
         }
         // New frontier points are coverage, not failures.
-        for key in &new_frontier {
-            if !frontier_keys(oc).contains(key) {
+        for key in &nc.frontier {
+            if !oc.frontier.contains(key) {
                 println!(
-                    "cell {family}/{n}: {key} newly on the frontier in {new_path} (not a failure)"
+                    "cell {}/{}: {key} newly on the frontier in {new_path} (not a failure)",
+                    oc.family, oc.n
                 );
             }
         }
@@ -472,9 +382,11 @@ fn diff_sweep(
     // Cells only in the new file are coverage, not failures — reported
     // like the grid path does.
     for nc in &new_cells {
-        let (family, n) = cell_key(nc);
-        if !old_cells.iter().any(|c| cell_key(c) == (family.clone(), n.clone())) {
-            println!("cell {family}/{n} only in {new_path} (new coverage, not a failure)");
+        if !old_cells.iter().any(|c| (c.family == nc.family) && (c.n == nc.n)) {
+            println!(
+                "cell {}/{} only in {new_path} (new coverage, not a failure)",
+                nc.family, nc.n
+            );
         }
     }
     println!("{}", t.render());
@@ -485,18 +397,6 @@ fn diff_sweep(
     regressions > 0 || missing_cells > 0
 }
 
-/// Fraction of a cell's points that did not verify correct.
-fn failure_rate(points: &[&Value]) -> f64 {
-    let bad = points
-        .iter()
-        .filter(|p| {
-            p.get("correct").and_then(Value::as_bool) != Some(true)
-                || p.get("sim_error").is_some()
-        })
-        .count();
-    bad as f64 / points.len().max(1) as f64
-}
-
 /// Fault-document comparison: per `(fault level, family, n)` cell, the
 /// failure rate must not grow by more than `threshold` percentage
 /// points, and the awake means must not regress beyond `threshold`
@@ -504,17 +404,14 @@ fn failure_rate(points: &[&Value]) -> f64 {
 /// (that is what a robustness surface measures) — only their *growth*
 /// fails the diff. Returns whether anything regressed.
 fn diff_faults(
-    old_doc: &Value,
-    new_doc: &Value,
+    old: &Artifact,
+    new: &Artifact,
     old_path: &str,
     new_path: &str,
     threshold: f64,
 ) -> bool {
-    let old_points = old_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
-    let new_points = new_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
-    let key_fields = ["algorithm", "family", "n"];
-    let old_cells = json::index_by(old_points, &key_fields);
-    let new_cells: Vec<(Vec<String>, Vec<&Value>)> = json::index_by(new_points, &key_fields);
+    let old_cells = old.point_cells();
+    let new_cells = new.point_cells();
     let new_by_key: HashMap<&[String], &Vec<&Value>> =
         new_cells.iter().map(|(k, v)| (k.as_slice(), v)).collect();
 
@@ -592,17 +489,14 @@ fn diff_faults(
 /// locality bug, not a tolerable drift. Returns whether anything
 /// regressed.
 fn diff_churn(
-    old_doc: &Value,
-    new_doc: &Value,
+    old: &Artifact,
+    new: &Artifact,
     old_path: &str,
     new_path: &str,
     threshold: f64,
 ) -> bool {
-    let old_points = old_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
-    let new_points = new_doc.get("points").and_then(Value::as_arr).unwrap_or(&[]);
-    let key_fields = ["algorithm", "family", "n", "rate"];
-    let old_cells = json::index_by(old_points, &key_fields);
-    let new_cells: Vec<(Vec<String>, Vec<&Value>)> = json::index_by(new_points, &key_fields);
+    let old_cells = old.point_cells();
+    let new_cells = new.point_cells();
     let new_by_key: HashMap<&[String], &Vec<&Value>> =
         new_cells.iter().map(|(k, v)| (k.as_slice(), v)).collect();
 

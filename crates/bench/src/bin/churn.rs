@@ -8,7 +8,7 @@
 //! ```text
 //! cargo run --release -p bench --bin churn -- \
 //!     [--algos luby,vt] [--families er,tree] [--sizes 256,1024] \
-//!     [--rates 0,0.005,0.02,0.08] [--epochs 8] [--seeds 3] \
+//!     [--rates 0,0.005,0.01,0.02,0.08] [--epochs 8] [--seeds 3] \
 //!     [--insert-frac 0.5] [--node-churn 0.1] [--threads 0] \
 //!     [--no-recompute] [--serve N] [--serve-algo luby] \
 //!     [--serve-batches 6] [--serve-ops 2000] [--profile] \
@@ -120,7 +120,7 @@ fn main() {
     let mut algos_spec = String::from("luby,vt");
     let mut families = vec![Family::Er, Family::Tree];
     let mut sizes = vec![256usize, 1024];
-    let mut rates = vec![0.0f64, 0.005, 0.02, 0.08];
+    let mut rates = vec![0.0f64, 0.005, 0.01, 0.02, 0.08];
     let mut epochs = 8usize;
     let mut seed_count = 3u64;
     let mut insert_frac = 0.5f64;

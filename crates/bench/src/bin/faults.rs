@@ -36,13 +36,14 @@ use std::time::Instant;
 
 /// The default surface the committed `BENCH_faults.json` pins: three
 /// loss levels (including the clean anchor) for the two headline
-/// algorithms, plus a crash level and an adversarial-ID level, on a
-/// sparse and a dense family.
-const DEFAULT_SPECS: [&str; 4] = [
+/// algorithms, plus a crash level, an adversarial-ID level, and a
+/// delivery-jitter level, on a sparse and a dense family.
+const DEFAULT_SPECS: [&str; 5] = [
     "awake?loss=0,0.02,0.08",
     "luby?loss=0,0.02,0.08",
     "luby?crash=0.002&crash_until=8",
     "vt?adv_ids=worst",
+    "awake?jitter=16",
 ];
 
 fn parse_list<T>(arg: &str, parse: impl Fn(&str) -> Option<T>, what: &str) -> Vec<T> {

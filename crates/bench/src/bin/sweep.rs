@@ -11,19 +11,31 @@
 //! ```text
 //! cargo run --release -p bench --bin sweep -- \
 //!     [--spec SPEC]... [--specs 'SPEC;SPEC;…'] \
-//!     [--families er,tree] [--sizes 256,1024] [--seeds 4] \
+//!     [--family FAMILY]... [--families er,tree] \
+//!     [--sizes 256,1024] [--seeds 4] \
 //!     [--threads 0] [--out BENCH_sweep.json]
 //! ```
 //!
 //! Each `--spec` takes ONE sweep spec (repeat the flag to add more);
 //! `--specs` takes a `;`-separated list — a separate separator because
 //! `,` is part of the sweep grammar (`balance=0,2,4`). Quote `?`/`&`
-//! for your shell. Run with no arguments to reproduce the committed
-//! `BENCH_sweep.json`. The JSON payload (everything except `meta` and
-//! `timing`) is byte-identical for any thread count.
+//! for your shell.
+//!
+//! The *graph* is a sweep axis too: family specs go through the same
+//! range grammar (`analysis::sweep::expand_families`), so
+//! `--families 'er?avg_deg=8..16&step=4,tree'` runs ER at degrees 8, 12
+//! and 16 plus the tree family. `--families` splits on `,` at the top
+//! level (ranges are comma-free); a family point that itself needs a
+//! comma list (`rgg?radius=0.03,0.06`) goes in its own repeatable
+//! `--family` flag. A parameter at its default (`er?avg_deg=8`)
+//! canonicalizes to the bare family key.
+//!
+//! Run with no arguments to reproduce the committed `BENCH_sweep.json`.
+//! The JSON payload (everything except `meta` and `timing`) is
+//! byte-identical for any thread count.
 
 use analysis::spec::default_registry;
-use analysis::sweep::{expand, run_sweep, SweepSpec};
+use analysis::sweep::{expand, expand_families, run_sweep, SweepSpec};
 use analysis::{EnergyModel, GridMeta, Table};
 use bench::Family;
 use sleeping_congest::batch::resolve_threads;
@@ -36,6 +48,11 @@ use std::time::Instant;
 const DEFAULT_SPECS: [&str; 6] =
     ["awake", "luby", "vt", "na", "gp-avg?balance=0..8&step=4", "le?bits=4..10&step=2"];
 
+/// The default family axis: the two algorithm-sweep workhorses plus one
+/// parameterized graph point (ER at double the default degree), so the
+/// committed frontier also pins a graph-parameter dial.
+const DEFAULT_FAMILIES: [&str; 3] = ["er", "dense", "er?avg_deg=16"];
+
 fn parse_list<T>(arg: &str, parse: impl Fn(&str) -> Option<T>, what: &str) -> Vec<T> {
     arg.split(',')
         .filter(|s| !s.is_empty())
@@ -43,9 +60,28 @@ fn parse_list<T>(arg: &str, parse: impl Fn(&str) -> Option<T>, what: &str) -> Ve
         .collect()
 }
 
+/// Expands a list of family specs (each through the range grammar),
+/// rejecting families that appear twice across the whole axis.
+fn expand_family_axis(raw_specs: &[String]) -> Vec<Family> {
+    let mut out: Vec<Family> = Vec::new();
+    for raw in raw_specs {
+        let expanded =
+            expand_families(raw).unwrap_or_else(|e| panic!("family spec {raw:?}: {e}"));
+        for f in expanded {
+            assert!(
+                !out.contains(&f),
+                "family {} appears twice in the family axis",
+                f.key()
+            );
+            out.push(f);
+        }
+    }
+    out
+}
+
 fn main() {
     let mut specs: Vec<String> = Vec::new();
-    let mut families = vec![Family::Er, Family::Dense];
+    let mut family_specs: Vec<String> = Vec::new();
     let mut sizes = vec![1024usize, 4096];
     let mut seed_count = 4u64;
     let mut threads = 0usize;
@@ -63,7 +99,10 @@ fn main() {
             "--specs" => specs.extend(
                 value(&mut i).split(';').filter(|s| !s.trim().is_empty()).map(str::to_string),
             ),
-            "--families" => families = parse_list(value(&mut i), Family::parse, "family"),
+            "--family" => family_specs.push(value(&mut i).to_string()),
+            "--families" => family_specs.extend(
+                value(&mut i).split(',').filter(|s| !s.trim().is_empty()).map(str::to_string),
+            ),
             "--sizes" => sizes = parse_list(value(&mut i), |s| s.parse().ok(), "size"),
             "--seeds" => seed_count = value(&mut i).parse().expect("--seeds takes a count"),
             "--threads" => threads = value(&mut i).parse().expect("--threads takes a count"),
@@ -75,6 +114,10 @@ fn main() {
     if specs.is_empty() {
         specs = DEFAULT_SPECS.iter().map(|s| s.to_string()).collect();
     }
+    if family_specs.is_empty() {
+        family_specs = DEFAULT_FAMILIES.iter().map(|s| s.to_string()).collect();
+    }
+    let families = expand_family_axis(&family_specs);
 
     // Expand up front so a bad spec fails before any work runs.
     let registry = default_registry();

@@ -5,7 +5,19 @@
 //! is re-exported here for the binaries and for backward compatibility.
 //! [`json`] is the registry-free JSON reader behind the `bench-diff`
 //! regression tool.
+//!
+//! The bench-trajectory pipeline lives here too: [`artifact`] is the
+//! one reader for all four committed `BENCH_*.json` schemas (shared by
+//! `bench-diff` and `bench-report`), [`history`] walks every committed
+//! revision of an artifact out of git, [`trend`] builds per-cell
+//! [`trend::TrendSeries`] with drift statistics and the multi-PR drift
+//! gate, and [`report`] renders the series as CSV, ASCII sparklines,
+//! and gnuplot scripts.
 
+pub mod artifact;
+pub mod history;
 pub mod json;
+pub mod report;
+pub mod trend;
 
 pub use graphgen::families::GraphFamily as Family;

@@ -1,0 +1,166 @@
+//! End-to-end drift-gate semantics of the `bench-report` binary against
+//! synthetic git histories — including the defining scenario: a slow
+//! creep where every adjacent `bench-diff` passes but the cumulative
+//! drift gate fires.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Builds a throwaway git repo committing `versions` of
+/// `BENCH_test.json`, returning the repo path.
+fn temp_repo(name: &str, versions: &[String]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-report-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let git = |args: &[&str]| {
+        let out = Command::new("git")
+            .arg("-C")
+            .arg(&dir)
+            .args(args)
+            .env("GIT_CONFIG_GLOBAL", "/dev/null")
+            .env("GIT_CONFIG_SYSTEM", "/dev/null")
+            .env("GIT_AUTHOR_NAME", "t")
+            .env("GIT_AUTHOR_EMAIL", "t@t")
+            .env("GIT_COMMITTER_NAME", "t")
+            .env("GIT_COMMITTER_EMAIL", "t@t")
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "git {args:?}: {out:?}");
+    };
+    git(&["init", "-q", "-b", "main"]);
+    for (i, body) in versions.iter().enumerate() {
+        std::fs::write(dir.join("BENCH_test.json"), body).unwrap();
+        git(&["add", "BENCH_test.json"]);
+        git(&["commit", "-q", "-m", &format!("rev {i}")]);
+    }
+    dir
+}
+
+/// A minimal single-cell grid document with the given worst-case awake.
+fn grid_doc(awake: f64) -> String {
+    format!(
+        "{{\"schema\":\"awake-mis/bench-grid/v3\",\"spec\":{{}},\"cells\":[],\
+         \"points\":[{{\"algorithm\":\"luby\",\"family\":\"er\",\"n\":64,\"seed\":1,\
+         \"rounds\":10,\"awake_max\":{awake},\"awake_avg\":3.5,\"max_message_bits\":21,\
+         \"correct\":true,\"failures\":0,\
+         \"awake_dist\":{{\"p95\":{awake},\"gini\":0.1}}}}]}}"
+    )
+}
+
+fn bench_report(repo: &PathBuf, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-report"))
+        .arg("--repo")
+        .arg(repo)
+        .arg("--artifact")
+        .arg("BENCH_test.json")
+        .args(extra)
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn slow_creep_fails_the_drift_gate_while_every_adjacent_diff_passes() {
+    // Five commits, each +2% on awake_max: under bench-diff's default 5%
+    // per-pair threshold, over it cumulatively ((1.02)^4 - 1 ≈ +8.2%).
+    let mut awakes = vec![20.0f64];
+    for _ in 0..4 {
+        awakes.push(awakes.last().unwrap() * 1.02);
+    }
+    let versions: Vec<String> = awakes.iter().map(|&a| grid_doc(a)).collect();
+    let repo = temp_repo("creep", &versions);
+
+    // Every adjacent pair passes bench-diff at the default threshold.
+    let scratch = std::env::temp_dir().join(format!("bench-report-pairs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    for (i, pair) in versions.windows(2).enumerate() {
+        let old = scratch.join(format!("old{i}.json"));
+        let new = scratch.join(format!("new{i}.json"));
+        std::fs::write(&old, &pair[0]).unwrap();
+        std::fs::write(&new, &pair[1]).unwrap();
+        let out = Command::new(env!("CARGO_BIN_EXE_bench-diff"))
+            .args([old.to_str().unwrap(), new.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "adjacent pair {i} must pass bench-diff: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+
+    // The trajectory gate sees the compounded drift and fails.
+    let out = bench_report(&repo, &["--gate"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "cumulative drift must gate: {stdout}");
+    assert!(stdout.contains("DRIFT grid luby/er/64 awake_max"), "{stdout}");
+    // The synthetic doc moves p95 in lockstep with awake_max, so both
+    // series fire.
+    assert!(stdout.contains("DRIFT grid luby/er/64 awake_p95"), "{stdout}");
+    assert!(stdout.contains("drift gate: 2 violation(s)"), "{stdout}");
+
+    // A looser threshold lets the same history pass.
+    let out = bench_report(&repo, &["--gate", "--drift-threshold", "10"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+
+    let _ = std::fs::remove_dir_all(&repo);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn a_single_revision_reports_no_trend_and_never_gates() {
+    let repo = temp_repo("single", &[grid_doc(20.0)]);
+    let out = bench_report(&repo, &["--gate", "--drift-threshold", "0"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "one sample cannot drift: {stdout}");
+    assert!(stdout.contains("over 1 revision =="), "{stdout}");
+    assert!(stdout.contains("no trend"), "{stdout}");
+    assert!(stdout.contains("drift gate: ok"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&repo);
+}
+
+#[test]
+fn unparseable_revisions_are_skipped_with_a_warning_counter() {
+    let versions =
+        vec![grid_doc(20.0), "{ half a document".to_string(), grid_doc(20.0)];
+    let repo = temp_repo("skip", &versions);
+    let out = bench_report(&repo, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stdout}\n{stderr}");
+    assert!(stdout.contains("over 2 revisions =="), "garbage revision dropped: {stdout}");
+    assert!(stdout.contains("1 unparseable historical revision(s) skipped"), "{stdout}");
+    assert!(stderr.contains("warning: skipping revision"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&repo);
+}
+
+#[test]
+fn csv_and_gnuplot_outputs_land_on_disk() {
+    let repo = temp_repo("outputs", &[grid_doc(20.0), grid_doc(21.0)]);
+    let outdir = repo.join("out");
+    let csv = outdir.join("trend.csv");
+    std::fs::create_dir_all(&outdir).unwrap();
+    let out = bench_report(
+        &repo,
+        &["--csv", csv.to_str().unwrap(), "--gnuplot", outdir.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let csv_body = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_body.starts_with("artifact,cell,measure,seq,rev,date,value\n"), "{csv_body}");
+    assert!(csv_body.contains("grid,luby/er/64,awake_max,1,"), "{csv_body}");
+    let gp = std::fs::read_to_string(outdir.join("trend.gp")).unwrap();
+    assert!(gp.contains("linespoints"), "{gp}");
+    assert!(outdir.join("trend_grid.dat").exists());
+    let _ = std::fs::remove_dir_all(&repo);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-report"))
+        .arg("--no-such-flag")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
